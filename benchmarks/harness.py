@@ -1,0 +1,53 @@
+"""Shared utilities for the experiment benchmarks.
+
+Each benchmark module reproduces one experiment from DESIGN.md's index
+(the paper has no numeric tables, so each experiment operationalizes
+one of its quantitative/directional claims). Benchmarks print the rows
+EXPERIMENTS.md records and assert the claim's *shape* (who wins, by
+roughly what factor) — absolute numbers come from the simulator's cost
+models, not the authors' testbed.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.core.flexnet import FlexNet
+from repro.apps.base import base_infrastructure
+
+#: The experiment tables are artifacts: in addition to stdout (visible
+#: with ``pytest -s``), every table is appended to this file so a plain
+#: ``pytest benchmarks/ --benchmark-only`` run still leaves a record.
+TABLES_PATH = pathlib.Path(__file__).resolve().parent.parent / "bench_tables.txt"
+_session_started = False
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Render one experiment table to stdout and to ``bench_tables.txt``."""
+    global _session_started
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    rendered = [f"\n== {title} ==", line, "-" * len(line)]
+    rendered += [
+        "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)) for row in rows
+    ]
+    text = "\n".join(rendered)
+    print(text)
+    mode = "a" if _session_started else "w"
+    _session_started = True
+    with open(TABLES_PATH, mode, encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+def standard_net(**infra_kwargs) -> FlexNet:
+    """The canonical slice with the base program installed."""
+    net = FlexNet.standard()
+    net.install(base_infrastructure(**infra_kwargs))
+    return net
+
+
+def fmt(value: float, digits: int = 3) -> str:
+    return f"{value:.{digits}g}"

@@ -1,0 +1,109 @@
+"""E10 — Data plane RPC services (§3.4).
+
+Claim: common utilities (migration chunks, state read/replicate) are
+exposed as in-band dRPC services so tenant datapaths "need not reinvent
+the wheel", with execution "handed over to the data plane ... for
+efficient, distributed execution" instead of controller round trips;
+discovery happens via an in-network registry in real time. Expected
+shape: dRPC invocation latency is microseconds (link RTT + ns-scale
+handler) vs milliseconds through the controller — 2-3 orders of
+magnitude — and a freshly registered service becomes discoverable a
+propagation delay later.
+"""
+
+import pytest
+
+from benchmarks.harness import fmt, print_table
+
+from repro.errors import RpcError
+from repro.lang import builder as b
+from repro.lang.ir import MapDef
+from repro.lang.maps import MapState
+from repro.lang.types import BitsType
+from repro.runtime.drpc import (
+    DrpcFabric,
+    RpcRegistry,
+    make_migrate_service,
+    make_state_read_service,
+    make_state_write_service,
+)
+
+CALLS = 200
+
+
+def make_state(entries=256):
+    state = MapState(
+        MapDef(
+            name="m",
+            key_fields=(b.field("ipv4.src"),),
+            value_type=BitsType(64),
+            max_entries=4096,
+        )
+    )
+    for index in range(entries):
+        state.put((index,), index * 3)
+    return state
+
+
+def run_experiment():
+    registry = RpcRegistry(advertisement_interval_s=0.05)
+    fabric = DrpcFabric(registry, link_latency_s=1e-6)
+    fabric.set_device_speed("sw1", 1.2)  # switch-hosted services
+    state = make_state()
+    registry.register(make_state_read_service("sw1", state), now=0.0)
+    registry.register(make_state_write_service("sw1", state), now=0.0)
+    registry.register(make_migrate_service("sw1", state), now=0.0)
+
+    services = ["state_read", "state_write", "migrate_chunk"]
+    results = {}
+    for service in services:
+        in_band_total = 0.0
+        software_total = 0.0
+        for index in range(CALLS):
+            args = {
+                "state_read": (index % 256,),
+                "state_write": (index % 256, index),
+                "migrate_chunk": (index % 240, 16),
+            }[service]
+            _, latency = fabric.call(service, args, caller_device="nic1", now=1.0)
+            in_band_total += latency
+            _, latency = fabric.call_via_controller(service, args, now=1.0)
+            software_total += latency
+        results[service] = {
+            "in_band_us": in_band_total / CALLS * 1e6,
+            "software_us": software_total / CALLS * 1e6,
+        }
+
+    # Discovery timing: a tenant 3 hops away sees a new service only
+    # after gossip propagation.
+    registry.register(make_state_read_service("sw1", state, name="late_svc"), now=5.0)
+    try:
+        registry.lookup("late_svc", now=5.10, hops_from_provider=3)
+        visible_early = True
+    except RpcError:
+        visible_early = False
+    registry.lookup("late_svc", now=5.20, hops_from_provider=3)
+
+    return {"services": results, "visible_early": visible_early}
+
+
+def test_e10_drpc(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = []
+    for service, data in results["services"].items():
+        speedup = data["software_us"] / data["in_band_us"]
+        rows.append(
+            [service, fmt(data["in_band_us"]), fmt(data["software_us"]),
+             f"{speedup:.0f}x"]
+        )
+    print_table(
+        f"E10: utility invocation latency, {CALLS} calls each",
+        ["service", "dRPC in-band (us)", "via controller (us)", "speedup"],
+        rows,
+    )
+    for service, data in results["services"].items():
+        assert data["in_band_us"] < 10.0  # microseconds
+        assert data["software_us"] > 1000.0  # milliseconds
+        assert data["software_us"] / data["in_band_us"] > 100
+    # Gossip discovery: invisible before propagation, visible after.
+    assert not results["visible_early"]

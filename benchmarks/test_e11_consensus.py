@@ -1,0 +1,144 @@
+"""E11 — Distributed controllers: consensus, availability, replication (§3.4).
+
+Claims: "logically centralized controllers are realized in physically
+distributed nodes, which brings classic distributed systems concerns on
+consensus and availability"; device state is kept resilient via "state
+replication and update protocols". Expected shape: a 3-node Raft
+controller keeps committing management commands across a leader crash
+(availability gap = one election timeout, not an outage); replicated
+datapath state fails over with loss bounded by the sync interval.
+"""
+
+import pytest
+
+from benchmarks.harness import fmt, print_table
+
+from repro.control.consensus import ControllerCluster
+from repro.control.replication import ReplicationManager
+from repro.lang import builder as b
+from repro.lang.ir import MapDef
+from repro.lang.maps import MapState
+from repro.lang.types import BitsType
+from repro.simulator.engine import EventLoop
+
+
+def consensus_run() -> dict:
+    loop = EventLoop()
+    cluster = ControllerCluster(loop, node_count=3, seed=3)
+
+    def wait_for_leader(deadline):
+        while loop.now < deadline:
+            loop.run_until(loop.now + 0.05)
+            leader = cluster.leader()
+            if leader is not None:
+                return leader
+        return None
+
+    first_leader = wait_for_leader(5.0)
+    election_1 = loop.now
+
+    # Commit a stream of management commands.
+    committed_before = 0
+    for index in range(10):
+        if cluster.submit({"op": "deploy", "seq": index}):
+            committed_before += 1
+        loop.run_until(loop.now + 0.05)
+
+    # Kill the leader mid-operation.
+    crash_time = loop.now
+    cluster.bus.crash(first_leader.node_id)
+    second_leader = wait_for_leader(crash_time + 5.0)
+    failover_gap = loop.now - crash_time
+
+    committed_after = 0
+    for index in range(10, 20):
+        if cluster.submit({"op": "deploy", "seq": index}):
+            committed_after += 1
+        loop.run_until(loop.now + 0.05)
+    loop.run_until(loop.now + 1.0)
+
+    applied = cluster.committed_commands()
+    sequences = [c["seq"] for c in applied]
+    return {
+        "election_s": election_1,
+        "failover_gap_s": failover_gap,
+        "committed_before": committed_before,
+        "committed_after": committed_after,
+        "applied_in_order": sequences == sorted(sequences),
+        "leader_changed": second_leader.node_id != first_leader.node_id,
+        "applied_count": len(applied),
+    }
+
+
+def replication_run() -> dict:
+    loop = EventLoop()
+    manager = ReplicationManager(loop)
+
+    def make_state():
+        return MapState(
+            MapDef(
+                name="important",
+                key_fields=(b.field("ipv4.dst"),),
+                value_type=BitsType(64),
+                max_entries=8192,
+            )
+        )
+
+    primary = make_state()
+    replica = make_state()
+    group = manager.replicate(
+        "important", "sw1", primary, {"sw2": replica}, mode="periodic", interval_s=0.1
+    )
+    # 100 writes/s for 2 s, then the primary dies.
+    for index in range(200):
+        loop.run_until(index * 0.01)
+        manager.write("important", (index,), index)
+    device, promoted, lost = manager.fail_over("important")
+    return {
+        "writes": 200,
+        "sync_interval_s": group.interval_s,
+        "lost_on_failover": lost,
+        "promoted": device,
+        "replica_entries": len(promoted),
+    }
+
+
+def run_experiment():
+    return {"consensus": consensus_run(), "replication": replication_run()}
+
+
+def test_e11_consensus(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    consensus = results["consensus"]
+    replication = results["replication"]
+    print_table(
+        "E11: replicated controller through a leader crash",
+        ["metric", "observed"],
+        [
+            ["initial election (s)", fmt(consensus["election_s"])],
+            ["commands committed before crash", consensus["committed_before"]],
+            ["leader fail-over gap (s)", fmt(consensus["failover_gap_s"])],
+            ["commands committed after crash", consensus["committed_after"]],
+            ["total applied, in submission order",
+             f"{consensus['applied_count']} ({'yes' if consensus['applied_in_order'] else 'NO'})"],
+        ],
+    )
+    print_table(
+        "E11b: datapath state replication + fail-over",
+        ["metric", "observed"],
+        [
+            ["writes to primary", replication["writes"]],
+            ["sync interval (s)", replication["sync_interval_s"]],
+            ["updates lost at fail-over", replication["lost_on_failover"]],
+            ["replica promoted", replication["promoted"]],
+        ],
+    )
+    assert consensus["committed_before"] >= 9
+    assert consensus["committed_after"] >= 9
+    assert consensus["leader_changed"]
+    assert consensus["failover_gap_s"] < 2.0  # an election, not an outage
+    assert consensus["applied_in_order"]
+    # Replication loss bounded by one sync interval's worth of writes
+    # (100 writes/s x 0.1 s = ~10, plus scheduling slack).
+    assert replication["lost_on_failover"] <= 25
+    assert replication["replica_entries"] > 150

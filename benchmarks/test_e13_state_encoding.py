@@ -1,0 +1,120 @@
+"""E13 — Virtualized state and cross-encoding migration (§3.1).
+
+Claims: "individual devices have drastically different ways of
+implementing this state" (P4 registers, Spectrum stateful tables, PoF
+flow instructions, eBPF maps); "if a program assumes a specific way of
+state encoding ... function migration becomes difficult. In FlexBPF,
+the compiler selects the proper state encodings ... Program migration
+carries its state in this logical representation." Expected shape:
+the same logical map compiles to a different physical encoding on
+every architecture; migrations between associative encodings are
+lossless at any size; only register targets (index-addressed) impose a
+capacity/aliasing limit — which the logical layer detects up front.
+"""
+
+import pytest
+
+from benchmarks.harness import print_table
+
+from repro.apps.base import base_infrastructure
+from repro.compiler.placement import PlacementEngine
+from repro.compiler.plan import DeviceSpec
+from repro.compiler.placement import NetworkSlice
+from repro.compiler.state_encoding import convert, select_encoding
+from repro.errors import MigrationError
+from repro.lang.analyzer import certify
+from repro.lang.maps import MapSnapshot
+from repro.targets import drmt_switch, fpga, host, rmt_switch, smartnic, tiled_switch
+from repro.targets.base import StateEncoding
+
+ARCHES = {
+    "RMT switch": rmt_switch("d", runtime_capable=True),
+    "dRMT switch": drmt_switch("d"),
+    "tiled switch": tiled_switch("d"),
+    "SmartNIC": smartnic("d"),
+    "FPGA": fpga("d"),
+    "host eBPF": host("d"),
+}
+
+
+def snapshot(entries: int) -> MapSnapshot:
+    return MapSnapshot(
+        map_name="flow_counts",
+        entries=tuple(((i, i + 1), i * 7) for i in range(entries)),
+        version=1,
+    )
+
+
+def run_experiment():
+    program = base_infrastructure()
+    map_def = program.map("flow_counts")
+
+    chosen = {
+        arch: select_encoding(map_def, target).value for arch, target in ARCHES.items()
+    }
+
+    # Migrate 10k entries through every associative encoding pair.
+    migrations = []
+    associative = [
+        StateEncoding.STATEFUL_TABLE,
+        StateEncoding.KERNEL_MAP,
+        StateEncoding.SOC_MEMORY,
+        StateEncoding.FLOW_INSTRUCTION,
+    ]
+    for source in associative:
+        for destination in associative:
+            if source is destination:
+                continue
+            arrived, report = convert(snapshot(10_000), source, destination)
+            migrations.append(
+                (source.value, destination.value, report.entries_out, report.lossless)
+            )
+
+    # Register targets: small state converts (with aliasing accounting);
+    # oversized state is rejected up front.
+    small, small_report = convert(
+        snapshot(2_000), StateEncoding.STATEFUL_TABLE, StateEncoding.REGISTER,
+        register_slots=4096,
+    )
+    oversized_rejected = False
+    try:
+        convert(
+            snapshot(50_000), StateEncoding.STATEFUL_TABLE, StateEncoding.REGISTER,
+            register_slots=4096,
+        )
+    except MigrationError:
+        oversized_rejected = True
+
+    return {
+        "chosen": chosen,
+        "migrations": migrations,
+        "register_small_out": len(small.entries),
+        "register_aliased": 2_000 - small_report.entries_out,
+        "oversized_rejected": oversized_rejected,
+    }
+
+
+def test_e13_state_encoding(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E13: physical encoding chosen for the same logical map",
+        ["architecture", "encoding"],
+        [[arch, encoding] for arch, encoding in results["chosen"].items()],
+    )
+    print_table(
+        "E13b: 10k-entry migrations between associative encodings",
+        ["from", "to", "entries out", "lossless"],
+        [list(row) for row in results["migrations"]],
+    )
+    # Every architecture picked an encoding, and at least three distinct
+    # encodings are in play across the ecosystem (the heterogeneity claim).
+    assert len(set(results["chosen"].values())) >= 3
+    assert results["chosen"]["RMT switch"] == "register"
+    assert results["chosen"]["dRMT switch"] == "stateful_table"
+    assert results["chosen"]["host eBPF"] == "kernel_map"
+    # All associative-to-associative migrations are lossless.
+    assert all(lossless for *_, lossless in results["migrations"])
+    assert all(out == 10_000 for _, _, out, _ in results["migrations"])
+    # Register conversion accounts for aliasing and rejects overflow.
+    assert results["register_small_out"] + results["register_aliased"] == 2_000
+    assert results["oversized_rejected"]

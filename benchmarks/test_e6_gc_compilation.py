@@ -1,0 +1,113 @@
+"""E6 — Compiling with garbage collection (§3.3).
+
+Claim: "If compiling a FlexNet datapath to its resource slice fails,
+the compiler recursively invokes optimization primitives ... to perform
+resource reallocation and garbage collection, before attempting another
+round of compilation." Expected shape: a single-pass compiler rejects a
+program the network could host; the GC loop retires a removable app and
+fits it on the next iteration.
+"""
+
+import pytest
+
+from benchmarks.harness import print_table
+
+from repro.apps.base import base_infrastructure
+from repro.control.apps_api import AppSla
+from repro.core.flexnet import FlexNet
+from repro.errors import PlacementError
+from repro.lang.delta import parse_delta
+from repro.targets import drmt_switch
+
+CACHE_DELTA = """
+delta cache {
+  add map cache { key: ipv4.src, ipv4.dst; value: u64; max_entries: 120000; }
+  add func cache_touch() {
+    let v: u64 = map_get(cache, ipv4.src, ipv4.dst);
+    map_put(cache, ipv4.src, ipv4.dst, v + 1);
+  }
+  insert cache_touch after count_flow;
+}
+"""
+
+NEEDY_DELTA = """
+delta needy {
+  add map need { key: ipv4.src, ipv4.dst; value: u64; max_entries: 120000; }
+  add func need_touch() {
+    let v: u64 = map_get(need, ipv4.src, ipv4.dst);
+    map_put(need, ipv4.src, ipv4.dst, v + 1);
+  }
+  insert need_touch after count_flow;
+}
+"""
+
+
+def tight_network() -> FlexNet:
+    """A slice whose only stateful-capable hosts are one small switch —
+    so the two big apps cannot coexist anywhere."""
+    net = FlexNet()
+    net.add_host("h1", cores=1, memory_mb=1.0, kernel_maps=2)
+    net.add_switch("sw1", arch="drmt", sram_mb=3.0, tcam_mb=0.3, processors=12, alus=24)
+    net.add_host("h2", cores=1, memory_mb=1.0, kernel_maps=2)
+    net.connect("h1", "sw1")
+    net.connect("sw1", "h2")
+    net.build_datapath("h1", "h2")
+    net.install(base_infrastructure(acl_size=128, l2_size=256, l3_size=256,
+                                    flow_entries=2048))
+    return net
+
+
+def run_experiment():
+    # Without GC: deploying both big apps must fail.
+    first = tight_network()
+    first.controller.deploy_app(
+        "flexnet://infrastructure/cache", parse_delta(CACHE_DELTA),
+        sla=AppSla(removable=False),  # nothing is GC-eligible
+    )
+    first.loop.run_until(first.loop.now + 2.0)
+    failed_without_gc = False
+    try:
+        first.controller.deploy_app(
+            "flexnet://infrastructure/needy", parse_delta(NEEDY_DELTA)
+        )
+    except PlacementError:
+        failed_without_gc = True
+
+    # With GC: mark the cache app removable; the loop evicts it.
+    second = tight_network()
+    second.controller.deploy_app(
+        "flexnet://infrastructure/cache", parse_delta(CACHE_DELTA),
+        sla=AppSla(removable=True),
+    )
+    second.loop.run_until(second.loop.now + 2.0)
+    outcome = second.controller.deploy_app(
+        "flexnet://infrastructure/needy", parse_delta(NEEDY_DELTA)
+    )
+    return {
+        "failed_without_gc": failed_without_gc,
+        "gc_evicted": outcome.gc_evicted,
+        "iterations": outcome.compile_iterations,
+        "needy_placed": "need" in outcome.result.new_plan.placement,
+        "cache_gone": not second.program.has_map("cache"),
+    }
+
+
+def test_e6_gc_compilation(benchmark):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "E6: over-committed deployment — single-pass vs GC loop",
+        ["outcome", "observed"],
+        [
+            ["single-pass compile (no removable apps)",
+             "REJECTED" if result["failed_without_gc"] else "accepted"],
+            ["GC loop compile iterations", result["iterations"]],
+            ["apps evicted by GC", ", ".join(result["gc_evicted"]) or "none"],
+            ["new app placed", result["needy_placed"]],
+            ["evicted app removed from program", result["cache_gone"]],
+        ],
+    )
+    assert result["failed_without_gc"]
+    assert result["gc_evicted"] == ["flexnet://infrastructure/cache"]
+    assert result["iterations"] >= 2  # needed at least one GC round
+    assert result["needy_placed"]
+    assert result["cache_gone"]

@@ -1,0 +1,98 @@
+"""E9 — Data plane vs control plane state migration (§3.4).
+
+Claim: for a stateful app like a count-min sketch, "as the sketch state
+is updated for each packet, copying state via control plane software is
+impossible"; data-plane mechanisms (Swing State-style) migrate in-band.
+Expected shape: as the per-packet update rate grows, the control-plane
+copy loop's duration explodes and it stops converging somewhere below
+data-plane rates, while the data-plane migration completes in one pass
+at line rate with zero lost updates at every rate.
+"""
+
+import pytest
+
+from benchmarks.harness import fmt, print_table
+
+from repro.lang import builder as b
+from repro.lang.ir import MapDef
+from repro.lang.maps import MapState
+from repro.lang.types import BitsType
+from repro.runtime.migration import (
+    control_plane_migration,
+    data_plane_migration,
+    minimum_copy_rate_for_convergence,
+)
+
+SKETCH_ENTRIES = 50_000
+UPDATE_RATES = [1e2, 1e3, 1e4, 1e5, 1e6, 1e7]  # sketch updates per second
+COPY_RATE = 20_000.0  # control channel entries/s
+
+
+def make_sketch(entries=SKETCH_ENTRIES):
+    state = MapState(
+        MapDef(
+            name="sketch",
+            key_fields=(b.field("ipv4.src"),),
+            value_type=BitsType(64),
+            max_entries=SKETCH_ENTRIES * 2,
+        )
+    )
+    for index in range(entries):
+        state.put((index,), index)
+    return state
+
+
+def run_experiment():
+    rows = []
+    for rate in UPDATE_RATES:
+        control = control_plane_migration(
+            make_sketch(), make_sketch(0), update_rate_per_s=rate,
+            copy_rate_entries_per_s=COPY_RATE,
+        )
+        data = data_plane_migration(make_sketch(), make_sketch(0))
+        rows.append(
+            {
+                "rate": rate,
+                "control_converged": control.converged,
+                "control_duration": control.duration_s,
+                "control_lost": control.updates_lost,
+                "data_duration": data.duration_s,
+                "data_lost": data.updates_lost,
+            }
+        )
+    return rows
+
+
+def test_e9_state_migration(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        f"E9: migrating a {SKETCH_ENTRIES}-entry sketch under per-packet updates",
+        ["update rate (/s)", "control-plane", "ctl duration (s)", "ctl updates lost",
+         "data-plane", "dp duration (s)"],
+        [
+            [
+                f"{row['rate']:.0e}",
+                "converges" if row["control_converged"] else "NEVER CONVERGES",
+                fmt(row["control_duration"]),
+                row["control_lost"],
+                "converges",
+                fmt(row["data_duration"]),
+            ]
+            for row in rows
+        ],
+    )
+    # Low rates: both work, but data plane is much faster.
+    assert rows[0]["control_converged"]
+    # High (per-packet, >= 1M/s) rates: control plane fails outright.
+    assert not rows[-1]["control_converged"]
+    assert rows[-1]["control_lost"] > 0
+    # Data plane: always converges, never loses an update.
+    assert all(row["data_lost"] == 0 for row in rows)
+    assert all(row["data_duration"] < 0.1 for row in rows)
+    # The analytic convergence threshold matches the simulation.
+    threshold = minimum_copy_rate_for_convergence(COPY_RATE) / 1.25
+    for row in rows:
+        if row["rate"] < threshold * 0.5:
+            assert row["control_converged"]
+        if row["rate"] > threshold * 2:
+            assert not row["control_converged"]

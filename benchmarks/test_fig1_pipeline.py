@@ -1,0 +1,95 @@
+"""F1 — Figure 1: the full FlexNet pipeline, end to end.
+
+The paper's only figure shows the system shape: a FlexBPF program plus
+runtime extensions enter the compiler, which distributes components
+vertically and horizontally over the fungible datapath; a central
+controller pilots the network in real time. This benchmark drives that
+entire pipeline — program authoring, certification, placement,
+cold install, live traffic, two runtime extensions (security + CC),
+an app migration, and a tenant arrival — and measures the wall-clock
+cost of the whole control loop.
+"""
+
+from benchmarks.harness import print_table
+
+from repro.apps import base_infrastructure, dctcp_delta, firewall_delta, STANDARD_HEADERS
+from repro.core.flexnet import FlexNet
+from repro.lang import builder as b
+from repro.lang.builder import ProgramBuilder
+from repro.lang.composition import Permission, TenantSpec
+from repro.runtime.consistency import ConsistencyLevel
+
+
+def tenant_extension():
+    program = ProgramBuilder("ext", owner="tenant")
+    for header, fields in STANDARD_HEADERS.items():
+        program.header(header, **fields)
+    program.map("hits", keys=["ipv4.src"], value_type="u32", max_entries=512)
+    program.function(
+        "watch",
+        [
+            b.let("n", "u32", b.map_get("hits", "ipv4.src")),
+            b.map_put("hits", "ipv4.src", b.binop("+", "n", 1)),
+        ],
+    )
+    program.apply("watch")
+    return program.build()
+
+
+def full_pipeline() -> dict:
+    net = FlexNet.standard()
+    plan = net.install(base_infrastructure())
+
+    net.schedule(0.5, lambda: net.update(
+        firewall_delta(), consistency=ConsistencyLevel.PER_PACKET_PATH))
+    net.schedule(2.0, lambda: net.update(dctcp_delta()))
+    net.schedule(3.5, lambda: net.admit_tenant(
+        TenantSpec(name="t1", vlan_id=100, permission=Permission()), tenant_extension()))
+    net.schedule(5.0, lambda: net.controller.migrate_app(
+        "flexnet://t1/extension", "nic2"))
+
+    report = net.run_traffic(
+        rate_pps=1000,
+        duration_s=6.0,
+        consistency_level=ConsistencyLevel.PER_PACKET_PATH,
+        extra_time_s=4.0,
+    )
+    final_plan = net.controller.plan
+    consistency = report.consistency.report()
+    return {
+        "initial_elements": len(plan.placement),
+        "final_elements": len(final_plan.placement),
+        "final_version": net.program.version,
+        "devices_used": final_plan.devices_used,
+        "sent": report.metrics.sent,
+        "lost": report.metrics.lost_by_infrastructure,
+        "violation_fraction": consistency.violations / max(consistency.packets_checked, 1),
+        "tenant_on": net.controller.app("flexnet://t1/extension").devices,
+    }
+
+
+def test_fig1_pipeline(benchmark):
+    result = benchmark.pedantic(full_pipeline, rounds=1, iterations=1)
+    print_table(
+        "F1: Figure-1 pipeline (program -> compiler -> controller -> live network)",
+        ["stage", "observed"],
+        [
+            ["elements placed (initial -> final)",
+             f"{result['initial_elements']} -> {result['final_elements']}"],
+            ["program versions applied", result["final_version"]],
+            ["devices hosting components", ", ".join(result["devices_used"])],
+            ["packets sent / lost", f"{result['sent']} / {result['lost']}"],
+            ["path-mixture fraction (mixed-level updates)",
+             f"{result['violation_fraction']:.3%}"],
+            ["tenant app after migration", ", ".join(result["tenant_on"])],
+        ],
+    )
+    assert result["lost"] == 0
+    # Only the firewall update requested path consistency; the CC, tenant
+    # and migration transitions ran at per-device level, so a small
+    # cross-device mixture during their windows is expected (and bounded).
+    # E2 verifies the strict guarantee per level in isolation.
+    assert result["violation_fraction"] < 0.10
+    assert result["final_version"] >= 4
+    assert result["tenant_on"] == ["nic2"]
+    assert len(result["devices_used"]) >= 2  # vertical distribution happened

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Live infrastructure customization (§1.1): swap CC algorithms end to end.
+
+Deploying a transport/congestion-control change touches every tier:
+ECN marking at the switch, window logic at the host side. This example
+shows the compiler distributing one logical delta *vertically* (the
+marking function lands on the switch; the window function is too big
+for a pipeline and automatically lands on a NIC/host), then swapping
+DCTCP-style marking for HPCC-style precise feedback at runtime.
+
+Run:  python examples/live_cc_swap.py
+"""
+
+from repro import FlexNet
+from repro.apps import base_infrastructure, dctcp_delta, swap_cc_delta
+
+
+def tier_of(net: FlexNet, element: str) -> str:
+    device = net.datapath.plan.placement[element]
+    return f"{device} ({net.controller.devices[device].target.tier})"
+
+
+def main() -> None:
+    net = FlexNet.standard()
+    net.install(base_infrastructure())
+
+    print("Deploying DCTCP-style congestion control at runtime...")
+    outcome = net.update(dctcp_delta(ecn_threshold=20))
+    print(f"  transition took {outcome.report.duration_s * 1000:.0f} ms (hitless)")
+    print("  vertical placement chosen by the compiler:")
+    print(f"    ecn_mark   -> {tier_of(net, 'ecn_mark')}   (per-packet marking)")
+    print(f"    cc_window  -> {tier_of(net, 'cc_window')}  (window arithmetic)")
+    print(f"    cc_windows -> {tier_of(net, 'cc_windows')}  (per-dest state)")
+
+    net.loop.run_until(net.loop.now + 2.0)
+
+    # Exercise the datapath: congested packets get marked, windows react.
+    report = net.run_traffic(rate_pps=500, duration_s=1.0)
+    assert report.metrics.lost_by_infrastructure == 0
+
+    print("\nWorkload mix changed — swapping to HPCC-style precise feedback...")
+    outcome = net.update(swap_cc_delta("hpcc"))
+    print(
+        f"  swap applied as one atomic delta "
+        f"({len(outcome.result.changes.added)} elements replaced, "
+        f"{outcome.report.duration_s * 1000:.0f} ms window)"
+    )
+    net.loop.run_until(net.loop.now + 2.0)
+    report = net.run_traffic(rate_pps=500, duration_s=1.0)
+    assert report.metrics.lost_by_infrastructure == 0
+    print("\nBoth deployments served live traffic with zero loss.")
+
+
+if __name__ == "__main__":
+    main()

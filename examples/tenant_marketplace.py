@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Tenant extensions (§1.1): dynamic multi-tenant injection with isolation.
+
+Tenants arrive with their own datapath extensions (here: a per-source
+hit counter and a NAT-ish rewrite), pass access-control validation, get
+VLAN-isolated, and are trimmed out when they depart — all at runtime,
+while the infrastructure keeps forwarding.
+
+Run:  python examples/tenant_marketplace.py
+"""
+
+from repro import FlexNet
+from repro.apps import STANDARD_HEADERS, base_infrastructure
+from repro.lang import builder as b
+from repro.lang.builder import ProgramBuilder
+from repro.lang.composition import Permission, TenantSpec
+from repro.simulator.flowgen import constant_rate, merge_streams
+
+
+def counting_extension() -> object:
+    program = ProgramBuilder("counter", owner="tenant")
+    for header, fields in STANDARD_HEADERS.items():
+        program.header(header, **fields)
+    program.map("hits", keys=["ipv4.src"], value_type="u32", max_entries=1024)
+    program.function(
+        "watch",
+        [
+            b.let("n", "u32", b.map_get("hits", "ipv4.src")),
+            b.map_put("hits", "ipv4.src", b.binop("+", "n", 1)),
+        ],
+    )
+    program.apply("watch")
+    return program.build()
+
+
+def stamping_extension() -> object:
+    program = ProgramBuilder("stamper", owner="tenant")
+    for header, fields in STANDARD_HEADERS.items():
+        program.header(header, **fields)
+    program.function("stamp", [b.assign("meta.tenant_tag", 2)])
+    program.apply("stamp")
+    return program.build()
+
+
+def main() -> None:
+    net = FlexNet.standard()
+    net.install(base_infrastructure())
+    print("Infrastructure live. Tenants arriving...")
+
+    alpha = TenantSpec(name="alpha", vlan_id=100, permission=Permission())
+    beta = TenantSpec(name="beta", vlan_id=200, permission=Permission())
+
+    net.admit_tenant(alpha, counting_extension())
+    net.loop.run_until(net.loop.now + 1.5)
+    net.admit_tenant(beta, stamping_extension())
+    net.loop.run_until(net.loop.now + 1.5)
+    print(f"  tenants admitted: {net.controller.tenant_names}")
+    print(f"  composed program elements: {len(net.program.element_names)}")
+
+    # Traffic on both VLANs plus unowned traffic.
+    start = net.loop.now
+    report = net.run_traffic(
+        packets=merge_streams(
+            constant_rate(200, 2.0, start_s=start, vlan_id=100, src_ip=0x01010101),
+            constant_rate(200, 2.0, start_s=start, vlan_id=200, src_ip=0x02020202),
+            constant_rate(200, 2.0, start_s=start, vlan_id=0, src_ip=0x03030303),
+        ),
+        extra_time_s=2.0,
+    )
+    assert report.metrics.lost_by_infrastructure == 0
+
+    hits = net.device("sw1").active_instance.maps.state("alpha__hits")
+    print("\nIsolation check (alpha's counter map):")
+    print(f"  alpha traffic counted:   {hits.get((0x01010101,))} (expected 400)")
+    print(f"  beta traffic invisible:  {hits.get((0x02020202,))} (expected 0)")
+    assert hits.get((0x01010101,)) == 400
+    assert hits.get((0x02020202,)) == 0
+
+    print("\nTenant alpha departs...")
+    outcome = net.evict_tenant("alpha")
+    print(f"  trimmed elements: {sorted(outcome.result.changes.removed)}")
+    net.loop.run_until(net.loop.now + 2.0)
+    assert not net.program.has_map("alpha__hits")
+    print(f"  remaining tenants: {net.controller.tenant_names}")
+    print("\nArrivals, isolation, and departures all happened at runtime.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""FlexNet: a runtime programmable network.
+
+A reproduction of "A Vision for Runtime Programmable Networks"
+(HotNets '21): the FlexBPF language and analyzer, a fungibility-aware
+incremental compiler, simulated device architectures (RMT, dRMT, tiles,
+SmartNIC, FPGA, host/eBPF), hitless runtime reconfiguration, and a
+real-time controller with app-level management — all over a
+discrete-event data plane simulator.
+
+Quick start::
+
+    from repro import FlexNet
+    from repro.apps import base_infrastructure
+
+    net = FlexNet.standard()
+    net.install(base_infrastructure())
+    report = net.run_traffic(rate_pps=1000, duration_s=1.0)
+    assert report.metrics.loss_rate == 0.0
+"""
+
+from repro.core import FlexNet, FungibleDatapath, Slo
+from repro.errors import FlexNetError
+from repro.lang import ProgramBuilder, apply_delta, certify, parse_delta, parse_program
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "FlexNet",
+    "FlexNetError",
+    "FungibleDatapath",
+    "ProgramBuilder",
+    "Slo",
+    "apply_delta",
+    "certify",
+    "parse_delta",
+    "parse_program",
+    "__version__",
+]

@@ -1,0 +1,55 @@
+"""Network applications built on the FlexNet public API.
+
+Every §1.1 use case has a concrete app here: real-time security
+(:mod:`ddos`, :mod:`firewall`), dynamic monitoring (:mod:`sketch`,
+:mod:`telemetry_app`), live infrastructure customization (:mod:`cc`),
+and tenant-style extensions (:mod:`nat`, :mod:`loadbalancer`).
+"""
+
+from repro.apps.base import base_infrastructure, standard_builder, STANDARD_HEADERS
+from repro.apps.cc import dctcp_delta, hpcc_delta, remove_cc_delta, swap_cc_delta
+from repro.apps.ddos import (
+    DdosDefender,
+    DefenderConfig,
+    scale_defense_delta,
+    syn_defense_delta,
+    syn_monitor_delta,
+)
+from repro.apps.firewall import FirewallManager, firewall_delta
+from repro.apps.loadbalancer import LoadBalancerManager, load_balancer_delta
+from repro.apps.monitoring import QueryManager, QuerySpec, query_delta
+from repro.apps.nat import NatManager, nat_delta
+from repro.apps.ratelimit import RateLimiter, rate_limit_delta
+from repro.apps.sketch import SketchReader, count_min_delta, row_map_name
+from repro.apps.telemetry_app import int_probe_delta, remove_probe_delta
+
+__all__ = [
+    "DdosDefender",
+    "DefenderConfig",
+    "FirewallManager",
+    "LoadBalancerManager",
+    "NatManager",
+    "QueryManager",
+    "QuerySpec",
+    "RateLimiter",
+    "STANDARD_HEADERS",
+    "SketchReader",
+    "base_infrastructure",
+    "count_min_delta",
+    "dctcp_delta",
+    "firewall_delta",
+    "hpcc_delta",
+    "int_probe_delta",
+    "load_balancer_delta",
+    "nat_delta",
+    "query_delta",
+    "rate_limit_delta",
+    "remove_cc_delta",
+    "remove_probe_delta",
+    "row_map_name",
+    "scale_defense_delta",
+    "standard_builder",
+    "swap_cc_delta",
+    "syn_defense_delta",
+    "syn_monitor_delta",
+]

@@ -1,0 +1,15 @@
+"""The systems the paper positions FlexNet against."""
+
+from repro.baselines.compile_time import CompileTimeNetwork, ReflashEvent
+from repro.baselines.hyper4 import EmulationReport, Hyper4Device
+from repro.baselines.mantis import ActivationResult, MantisDevice, ProvisionedSlot
+
+__all__ = [
+    "ActivationResult",
+    "CompileTimeNetwork",
+    "EmulationReport",
+    "Hyper4Device",
+    "MantisDevice",
+    "ProvisionedSlot",
+    "ReflashEvent",
+]

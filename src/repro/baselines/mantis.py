@@ -1,0 +1,106 @@
+"""Mantis-style baseline: pre-baked reactions (§1.1, cites [70]).
+
+"Mantis hardcodes all runtime response logic at compile time, and
+invokes different responses at runtime by modifying control registers."
+
+The model: the operator provisions ``slots`` response functions at
+compile time. Each slot permanently occupies device resources whether
+active or not. At runtime, activating a *provisioned* behaviour is a
+register write — microseconds, far faster even than FlexNet's
+sub-second reconfiguration. But a behaviour that was **not**
+anticipated at compile time simply cannot be deployed; the device must
+fall back to a full reflash (or the need goes unmet). Experiment E4
+sweeps the number of distinct behaviours demanded at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReconfigError
+from repro.targets.base import Target
+from repro.targets.resources import ResourceVector
+
+#: A register write through the control channel.
+ACTIVATION_LATENCY_S = 50e-6
+
+
+@dataclass(frozen=True)
+class ProvisionedSlot:
+    """One compile-time-provisioned response behaviour."""
+
+    name: str
+    #: resources this slot pins even while inactive.
+    footprint: ResourceVector
+
+
+@dataclass
+class ActivationResult:
+    behaviour: str
+    satisfied: bool
+    latency_s: float
+    #: True when satisfaction required a full reflash (unanticipated need).
+    required_reflash: bool = False
+
+
+@dataclass
+class MantisDevice:
+    """A device whose dynamism is limited to pre-provisioned slots."""
+
+    target: Target
+    slots: list[ProvisionedSlot] = field(default_factory=list)
+    active: set[str] = field(default_factory=set)
+    activations: list[ActivationResult] = field(default_factory=list)
+
+    def provision(self, slot: ProvisionedSlot) -> None:
+        """Compile-time: reserve resources for one anticipated behaviour."""
+        committed = self.pinned_resources() + slot.footprint
+        if not committed.fits_within(self.target.capacity):
+            raise ReconfigError(
+                f"cannot provision slot {slot.name!r}: device capacity exhausted "
+                f"(deficit {committed.deficit_against(self.target.capacity)})"
+            )
+        self.slots.append(slot)
+
+    def pinned_resources(self) -> ResourceVector:
+        total = ResourceVector()
+        for slot in self.slots:
+            total = total + slot.footprint
+        return total
+
+    @property
+    def provisioned_names(self) -> set[str]:
+        return {slot.name for slot in self.slots}
+
+    def activate(self, behaviour: str) -> ActivationResult:
+        """Runtime: flip a control register — if the behaviour exists."""
+        if behaviour in self.provisioned_names:
+            self.active.add(behaviour)
+            result = ActivationResult(
+                behaviour=behaviour, satisfied=True, latency_s=ACTIVATION_LATENCY_S
+            )
+        else:
+            # Unanticipated: only a full reflash cycle can add it.
+            model = self.target.reconfig
+            result = ActivationResult(
+                behaviour=behaviour,
+                satisfied=False,
+                latency_s=model.drain_s + model.full_reflash_s + model.redeploy_s,
+                required_reflash=True,
+            )
+        self.activations.append(result)
+        return result
+
+    def deactivate(self, behaviour: str) -> None:
+        self.active.discard(behaviour)
+        # Note: resources are NOT released — the slot stays compiled in.
+
+    @property
+    def wasted_resources(self) -> ResourceVector:
+        """Resources pinned by currently-inactive slots — the static
+        overprovisioning cost FlexNet's remove-on-departure avoids."""
+        total = ResourceVector()
+        for slot in self.slots:
+            if slot.name not in self.active:
+                total = total + slot.footprint
+        return total

@@ -1,0 +1,188 @@
+"""Command-line interface for the FlexNet toolchain.
+
+Usage (also ``python -m repro.cli``)::
+
+    flexnet certify  program.fbpf                 # admission certification
+    flexnet compile  program.fbpf [--arch drmt] [--objective latency|energy]
+    flexnet delta    program.fbpf patch.delta     # apply a patch, show changes
+    flexnet simulate program.fbpf [--rate 1000] [--duration 1.0]
+                                  [--patch patch.delta --at 0.5]
+
+Programs are FlexBPF source files; patches use the delta DSL (§3.2).
+Everything runs against the standard host-NIC-switch-NIC-host slice.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.flexnet import FlexNet
+from repro.errors import FlexNetError
+from repro.lang.analyzer import certify
+from repro.lang.delta import apply_delta, parse_delta
+from repro.lang.parser import parse_program
+
+
+def _read(path: str) -> str:
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def cmd_certify(args: argparse.Namespace) -> int:
+    program = parse_program(_read(args.program))
+    certificate = certify(program)
+    print(f"program {program.name!r} (version {program.version}): CERTIFIED")
+    print(f"  worst-case packet cost : {certificate.max_packet_ops} ops")
+    print(f"  declared map entries   : {certificate.total_map_entries}")
+    print(f"  stateful               : {certificate.is_stateful}")
+    print(f"  recirculates           : {certificate.recirculates}")
+    print(f"  elements ({len(certificate.profiles)}):")
+    for name in sorted(certificate.profiles):
+        profile = certificate.profiles[name]
+        print(
+            f"    {name:24s} {profile.kind:8s} ops={profile.max_ops:<5d} "
+            f"entries={profile.table_entries}"
+        )
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    from repro.core.slo import Slo
+
+    program = parse_program(_read(args.program))
+    net = FlexNet.standard(switch_arch=args.arch)
+    if args.objective == "energy":
+        net.build_datapath("h1", "h2", slo=Slo(prefer_energy=True))
+    elif args.objective == "latency":
+        net.build_datapath("h1", "h2", slo=Slo(max_latency_ns=1e9))
+    plan = net.install(program)
+    print(f"compiled {program.name!r} onto h1-nic1-sw1({args.arch})-nic2-h2:")
+    for element, device in sorted(plan.placement.items()):
+        encoding = plan.encodings.get(element)
+        suffix = f"  [{encoding.value}]" if encoding else ""
+        print(f"  {element:24s} -> {device}{suffix}")
+    print(f"estimated latency : {plan.estimated_latency_ns / 1000:.1f} us/packet")
+    print(f"estimated energy  : {plan.estimated_energy_nj:.1f} nJ/packet dynamic, "
+          f"{plan.estimated_idle_power_w:.0f} W idle")
+    if plan.stage_plans:
+        for device, stage_plan in plan.stage_plans.items():
+            print(f"stage plan ({device}): {stage_plan.assignments}")
+    return 0
+
+
+def cmd_delta(args: argparse.Namespace) -> int:
+    program = parse_program(_read(args.program))
+    delta = parse_delta(_read(args.patch))
+    new_program, changes = apply_delta(program, delta)
+    print(f"delta {delta.name!r} applied: version {program.version} -> {new_program.version}")
+    for label, names in (
+        ("added", changes.added),
+        ("removed", changes.removed),
+        ("modified", changes.modified),
+    ):
+        if names:
+            print(f"  {label:8s}: {', '.join(sorted(names))}")
+    if changes.apply_changed:
+        print("  apply/parser control flow changed")
+    certificate = certify(new_program)
+    print(f"  new worst-case packet cost: {certificate.max_packet_ops} ops")
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    """Parse, optionally patch, and emit normalized FlexBPF source."""
+    from repro.lang.printer import print_program
+
+    program = parse_program(_read(args.program))
+    if args.patch:
+        delta = parse_delta(_read(args.patch))
+        program, _ = apply_delta(program, delta)
+    sys.stdout.write(print_program(program))
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    program = parse_program(_read(args.program))
+    net = FlexNet.standard(switch_arch=args.arch)
+    net.install(program)
+    if args.patch:
+        delta = parse_delta(_read(args.patch))
+        net.schedule(args.at, lambda: net.update(delta))
+        print(f"scheduled delta {delta.name!r} at t={args.at}s")
+    report = net.run_traffic(rate_pps=args.rate, duration_s=args.duration,
+                             extra_time_s=2.0)
+    metrics = report.metrics
+    print(f"sent      : {metrics.sent}")
+    print(f"delivered : {metrics.delivered}")
+    print(f"dropped   : {metrics.dropped_by_program} (by program)")
+    print(f"lost      : {metrics.lost_by_infrastructure} (infrastructure)")
+    if metrics.latency.count:
+        print(f"latency   : mean {metrics.latency.mean * 1e6:.1f} us, "
+              f"p99 {metrics.latency.percentile(0.99) * 1e6:.1f} us")
+    for device in ("sw1",):
+        versions = metrics.versions_on(device)
+        if versions:
+            print(f"versions on {device}: {versions}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="flexnet", description="FlexNet runtime programmable network toolchain"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    certify_parser = subparsers.add_parser("certify", help="certify a FlexBPF program")
+    certify_parser.add_argument("program")
+    certify_parser.set_defaults(func=cmd_certify)
+
+    compile_parser = subparsers.add_parser("compile", help="compile onto the standard slice")
+    compile_parser.add_argument("program")
+    compile_parser.add_argument("--arch", default="drmt",
+                                choices=["drmt", "rmt", "rmt_static", "tiles"])
+    compile_parser.add_argument("--objective", default="balanced",
+                                choices=["balanced", "latency", "energy"])
+    compile_parser.set_defaults(func=cmd_compile)
+
+    delta_parser = subparsers.add_parser("delta", help="apply a runtime patch")
+    delta_parser.add_argument("program")
+    delta_parser.add_argument("patch")
+    delta_parser.set_defaults(func=cmd_delta)
+
+    export_parser = subparsers.add_parser(
+        "export", help="emit normalized (optionally patched) FlexBPF source"
+    )
+    export_parser.add_argument("program")
+    export_parser.add_argument("--patch", default=None)
+    export_parser.set_defaults(func=cmd_export)
+
+    simulate_parser = subparsers.add_parser("simulate", help="run traffic through the program")
+    simulate_parser.add_argument("program")
+    simulate_parser.add_argument("--arch", default="drmt",
+                                 choices=["drmt", "rmt", "rmt_static", "tiles"])
+    simulate_parser.add_argument("--rate", type=float, default=1000.0)
+    simulate_parser.add_argument("--duration", type=float, default=1.0)
+    simulate_parser.add_argument("--patch", default=None,
+                                 help="delta file to apply mid-run")
+    simulate_parser.add_argument("--at", type=float, default=0.5,
+                                 help="virtual time to apply the patch")
+    simulate_parser.set_defaults(func=cmd_simulate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FlexNetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""The FlexNet compiler: placement, fungibility, optimization, and
+incremental recompilation of fungible datapaths (§3.3)."""
+
+from repro.compiler.incremental import (
+    IncrementalCompiler,
+    IncrementalResult,
+    diff_programs,
+    full_recompile_plan,
+)
+from repro.compiler.optimizer import MergeCandidate, MergeEvaluation, TableMerger, refine
+from repro.compiler.placement import (
+    NetworkSlice,
+    Objective,
+    ObjectiveKind,
+    PlacementEngine,
+)
+from repro.compiler.plan import (
+    CompilationPlan,
+    DeviceSpec,
+    ReconfigPlan,
+    ReconfigStep,
+    StagePlan,
+    StepKind,
+)
+from repro.compiler.state_encoding import convert, decode, encode, select_encoding
+
+__all__ = [
+    "CompilationPlan",
+    "DeviceSpec",
+    "IncrementalCompiler",
+    "IncrementalResult",
+    "MergeCandidate",
+    "MergeEvaluation",
+    "NetworkSlice",
+    "Objective",
+    "ObjectiveKind",
+    "PlacementEngine",
+    "ReconfigPlan",
+    "ReconfigStep",
+    "StagePlan",
+    "StepKind",
+    "TableMerger",
+    "convert",
+    "decode",
+    "diff_programs",
+    "encode",
+    "full_recompile_plan",
+    "refine",
+    "select_encoding",
+]

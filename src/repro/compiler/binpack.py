@@ -1,0 +1,113 @@
+"""Bin-packing primitives used by the placement engine.
+
+Classic network compilers treat bin-packing program elements into
+resource-constrained devices as their primary job (§3.3). FlexNet still
+needs that machinery as its feasibility core — the new degrees of
+freedom (GC, reallocation, objectives) are layered on top by
+:mod:`repro.compiler.placement`.
+
+Two packers are provided:
+
+* :func:`first_fit` — respects a fixed bin order (used for path-ordered
+  placement, where apply order must be monotone along the slice).
+* :func:`best_fit_decreasing` — classic BFD for unordered pools (used
+  when packing co-location clusters into a single device tier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.targets.resources import ResourceVector
+
+
+@dataclass
+class Bin:
+    """One capacity-bounded bin (a device or an RMT stage)."""
+
+    name: str
+    capacity: ResourceVector
+    used: ResourceVector = field(default_factory=ResourceVector)
+    items: list[str] = field(default_factory=list)
+
+    @property
+    def free(self) -> ResourceVector:
+        try:
+            return self.capacity - self.used
+        except Exception:
+            return ResourceVector()
+
+    def fits(self, demand: ResourceVector) -> bool:
+        return (self.used + demand).fits_within(self.capacity)
+
+    def add(self, item: str, demand: ResourceVector) -> None:
+        self.used = self.used + demand
+        self.items.append(item)
+
+
+def first_fit(
+    items: list[tuple[str, ResourceVector]],
+    bins: list[Bin],
+    monotone: bool = False,
+) -> dict[str, str] | None:
+    """Assign each item to the first bin with room, in bin order.
+
+    With ``monotone=True``, once an item lands in bin *i*, later items
+    only consider bins >= *i* (path-order preservation). Returns the
+    item -> bin-name assignment, or None if any item cannot be placed.
+    """
+    assignment: dict[str, str] = {}
+    floor = 0
+    for item, demand in items:
+        placed = False
+        for index in range(floor if monotone else 0, len(bins)):
+            if bins[index].fits(demand):
+                bins[index].add(item, demand)
+                assignment[item] = bins[index].name
+                if monotone:
+                    floor = index
+                placed = True
+                break
+        if not placed:
+            return None
+    return assignment
+
+
+def best_fit_decreasing(
+    items: list[tuple[str, ResourceVector]],
+    bins: list[Bin],
+    weight_kind: str | None = None,
+) -> dict[str, str] | None:
+    """BFD: sort items by descending weight, place each in the feasible
+    bin with the least remaining slack.
+
+    ``weight_kind`` selects which resource kind orders the items; None
+    uses the max utilization across kinds against the first bin's
+    capacity (a reasonable scalarization when kinds are heterogeneous).
+    """
+    if not bins:
+        return None if items else {}
+    reference = bins[0].capacity
+
+    def weight(entry: tuple[str, ResourceVector]) -> float:
+        _, demand = entry
+        if weight_kind is not None:
+            return demand[weight_kind]
+        return demand.utilization_of(reference)
+
+    assignment: dict[str, str] = {}
+    for item, demand in sorted(items, key=weight, reverse=True):
+        best_bin: Bin | None = None
+        best_slack = float("inf")
+        for candidate in bins:
+            if not candidate.fits(demand):
+                continue
+            slack = (candidate.free - demand).utilization_of(candidate.capacity)
+            if slack < best_slack:
+                best_slack = slack
+                best_bin = candidate
+        if best_bin is None:
+            return None
+        best_bin.add(item, demand)
+        assignment[item] = best_bin.name
+    return assignment

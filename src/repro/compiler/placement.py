@@ -1,0 +1,416 @@
+"""The FlexNet placement engine (§3.1, §3.3).
+
+Compiles one fungible datapath onto its physical slice — an ordered
+device path (host → NIC → switch(es) → NIC → host). Placement must
+satisfy, in order of priority:
+
+1. **Admission** — each element lands on a device whose architecture
+   can host it at all (a 500-op function never fits an RMT pipeline).
+2. **Co-location** — every map lives with all of its accessors, so the
+   elements sharing a map form an atomic *cluster* (computed by
+   union-find over the certificate's map read/write sets).
+3. **Path monotonicity** — apply order maps monotonically onto path
+   order, because packets traverse the slice in one direction
+   ("resources that lie on the same network path are fungible as
+   traffic flow through a sequence of devices").
+4. **Architecture fungibility** — per-device feasibility under the
+   rules of :mod:`repro.compiler.fungibility` (RMT stage planning,
+   tile typing, pooled arithmetic).
+
+On top of feasibility, the engine optimizes an :class:`Objective`
+(latency, energy, or balanced) — the "new operating point" runtime
+programmability opens for compilers — and, when a placement fails, it
+invokes a caller-supplied **garbage-collection hook** to reclaim
+removable programs and retries: the paper's iterative
+compile → GC → recompile loop.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import PlacementError
+from repro.lang.analyzer import Certificate
+from repro.lang.ir import Program
+from repro.targets.base import FungibilityClass
+from repro.targets.resources import ResourceVector
+
+from repro.compiler import fungibility
+from repro.compiler.plan import CompilationPlan, DeviceSpec, StagePlan
+from repro.compiler.state_encoding import select_encoding
+
+
+class ObjectiveKind(enum.Enum):
+    BALANCED = "balanced"  # first feasible device (fast compile)
+    LATENCY = "latency"  # minimize per-packet latency
+    ENERGY = "energy"  # minimize dynamic + activation energy
+
+
+@dataclass(frozen=True)
+class Objective:
+    kind: ObjectiveKind = ObjectiveKind.BALANCED
+    #: Optional hard latency ceiling; plans violating it are rejected.
+    latency_sla_ns: float | None = None
+    #: Relative weight of idle-power activation in energy scoring.
+    activation_weight: float = 1.0
+
+
+@dataclass
+class NetworkSlice:
+    """The physical slice a fungible datapath is compiled onto."""
+
+    devices: list[DeviceSpec]
+
+    def device(self, name: str) -> DeviceSpec:
+        for spec in self.devices:
+            if spec.name == name:
+                return spec
+        raise PlacementError(f"slice has no device {name!r}")
+
+    @property
+    def names(self) -> list[str]:
+        return [d.name for d in self.devices]
+
+
+GcHook = Callable[["NetworkSlice"], bool]
+
+
+@dataclass
+class _Cluster:
+    members: list[str]
+    order_index: int
+
+
+class PlacementEngine:
+    """Compiles programs onto slices; see module docstring."""
+
+    def __init__(self, objective: Objective | None = None):
+        self.objective = objective or Objective()
+
+    # -- public API ---------------------------------------------------------
+
+    def compile(
+        self,
+        program: Program,
+        certificate: Certificate,
+        network_slice: NetworkSlice,
+        gc_hook: GcHook | None = None,
+        max_iterations: int = 3,
+        pinned: dict[str, str] | None = None,
+    ) -> CompilationPlan:
+        """Place every element of ``program`` onto the slice.
+
+        ``pinned`` maps element names to device names that incremental
+        recompilation wants kept in place ("maximally adjacent
+        reconfigurations"); a pinned cluster that no longer fits is
+        silently unpinned and placed normally.
+
+        Retries after invoking ``gc_hook`` when placement fails, up to
+        ``max_iterations`` total attempts; raises
+        :class:`~repro.errors.PlacementError` with per-device deficit
+        diagnostics when no iteration succeeds.
+        """
+        notes: list[str] = []
+        last_error: PlacementError | None = None
+        for iteration in range(1, max_iterations + 1):
+            try:
+                plan = self._attempt(program, certificate, network_slice, notes, pinned or {})
+                plan.iterations = iteration
+                self._check_sla(plan)
+                return plan
+            except PlacementError as exc:
+                last_error = exc
+                if gc_hook is None or iteration == max_iterations:
+                    break
+                freed = gc_hook(network_slice)
+                if not freed:
+                    notes.append(f"iteration {iteration}: GC reclaimed nothing, giving up")
+                    break
+                notes.append(f"iteration {iteration}: placement failed, GC freed resources")
+        assert last_error is not None
+        raise last_error
+
+    # -- one placement attempt ------------------------------------------------
+
+    def _attempt(
+        self,
+        program: Program,
+        certificate: Certificate,
+        network_slice: NetworkSlice,
+        notes: list[str],
+        pinned: dict[str, str],
+    ) -> CompilationPlan:
+        clusters = self._clusters(program, certificate)
+        committed: dict[str, list[str]] = {d.name: [] for d in network_slice.devices}
+        committed_demand: dict[str, ResourceVector] = {
+            d.name: ResourceVector() for d in network_slice.devices
+        }
+        placement: dict[str, str] = {}
+        floor = 0
+        index_by_name = {d.name: i for i, d in enumerate(network_slice.devices)}
+
+        def commit(cluster: _Cluster, device_index: int) -> None:
+            spec = network_slice.devices[device_index]
+            for member in cluster.members:
+                placement[member] = spec.name
+                committed[spec.name].append(member)
+                committed_demand[spec.name] = committed_demand[
+                    spec.name
+                ] + spec.target.demand(certificate.profile(member))
+
+        # Phase 1: pre-commit pinned clusters. Honouring pins *first* is
+        # what "maximally adjacent" means — new/free clusters get the
+        # leftover capacity and must not displace deployed elements.
+        placed: set[int] = set()
+        for position, cluster in enumerate(clusters):
+            device_index = self._pinned_choice(
+                cluster, pinned, index_by_name, certificate, program, network_slice, committed
+            )
+            if device_index is not None:
+                commit(cluster, device_index)
+                placed.add(position)
+
+        # Phase 2: place the remaining clusters in apply order under the
+        # monotone path constraint.
+        for position, cluster in enumerate(clusters):
+            if position in placed:
+                continue
+            device_index = self._choose_device(
+                cluster, certificate, program, network_slice, committed, floor
+            )
+            if device_index is None:
+                raise self._placement_failure(cluster, certificate, network_slice, committed)
+            commit(cluster, device_index)
+            floor = device_index
+
+        stage_plans = self._stage_plans(program, certificate, network_slice, committed)
+        encodings = {
+            map_def.name: select_encoding(
+                map_def, network_slice.device(placement[map_def.name]).target
+            )
+            for map_def in program.maps
+        }
+        plan = CompilationPlan(
+            program=program,
+            certificate=certificate,
+            placement=placement,
+            encodings=encodings,
+            device_demand=committed_demand,
+            stage_plans=stage_plans,
+            notes=list(notes),
+        )
+        self._estimate(plan, network_slice)
+        return plan
+
+    # -- clustering ---------------------------------------------------------
+
+    def _clusters(self, program: Program, certificate: Certificate) -> list[_Cluster]:
+        order = fungibility.ordered_elements(program)
+        index_of = {name: i for i, name in enumerate(order)}
+        parent: dict[str, str] = {name: name for name in order}
+
+        def find(name: str) -> str:
+            while parent[name] != name:
+                parent[name] = parent[parent[name]]
+                name = parent[name]
+            return name
+
+        def union(a: str, b: str) -> None:
+            root_a, root_b = find(a), find(b)
+            if root_a != root_b:
+                parent[root_b] = root_a
+
+        for name in order:
+            profile = certificate.profiles.get(name)
+            if profile is None or profile.kind not in ("table", "function"):
+                continue
+            for map_name in (*profile.map_reads, *profile.map_writes):
+                if map_name in parent:
+                    union(name, map_name)
+
+        groups: dict[str, list[str]] = {}
+        for name in order:
+            groups.setdefault(find(name), []).append(name)
+        clusters = [
+            _Cluster(members=members, order_index=min(index_of[m] for m in members))
+            for members in groups.values()
+        ]
+        clusters.sort(key=lambda c: c.order_index)
+        return clusters
+
+    # -- device choice ---------------------------------------------------------
+
+    def _pinned_choice(
+        self,
+        cluster: _Cluster,
+        pinned: dict[str, str],
+        index_by_name: dict[str, int],
+        certificate: Certificate,
+        program: Program,
+        network_slice: NetworkSlice,
+        committed: dict[str, list[str]],
+    ) -> int | None:
+        """Honour a pin when the whole cluster agrees and still fits."""
+        pinned_devices = {pinned[m] for m in cluster.members if m in pinned}
+        if len(pinned_devices) != 1:
+            return None
+        device_name = pinned_devices.pop()
+        if device_name not in index_by_name:
+            return None
+        index = index_by_name[device_name]
+        spec = network_slice.devices[index]
+        resident = committed[spec.name] + cluster.members
+        result = fungibility.device_feasible(
+            spec.target, resident, certificate, program, already_used=spec.used
+        )
+        if result is False or result is None:
+            return None
+        return index
+
+    def _choose_device(
+        self,
+        cluster: _Cluster,
+        certificate: Certificate,
+        program: Program,
+        network_slice: NetworkSlice,
+        committed: dict[str, list[str]],
+        floor: int,
+    ) -> int | None:
+        feasible: list[int] = []
+        for index in range(floor, len(network_slice.devices)):
+            spec = network_slice.devices[index]
+            resident = committed[spec.name] + cluster.members
+            result = fungibility.device_feasible(
+                spec.target, resident, certificate, program, already_used=spec.used
+            )
+            if result is not False and result is not None:
+                feasible.append(index)
+        if not feasible:
+            return None
+        if self.objective.kind is ObjectiveKind.BALANCED:
+            # Prefer offloading into the network (switch > NIC > host),
+            # tie-breaking on path order — the "one big switch" default.
+            tier_rank = {"switch": 0, "nic": 1, "host": 2}
+            return min(
+                feasible,
+                key=lambda i: (
+                    tier_rank.get(network_slice.devices[i].target.tier, 3),
+                    i,
+                ),
+            )
+        if self.objective.kind is ObjectiveKind.LATENCY:
+            return min(
+                feasible,
+                key=lambda i: self._cluster_latency_ns(cluster, certificate, network_slice, i),
+            )
+        # ENERGY: prefer low per-op energy, charge idle activation for
+        # devices not yet hosting anything.
+        return min(
+            feasible,
+            key=lambda i: self._cluster_energy_score(
+                cluster, certificate, network_slice, committed, i
+            ),
+        )
+
+    def _cluster_ops(self, cluster: _Cluster, certificate: Certificate) -> int:
+        return sum(certificate.profile(m).max_ops for m in cluster.members)
+
+    def _cluster_latency_ns(
+        self,
+        cluster: _Cluster,
+        certificate: Certificate,
+        network_slice: NetworkSlice,
+        index: int,
+    ) -> float:
+        performance = network_slice.devices[index].target.performance
+        return self._cluster_ops(cluster, certificate) * performance.per_op_ns
+
+    def _cluster_energy_score(
+        self,
+        cluster: _Cluster,
+        certificate: Certificate,
+        network_slice: NetworkSlice,
+        committed: dict[str, list[str]],
+        index: int,
+    ) -> float:
+        spec = network_slice.devices[index]
+        performance = spec.target.performance
+        dynamic = self._cluster_ops(cluster, certificate) * performance.per_op_nj
+        activation = 0.0
+        if not committed[spec.name] and spec.used.is_zero():
+            activation = performance.idle_power_w * self.objective.activation_weight
+        return dynamic + activation
+
+    # -- RMT stage plans ----------------------------------------------------------
+
+    def _stage_plans(
+        self,
+        program: Program,
+        certificate: Certificate,
+        network_slice: NetworkSlice,
+        committed: dict[str, list[str]],
+    ) -> dict[str, StagePlan]:
+        plans: dict[str, StagePlan] = {}
+        for spec in network_slice.devices:
+            if spec.target.fungibility is not FungibilityClass.STAGE_LOCAL:
+                continue
+            members = committed[spec.name]
+            if not members:
+                continue
+            result = fungibility.device_feasible(
+                spec.target, members, certificate, program, already_used=spec.used
+            )
+            if isinstance(result, StagePlan):
+                plans[spec.name] = result
+        return plans
+
+    # -- estimation & diagnostics -----------------------------------------------
+
+    def _estimate(self, plan: CompilationPlan, network_slice: NetworkSlice) -> None:
+        latency = 0.0
+        energy = 0.0
+        idle = 0.0
+        ops_per_device: dict[str, int] = {}
+        for element, device_name in plan.placement.items():
+            profile = plan.certificate.profile(element)
+            ops_per_device[device_name] = ops_per_device.get(device_name, 0) + profile.max_ops
+        for spec in network_slice.devices:
+            latency += spec.ingress_link_ns + spec.target.performance.base_latency_ns
+            ops = ops_per_device.get(spec.name, 0)
+            latency += ops * spec.target.performance.per_op_ns
+            energy += ops * spec.target.performance.per_op_nj
+            if ops:
+                idle += spec.target.performance.idle_power_w
+        plan.estimated_latency_ns = latency
+        plan.estimated_energy_nj = energy
+        plan.estimated_idle_power_w = idle
+
+    def _check_sla(self, plan: CompilationPlan) -> None:
+        sla = self.objective.latency_sla_ns
+        if sla is not None and plan.estimated_latency_ns > sla:
+            raise PlacementError(
+                f"plan latency {plan.estimated_latency_ns:.0f} ns violates SLA {sla:.0f} ns"
+            )
+
+    def _placement_failure(
+        self,
+        cluster: _Cluster,
+        certificate: Certificate,
+        network_slice: NetworkSlice,
+        committed: dict[str, list[str]],
+    ) -> PlacementError:
+        lines = [f"cannot place cluster {cluster.members}"]
+        for spec in network_slice.devices:
+            demand = ResourceVector()
+            admitted = True
+            for member in cluster.members:
+                profile = certificate.profile(member)
+                if not spec.target.admits(profile):
+                    admitted = False
+                demand = demand + spec.target.demand(profile)
+            deficit = demand.deficit_against(spec.free)
+            reason = "not admitted" if not admitted else (f"deficit {deficit}" if deficit else "ok alone; conflicts with residents or path order")
+            lines.append(f"  {spec.name} ({spec.target.arch}): {reason}")
+        return PlacementError("\n".join(lines))

@@ -1,0 +1,180 @@
+"""Per-target selection and conversion of map state encodings (§3.1).
+
+"Individual devices have drastically different ways of implementing
+this state": P4 registers, PoF flow-instruction state, Spectrum
+stateful tables, eBPF kernel maps. If a program assumed one encoding,
+migration would be hard — so FlexBPF keeps maps logical and this module
+picks the physical encoding per (map, target) pair, and converts state
+between encodings through the logical :class:`~repro.lang.maps.MapSnapshot`
+representation when an element migrates across architectures.
+
+The physical encodings are modelled faithfully enough for the E13
+experiment: a register encoding is a dense indexed array (the key is
+hashed to an index, so it can alias under load); stateful tables and
+kernel maps are associative; flow-instruction state is associative with
+per-flow metadata. Conversions go *through the logical form* and are
+lossless for associative encodings; register encodings are lossy above
+their index capacity, which the converter reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CompilationError, MigrationError
+from repro.lang.ir import MapDef
+from repro.lang.maps import MapSnapshot
+from repro.targets.base import StateEncoding, Target
+
+#: Preference order per architecture — the compiler picks the first
+#: supported encoding with sufficient capacity semantics.
+_PREFERENCES: dict[str, tuple[StateEncoding, ...]] = {
+    "rmt": (StateEncoding.REGISTER,),
+    "drmt": (StateEncoding.STATEFUL_TABLE, StateEncoding.FLOW_INSTRUCTION),
+    "tiles": (StateEncoding.STATEFUL_TABLE,),
+    "smartnic": (StateEncoding.SOC_MEMORY, StateEncoding.KERNEL_MAP),
+    "fpga": (StateEncoding.REGISTER, StateEncoding.SOC_MEMORY),
+    "host": (StateEncoding.KERNEL_MAP,),
+}
+
+#: Encodings that store entries associatively (exact key -> value, no
+#: aliasing). Register arrays are index-addressed instead.
+ASSOCIATIVE = frozenset(
+    {
+        StateEncoding.STATEFUL_TABLE,
+        StateEncoding.FLOW_INSTRUCTION,
+        StateEncoding.KERNEL_MAP,
+        StateEncoding.SOC_MEMORY,
+    }
+)
+
+
+def select_encoding(map_def: MapDef, target: Target) -> StateEncoding:
+    """Choose the physical encoding for ``map_def`` on ``target``."""
+    for preference in _PREFERENCES.get(target.arch, ()):
+        if preference in target.encodings:
+            return preference
+    if target.encodings:
+        return target.encodings[0]
+    raise CompilationError(f"target {target.name!r} supports no state encoding")
+
+
+@dataclass(frozen=True)
+class EncodedState:
+    """Map state in one physical encoding.
+
+    ``entries`` semantics depend on the encoding:
+
+    * associative encodings: ``(key tuple) -> value``, exact.
+    * REGISTER: ``(index,) -> value`` where index = hash(key) % slots;
+      the original keys are *not* recoverable, so decoding back to the
+      logical form keeps index-keys and flags the representation.
+    """
+
+    map_name: str
+    encoding: StateEncoding
+    entries: tuple[tuple[tuple[int, ...], int], ...]
+    register_slots: int | None = None
+    #: keys dropped because of register-index collisions (lossy encode).
+    collisions: int = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def encode(snapshot: MapSnapshot, encoding: StateEncoding, register_slots: int = 4096) -> EncodedState:
+    """Encode a logical snapshot into a physical representation."""
+    if encoding in ASSOCIATIVE:
+        return EncodedState(
+            map_name=snapshot.map_name, encoding=encoding, entries=snapshot.entries
+        )
+    if encoding is StateEncoding.REGISTER:
+        slots: dict[tuple[int, ...], int] = {}
+        collisions = 0
+        for key, value in snapshot.entries:
+            index = (_stable_hash(key) % register_slots,)
+            if index in slots:
+                collisions += 1
+                # Register semantics: last writer to an index wins; the
+                # ALU cannot disambiguate aliased flows.
+            slots[index] = value
+        return EncodedState(
+            map_name=snapshot.map_name,
+            encoding=encoding,
+            entries=tuple(sorted(slots.items())),
+            register_slots=register_slots,
+            collisions=collisions,
+        )
+    raise CompilationError(f"unknown encoding {encoding!r}")
+
+
+def decode(state: EncodedState, version: int = 0) -> MapSnapshot:
+    """Decode physical state back to the logical representation.
+
+    Associative encodings round-trip losslessly. Register state decodes
+    to index-keyed entries — the logical layer treats those as the best
+    available approximation and :func:`convert` counts the information
+    loss for E13.
+    """
+    return MapSnapshot(map_name=state.map_name, entries=state.entries, version=version)
+
+
+@dataclass(frozen=True)
+class ConversionReport:
+    map_name: str
+    source: StateEncoding
+    destination: StateEncoding
+    entries_in: int
+    entries_out: int
+    lossless: bool
+
+
+def convert(
+    snapshot: MapSnapshot,
+    source: StateEncoding,
+    destination: StateEncoding,
+    register_slots: int = 4096,
+) -> tuple[MapSnapshot, ConversionReport]:
+    """Convert logical state between two encodings via the logical form.
+
+    This is the §3.1 migration path: encode on the source device,
+    carry the logical representation, re-encode on the destination.
+    Returns the state as it will exist on the destination plus a report.
+    """
+    source_encoded = encode(snapshot, source, register_slots)
+    if source is StateEncoding.REGISTER and destination in ASSOCIATIVE:
+        # Keys were already lost at the source; carry index-keys forward.
+        carried = decode(source_encoded, snapshot.version)
+    else:
+        carried = snapshot if source in ASSOCIATIVE else decode(source_encoded, snapshot.version)
+
+    destination_encoded = encode(carried, destination, register_slots)
+    arrived = decode(destination_encoded, snapshot.version)
+
+    lossless = len(arrived.entries) == len(snapshot.entries) and (
+        source in ASSOCIATIVE and destination in ASSOCIATIVE
+    )
+    report = ConversionReport(
+        map_name=snapshot.map_name,
+        source=source,
+        destination=destination,
+        entries_in=len(snapshot.entries),
+        entries_out=len(arrived.entries),
+        lossless=lossless,
+    )
+    if destination is StateEncoding.REGISTER and len(snapshot.entries) > register_slots:
+        raise MigrationError(
+            f"map {snapshot.map_name!r}: {len(snapshot.entries)} entries cannot fit "
+            f"{register_slots} register slots without unbounded aliasing"
+        )
+    return arrived, report
+
+
+def _stable_hash(key: tuple[int, ...]) -> int:
+    """Deterministic FNV-1a over the key tuple (hash() is salted)."""
+    value = 0xCBF29CE484222325
+    for part in key:
+        for byte in int(part).to_bytes(16, "little", signed=False):
+            value ^= byte
+            value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value

@@ -1,0 +1,32 @@
+"""Real-time network control: the FlexNet controller and its services."""
+
+from repro.control.apps_api import AppRecord, AppSla, AppUri
+from repro.control.consensus import ControllerCluster, MessageBus, RaftNode, Role
+from repro.control.controller import FlexNetController, TransitionOutcome
+from repro.control.p4runtime import P4RuntimeClient, P4RuntimeHub, TableEntry
+from repro.control.replication import ReplicationGroup, ReplicationManager
+from repro.control.scheduler import UpdateSchedule, plan_schedule
+from repro.control.telemetry import DigestRecord, TelemetryCollector
+from repro.control.topology import DeviceInfo, TopologyView
+
+__all__ = [
+    "AppRecord",
+    "AppSla",
+    "AppUri",
+    "ControllerCluster",
+    "DeviceInfo",
+    "DigestRecord",
+    "FlexNetController",
+    "MessageBus",
+    "P4RuntimeClient",
+    "P4RuntimeHub",
+    "RaftNode",
+    "ReplicationGroup",
+    "ReplicationManager",
+    "Role",
+    "TableEntry",
+    "TelemetryCollector",
+    "TopologyView",
+    "TransitionOutcome",
+    "UpdateSchedule",
+]

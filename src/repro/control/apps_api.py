@@ -1,0 +1,77 @@
+"""App-level management abstractions (§3.4, "Control plane abstractions").
+
+"The controller is able to 'name' in-network apps by their URIs
+(instead of, say, IP addresses), and perform management operations
+using the URI as a handle." This module defines those first-class
+objects: :class:`AppUri`, :class:`AppRecord` (an app's elements,
+owner, SLA and current footprint), and :class:`AppSla`. The
+translation of app-level operations into element-level P4Runtime calls
+and compiler invocations lives in
+:class:`repro.control.controller.FlexNetController`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import UnknownAppError
+
+
+@dataclass(frozen=True)
+class AppUri:
+    """``flexnet://<owner>/<app-name>``"""
+
+    owner: str
+    name: str
+
+    SCHEME = "flexnet"
+
+    def __str__(self) -> str:
+        return f"{self.SCHEME}://{self.owner}/{self.name}"
+
+    @classmethod
+    def parse(cls, text: str) -> "AppUri":
+        prefix = f"{cls.SCHEME}://"
+        if not text.startswith(prefix):
+            raise UnknownAppError(f"malformed app URI {text!r} (expected {prefix}...)")
+        remainder = text[len(prefix) :]
+        owner, separator, name = remainder.partition("/")
+        if not separator or not owner or not name:
+            raise UnknownAppError(f"malformed app URI {text!r} (expected owner/name)")
+        return cls(owner=owner, name=name)
+
+
+@dataclass(frozen=True)
+class AppSla:
+    """Negotiated service expectations for one app."""
+
+    max_latency_ns: float | None = None
+    min_table_entries: int | None = None
+    #: apps marked removable are fair game for the compiler's GC loop.
+    removable: bool = False
+
+
+@dataclass
+class AppRecord:
+    """The controller's bookkeeping for one deployed app."""
+
+    uri: AppUri
+    #: element names this app contributed to the composed program.
+    elements: set[str]
+    sla: AppSla = field(default_factory=AppSla)
+    #: device -> elements currently hosted there (from the active plan).
+    footprint: dict[str, list[str]] = field(default_factory=dict)
+    deployed_at: float = 0.0
+    #: incremented on every scale/migrate/update touching this app.
+    generation: int = 1
+
+    @property
+    def devices(self) -> list[str]:
+        return sorted(self.footprint)
+
+    def refresh_footprint(self, placement: dict[str, str]) -> None:
+        self.footprint = {}
+        for element in sorted(self.elements):
+            device = placement.get(element)
+            if device is not None:
+                self.footprint.setdefault(device, []).append(element)

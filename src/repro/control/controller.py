@@ -1,0 +1,602 @@
+"""The FlexNet controller: real-time piloting of the network (§3.4).
+
+One logically centralized controller object owns:
+
+* the global :class:`~repro.control.topology.TopologyView` and the
+  live :class:`~repro.runtime.device.DeviceRuntime` fleet;
+* the composed network program (infrastructure base + admitted tenant
+  extensions) and its active :class:`CompilationPlan`;
+* the app registry — every deployed app is named by URI and managed
+  through app-level operations (deploy / remove / scale / migrate) that
+  the controller translates into deltas, incremental compilations, and
+  orchestrated hitless transitions;
+* the element-level P4Runtime bindings, the dRPC fabric, telemetry, and
+  the replication manager.
+
+The compiler's GC hook is implemented here: when placement fails, the
+controller retires apps whose SLA marks them removable, frees their
+resources, and lets the compiler try again (§3.3's iterative loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.incremental import IncrementalCompiler, IncrementalResult, diff_programs
+from repro.compiler.placement import NetworkSlice, Objective, PlacementEngine
+from repro.compiler.plan import CompilationPlan
+from repro.errors import ControlPlaneError, UnknownAppError
+from repro.lang.analyzer import Certificate, certify
+from repro.lang.composition import Composer, TenantSpec
+from repro.lang.delta import (
+    ChangeSet,
+    Delta,
+    InsertApply,
+    RemoveElements,
+    SetMapEntries,
+    SetTableSize,
+    apply_delta,
+)
+from repro.lang.ir import Program
+from repro.runtime.consistency import ConsistencyLevel
+from repro.runtime.device import DeviceRuntime
+from repro.runtime.drpc import DrpcFabric, RpcRegistry
+from repro.runtime.reconfig import ReconfigOrchestrator, TransitionReport
+from repro.simulator.engine import EventLoop
+from repro.simulator.network import Network
+from repro.targets.base import Target
+
+from repro.control.apps_api import AppRecord, AppSla, AppUri
+from repro.control.p4runtime import P4RuntimeHub
+from repro.control.replication import ReplicationManager
+from repro.control.scheduler import plan_schedule
+from repro.control.telemetry import TelemetryCollector
+from repro.control.topology import TopologyView
+
+
+@dataclass
+class TransitionOutcome:
+    """What one runtime change produced."""
+
+    result: IncrementalResult
+    report: TransitionReport
+    compile_iterations: int = 1
+    gc_evicted: list[str] = field(default_factory=list)
+
+
+class FlexNetController:
+    """See module docstring."""
+
+    def __init__(
+        self,
+        loop: EventLoop | None = None,
+        objective: Objective | None = None,
+    ):
+        self.loop = loop or EventLoop()
+        self.network = Network(self.loop)
+        self.topology = TopologyView()
+        self.engine = PlacementEngine(objective)
+        self.incremental = IncrementalCompiler(self.engine)
+        self.hub = P4RuntimeHub()
+        self.telemetry = TelemetryCollector()
+        self.replication = ReplicationManager(self.loop)
+        self.rpc_registry = RpcRegistry()
+        self.drpc = DrpcFabric(self.rpc_registry)
+
+        self.devices: dict[str, DeviceRuntime] = {}
+        self.orchestrator = ReconfigOrchestrator(self.loop, self.devices)
+
+        self._composer: Composer | None = None
+        self._base_program: Program | None = None
+        self._program: Program | None = None
+        self._certificate: Certificate | None = None
+        self._plan: CompilationPlan | None = None
+        self._path: list[str] = []
+        self._slice: NetworkSlice | None = None
+        self._apps: dict[str, AppRecord] = {}
+        self._tenants: dict[str, tuple[TenantSpec, Program]] = {}
+        self._last_gc_evicted: list[str] = []
+        self._endpoints: tuple[str, str] | None = None
+
+    # -- topology construction --------------------------------------------------
+
+    def add_device(self, name: str, target: Target | None) -> DeviceRuntime | None:
+        """Register a device; programmable devices get a live runtime and
+        a P4Runtime binding."""
+        self.topology.add_device(name, target)
+        if target is None:
+            return None
+        runtime = DeviceRuntime(name, target)
+        self.devices[name] = runtime
+        self.network.add_node(runtime)
+        self.hub.bind(runtime)
+        self.drpc.set_device_speed(name, target.performance.per_op_ns)
+        return runtime
+
+    def add_link(self, a: str, b: str, latency_s: float = 1e-6) -> None:
+        self.topology.add_link(a, b, latency_s)
+        if a in self.devices and b in self.devices:
+            self.network.add_link(a, b, latency_s)
+
+    def set_datapath_endpoints(self, source: str, destination: str) -> None:
+        """Fix the fungible datapath's slice to the shortest path between
+        two endpoints; the compiler places everything along it."""
+        self._endpoints = (source, destination)
+        self._set_path(self.topology.shortest_path(source, destination))
+
+    def _set_path(self, path: list[str]) -> None:
+        """Adopt a concrete route for the datapath.
+
+        Non-programmable hops forward but host nothing: the simulated
+        path collapses them into the link latency between the adjacent
+        programmable devices.
+        """
+        self._path = list(path)
+        self._slice = self.topology.slice_along(self._path)
+        programmable = [n for n in self._path if n in self.devices]
+        # Bridge over legacy hops: accumulate underlying link latency
+        # between consecutive programmable devices and materialize a
+        # direct simulated link when one is missing.
+        last_programmable: str | None = None
+        accumulated = 0.0
+        for index, node in enumerate(self._path):
+            if index > 0:
+                accumulated += self.topology.link_latency(self._path[index - 1], node)
+            if node in self.devices:
+                if last_programmable is not None and not self.network.has_link(
+                    last_programmable, node
+                ):
+                    self.network.add_link(last_programmable, node, accumulated)
+                last_programmable = node
+                accumulated = 0.0
+        self.network.define_path("datapath", programmable)
+
+    @property
+    def datapath_path(self) -> list[str]:
+        return list(self._path)
+
+    @property
+    def program(self) -> Program:
+        if self._program is None:
+            raise ControlPlaneError("no program installed yet")
+        return self._program
+
+    @property
+    def plan(self) -> CompilationPlan:
+        if self._plan is None:
+            raise ControlPlaneError("no plan compiled yet")
+        return self._plan
+
+    def slice(self) -> NetworkSlice:
+        if self._slice is None:
+            raise ControlPlaneError("datapath endpoints not set")
+        return self.topology.slice_along(self._path)
+
+    # -- provisioning ---------------------------------------------------------------
+
+    def install_infrastructure(self, program: Program) -> CompilationPlan:
+        """Compile and cold-install the operator's base program."""
+        program = program.validate()
+        certificate = certify(program)
+        plan = self.engine.compile(program, certificate, self.slice(), gc_hook=self._gc_hook)
+        self._base_program = program
+        self._composer = Composer(program)
+        self._program = program
+        self._certificate = certificate
+        self._plan = plan
+        self.orchestrator.install_plan(plan)
+        uri = AppUri(owner="infrastructure", name="base")
+        record = AppRecord(
+            uri=uri,
+            elements=set(program.element_names),
+            deployed_at=self.loop.now,
+        )
+        record.refresh_footprint(plan.placement)
+        self._apps[str(uri)] = record
+        return plan
+
+    # -- the core transition path ------------------------------------------------------
+
+    def transition_to(
+        self,
+        new_program: Program,
+        changes: ChangeSet | None = None,
+        consistency: ConsistencyLevel = ConsistencyLevel.PER_PACKET_PER_DEVICE,
+    ) -> TransitionOutcome:
+        """Incrementally recompile to ``new_program`` and orchestrate the
+        hitless runtime transition under the requested consistency."""
+        if self._plan is None:
+            raise ControlPlaneError("install infrastructure before transitioning")
+        certificate = certify(new_program)
+        changes = changes or diff_programs(self._plan.program, new_program)
+
+        survivors = {
+            element: device
+            for element, device in self._plan.placement.items()
+            if element not in changes.removed and element not in changes.added
+        }
+        new_plan = self.engine.compile(
+            new_program,
+            certificate,
+            self.slice(),
+            pinned=survivors,
+        )
+        reconfig = self.incremental.transition(self._plan, new_plan, self.slice(), changes)
+        result = IncrementalResult(new_plan=new_plan, reconfig=reconfig, changes=changes)
+
+        from repro.runtime.reconfig import batched_window_s
+
+        per_device_steps: dict[str, list[float]] = {}
+        for step in reconfig.steps:
+            per_device_steps.setdefault(step.device, []).append(step.cost_s)
+        per_device_window = {
+            device: batched_window_s(costs)
+            for device, costs in per_device_steps.items()
+        }
+        updated_in_path = [
+            d for d in self.network.path("datapath") if d in per_device_window
+        ] or [d for d in self.network.path("datapath") if d in set(new_plan.placement.values())]
+        schedule = plan_schedule(consistency, updated_in_path, per_device_window)
+
+        report = self.orchestrator.apply(
+            reconfig,
+            new_plan,
+            old_plan=self._plan,
+            stagger=schedule.stagger,
+            window_override=schedule.window_s,
+            flow_affine=consistency is ConsistencyLevel.PER_FLOW,
+        )
+
+        self._program = new_program
+        self._certificate = certificate
+        self._plan = new_plan
+        for record in self._apps.values():
+            record.refresh_footprint(new_plan.placement)
+        return TransitionOutcome(
+            result=result,
+            report=report,
+            compile_iterations=new_plan.iterations,
+            gc_evicted=list(self._last_gc_evicted),
+        )
+
+    # -- app-level API (URI handles) ---------------------------------------------------
+
+    def app(self, uri: str) -> AppRecord:
+        if uri not in self._apps:
+            raise UnknownAppError(f"no app {uri!r}")
+        return self._apps[uri]
+
+    @property
+    def app_uris(self) -> list[str]:
+        return sorted(self._apps)
+
+    def deploy_app(
+        self,
+        uri: str,
+        delta: Delta,
+        sla: AppSla | None = None,
+        consistency: ConsistencyLevel = ConsistencyLevel.PER_PACKET_PER_DEVICE,
+        max_gc_rounds: int = 3,
+        allow_detour: bool = False,
+    ) -> TransitionOutcome:
+        """Inject an app (expressed as a delta over the current program).
+
+        Implements the §3.3 compile loop: if placement fails, garbage-
+        collect one removable app and *replay the delta against the
+        trimmed program*, up to ``max_gc_rounds`` times. With
+        ``allow_detour`` the controller additionally co-designs routing
+        and placement: when GC cannot free enough, it searches for a
+        loop-free detour route through an off-path runtime programmable
+        device with capacity, re-routes the datapath, and retries.
+        """
+        from repro.errors import PlacementError
+
+        parsed = AppUri.parse(uri)
+        if uri in self._apps:
+            raise ControlPlaneError(f"app {uri!r} already deployed")
+        self._last_gc_evicted = []
+        attempts = 0
+        detoured = False
+        while True:
+            attempts += 1
+            new_program, changes = apply_delta(self.program, delta)
+            try:
+                outcome = self.transition_to(new_program, changes, consistency)
+                break
+            except PlacementError:
+                if not detoured and attempts > max_gc_rounds:
+                    raise
+                if self._gc_once():
+                    continue
+                if allow_detour and not detoured and self._try_detour(new_program):
+                    detoured = True
+                    continue
+                raise
+        outcome.compile_iterations = attempts
+        outcome.gc_evicted = list(self._last_gc_evicted)
+        record = AppRecord(
+            uri=parsed,
+            elements=set(changes.added),
+            sla=sla or AppSla(),
+            deployed_at=self.loop.now,
+        )
+        record.refresh_footprint(outcome.result.new_plan.placement)
+        self._apps[uri] = record
+        return outcome
+
+    def remove_app(
+        self,
+        uri: str,
+        consistency: ConsistencyLevel = ConsistencyLevel.PER_PACKET_PER_DEVICE,
+    ) -> TransitionOutcome:
+        """Retire an app and release its resources."""
+        record = self.app(uri)
+        ops = [
+            RemoveElements(pattern=element)
+            for element in sorted(record.elements)
+            if self.program.has_table(element)
+            or self.program.has_function(element)
+            or self.program.has_map(element)
+        ]
+        if not ops:
+            raise ControlPlaneError(f"app {uri!r} has no removable elements")
+        delta = Delta(name=f"remove:{record.uri.name}", ops=tuple(ops))
+        new_program, changes = apply_delta(self.program, delta)
+        outcome = self.transition_to(new_program, changes, consistency)
+        del self._apps[uri]
+        return outcome
+
+    def scale_app(self, uri: str, factor: float) -> TransitionOutcome:
+        """Elastically resize an app's tables and maps by ``factor``."""
+        record = self.app(uri)
+        ops = []
+        for element in sorted(record.elements):
+            if self.program.has_table(element):
+                current = self.program.table(element).size
+                ops.append(
+                    SetTableSize(pattern=element, size=max(int(current * factor), 1))
+                )
+            elif self.program.has_map(element):
+                current = self.program.map(element).max_entries
+                ops.append(
+                    SetMapEntries(pattern=element, max_entries=max(int(current * factor), 1))
+                )
+        if not ops:
+            raise ControlPlaneError(f"app {uri!r} has nothing scalable")
+        delta = Delta(name=f"scale:{record.uri.name}", ops=tuple(ops))
+        new_program, changes = apply_delta(self.program, delta)
+        outcome = self.transition_to(new_program, changes)
+        record.generation += 1
+        return outcome
+
+    def migrate_app(self, uri: str, to_device: str) -> TransitionOutcome:
+        """Move an app's elements to a specific device (vertical or
+        horizontal migration), carrying durable state."""
+        record = self.app(uri)
+        if to_device not in self.devices:
+            raise ControlPlaneError(f"unknown device {to_device!r}")
+        if self._plan is None:
+            raise ControlPlaneError("nothing deployed")
+        certificate = certify(self.program)
+        pins = dict(self._plan.placement)
+        for element in record.elements:
+            pins[element] = to_device
+        new_program = self.program.bump_version()
+        new_plan = self.engine.compile(new_program, certificate, self.slice(), pinned=pins)
+        misplaced = [
+            element
+            for element in record.elements
+            if new_plan.placement.get(element) != to_device
+        ]
+        if misplaced:
+            raise ControlPlaneError(
+                f"cannot host {misplaced} of app {uri!r} on {to_device!r}"
+            )
+        changes = ChangeSet(modified=frozenset(record.elements), apply_changed=False)
+        reconfig = self.incremental.transition(self._plan, new_plan, self.slice(), changes)
+        result = IncrementalResult(new_plan=new_plan, reconfig=reconfig, changes=changes)
+        report = self.orchestrator.apply(reconfig, new_plan, old_plan=self._plan)
+        self._program = new_program
+        self._plan = new_plan
+        record.generation += 1
+        for app_record in self._apps.values():
+            app_record.refresh_footprint(new_plan.placement)
+        return TransitionOutcome(result=result, report=report)
+
+    # -- tenants ----------------------------------------------------------------------
+
+    def _infrastructure_view(self) -> Program:
+        """The current program with every admitted tenant's namespaced
+        elements and VLAN guard stripped — i.e., the live infrastructure
+        program, including every delta applied since install. This keeps
+        composition correct when infrastructure changes interleave with
+        tenant churn."""
+        from dataclasses import replace as dc_replace
+
+        from repro.lang import ir
+
+        program = self.program
+        if not self._tenants:
+            return program
+        prefixes = tuple(f"{name}__" for name in self._tenants)
+        vlans = {spec.vlan_id for spec, _ in self._tenants.values()}
+
+        def is_tenant_guard(step: ir.ApplyStep) -> bool:
+            return (
+                isinstance(step, ir.ApplyIf)
+                and isinstance(step.condition, ir.BinOp)
+                and isinstance(step.condition.left, ir.MetaRef)
+                and step.condition.left.key == "vlan_id"
+                and isinstance(step.condition.right, ir.Const)
+                and step.condition.right.value in vlans
+            )
+
+        return dc_replace(
+            program,
+            maps=tuple(m for m in program.maps if not m.name.startswith(prefixes)),
+            actions=tuple(a for a in program.actions if not a.name.startswith(prefixes)),
+            tables=tuple(t for t in program.tables if not t.name.startswith(prefixes)),
+            functions=tuple(
+                f for f in program.functions if not f.name.startswith(prefixes)
+            ),
+            apply=tuple(s for s in program.apply if not is_tenant_guard(s)),
+        )
+
+    def _compose_with_tenants(
+        self, tenants: dict[str, tuple[TenantSpec, Program]]
+    ) -> Program:
+        base = self._infrastructure_view()
+        composer = Composer(base)
+        for spec, extension in tenants.values():
+            composer.admit(spec, extension)
+        composed = composer.compose().composed
+        self._composer = composer
+        return _with_version(composed, self.program.version + 1)
+
+    def admit_tenant(
+        self,
+        tenant: TenantSpec,
+        extension: Program,
+        consistency: ConsistencyLevel = ConsistencyLevel.PER_PACKET_PER_DEVICE,
+    ) -> TransitionOutcome:
+        """Validate, compose, and inject a tenant extension (§3 scenario)."""
+        if self._composer is None:
+            raise ControlPlaneError("install infrastructure first")
+        if tenant.name in self._tenants:
+            raise ControlPlaneError(f"tenant {tenant.name!r} already admitted")
+        new_tenants = dict(self._tenants)
+        new_tenants[tenant.name] = (tenant, extension)
+        composed = self._compose_with_tenants(new_tenants)
+        outcome = self.transition_to(composed, consistency=consistency)
+        self._tenants = new_tenants
+        prefix = f"{tenant.name}__"
+        elements = {e for e in composed.element_names if e.startswith(prefix)}
+        uri = AppUri(owner=tenant.name, name="extension")
+        record = AppRecord(uri=uri, elements=elements, deployed_at=self.loop.now)
+        record.refresh_footprint(outcome.result.new_plan.placement)
+        self._apps[str(uri)] = record
+        return outcome
+
+    def evict_tenant(self, tenant_name: str) -> TransitionOutcome:
+        """Tenant departure: trim its extension and release resources."""
+        if self._composer is None or tenant_name not in self._tenants:
+            raise ControlPlaneError(f"tenant {tenant_name!r} not admitted")
+        new_tenants = {
+            name: value for name, value in self._tenants.items() if name != tenant_name
+        }
+        # Compute the trimmed program *before* mutating tenant state so
+        # _infrastructure_view still strips the departing tenant.
+        composed = self._compose_with_tenants(new_tenants)
+        outcome = self.transition_to(composed)
+        self._tenants = new_tenants
+        self._apps.pop(str(AppUri(owner=tenant_name, name="extension")), None)
+        return outcome
+
+    @property
+    def tenant_names(self) -> list[str]:
+        return sorted(self._tenants)
+
+    # -- routing/placement co-design ------------------------------------------------------
+
+    def _try_detour(self, new_program: Program) -> bool:
+        """Find a loop-free detour route through an off-path runtime
+        programmable device on which ``new_program`` compiles; adopt it
+        and return True, or leave the route untouched and return False.
+        """
+        from repro.errors import PlacementError, UnknownDeviceError
+
+        if self._endpoints is None or self._plan is None:
+            return False
+        source, destination = self._endpoints
+        certificate = certify(new_program)
+        survivors = {
+            element: device
+            for element, device in self._plan.placement.items()
+            if new_program.has_table(element)
+            or new_program.has_function(element)
+            or new_program.has_map(element)
+        }
+        for via in self.topology.runtime_programmable_devices:
+            if via in self._path or via in (source, destination):
+                continue
+            try:
+                path = self.topology.detour_path(source, destination, via)
+                candidate_slice = self.topology.slice_along(path)
+                self.engine.compile(
+                    new_program, certificate, candidate_slice, pinned=survivors
+                )
+            except (PlacementError, UnknownDeviceError):
+                continue
+            self._set_path(path)
+            return True
+        return False
+
+    # -- GC hook (the compiler's fungibility loop) --------------------------------------
+
+    def _gc_hook(self, network_slice: NetworkSlice) -> bool:
+        """Compiler-facing adapter around :meth:`_gc_once` (used during
+        infrastructure install, where no delta replay is needed)."""
+        return self._gc_once()
+
+    def _gc_once(self) -> bool:
+        """Retire one removable app to free resources; returns True if
+        any resources were reclaimed."""
+        removable = [
+            uri
+            for uri, record in self._apps.items()
+            if record.sla.removable and record.elements
+        ]
+        if not removable or self._plan is None:
+            return False
+        victim_uri = removable[0]
+        record = self._apps[victim_uri]
+        survivors = {
+            element: device
+            for element, device in self._plan.placement.items()
+            if element not in record.elements
+        }
+        ops = [
+            RemoveElements(pattern=element)
+            for element in sorted(record.elements)
+            if self.program.has_table(element)
+            or self.program.has_function(element)
+            or self.program.has_map(element)
+        ]
+        if not ops:
+            return False
+        delta = Delta(name=f"gc:{record.uri.name}", ops=tuple(ops))
+        new_program, changes = apply_delta(self.program, delta)
+        certificate = certify(new_program)
+        new_plan = self.engine.compile(
+            new_program, certificate, self.slice(), pinned=survivors
+        )
+        reconfig = self.incremental.transition(self._plan, new_plan, self.slice(), changes)
+        self.orchestrator.apply(reconfig, new_plan, old_plan=self._plan)
+        self._program = new_program
+        self._certificate = certificate
+        self._plan = new_plan
+        del self._apps[victim_uri]
+        self._last_gc_evicted.append(victim_uri)
+        for app_record in self._apps.values():
+            app_record.refresh_footprint(new_plan.placement)
+        return True
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def device_utilization(self) -> dict[str, float]:
+        if self._plan is None:
+            return {}
+        usage: dict[str, float] = {}
+        for spec in self.slice().devices:
+            demand = self._plan.device_demand.get(spec.name)
+            if demand is None:
+                usage[spec.name] = 0.0
+            else:
+                usage[spec.name] = demand.utilization_of(spec.target.capacity)
+        return usage
+
+
+def _with_version(program: Program, version: int) -> Program:
+    from dataclasses import replace
+
+    return replace(program, version=version)

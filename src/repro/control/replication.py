@@ -1,0 +1,136 @@
+"""Resilient state replication across devices (§3.4).
+
+"To detect and tolerate device failures, the FlexNet controller
+replicates important network state in a logical datapath across
+multiple physical devices. State consistency is ensured via state
+replication and update protocols" (SwiShmem-style [71]).
+
+The model: one *primary* map and N replicas on other devices. Two
+replication modes:
+
+* ``periodic`` — the controller (or a data plane mirror rule) ships a
+  snapshot of dirty entries every ``interval_s``; replicas lag by at
+  most one interval (staleness is measurable).
+* ``write_through`` — every primary write is forwarded in-band via
+  dRPC; replicas stay entry-for-entry consistent at the cost of one
+  dRPC per mutation.
+
+On primary failure the manager promotes the freshest replica and
+reports how many updates were lost to the failure window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ControlPlaneError
+from repro.lang.maps import MapState
+from repro.simulator.engine import EventLoop
+
+
+@dataclass
+class ReplicaStatus:
+    device: str
+    synced_mutation_count: int = 0
+    last_sync_at: float = 0.0
+
+
+@dataclass
+class ReplicationGroup:
+    map_name: str
+    primary_device: str
+    primary: MapState
+    replicas: dict[str, MapState] = field(default_factory=dict)
+    status: dict[str, ReplicaStatus] = field(default_factory=dict)
+    mode: str = "periodic"
+    interval_s: float = 0.1
+    syncs: int = 0
+    failed_over: bool = False
+
+    def staleness(self) -> dict[str, int]:
+        """Mutations each replica is behind the primary."""
+        return {
+            device: self.primary.mutation_count - status.synced_mutation_count
+            for device, status in self.status.items()
+        }
+
+
+class ReplicationManager:
+    """Creates and drives replication groups inside the event loop."""
+
+    def __init__(self, loop: EventLoop):
+        self._loop = loop
+        self._groups: dict[str, ReplicationGroup] = {}
+
+    def group(self, map_name: str) -> ReplicationGroup:
+        if map_name not in self._groups:
+            raise ControlPlaneError(f"no replication group for map {map_name!r}")
+        return self._groups[map_name]
+
+    def replicate(
+        self,
+        map_name: str,
+        primary_device: str,
+        primary: MapState,
+        replicas: dict[str, MapState],
+        mode: str = "periodic",
+        interval_s: float = 0.1,
+    ) -> ReplicationGroup:
+        if map_name in self._groups:
+            raise ControlPlaneError(f"map {map_name!r} already replicated")
+        if mode not in ("periodic", "write_through"):
+            raise ControlPlaneError(f"unknown replication mode {mode!r}")
+        group = ReplicationGroup(
+            map_name=map_name,
+            primary_device=primary_device,
+            primary=primary,
+            replicas=dict(replicas),
+            status={device: ReplicaStatus(device=device) for device in replicas},
+            mode=mode,
+            interval_s=interval_s,
+        )
+        self._groups[map_name] = group
+        if mode == "periodic":
+            self._loop.schedule(interval_s, self._periodic_sync(group))
+        return group
+
+    def write(self, map_name: str, key: tuple[int, ...], value: int) -> None:
+        """A primary write through the replication layer."""
+        group = self.group(map_name)
+        group.primary.put(key, value)
+        if group.mode == "write_through":
+            for device, replica in group.replicas.items():
+                replica.put(key, value)
+                group.status[device].synced_mutation_count = group.primary.mutation_count
+                group.status[device].last_sync_at = self._loop.now
+            group.syncs += 1
+
+    def _periodic_sync(self, group: ReplicationGroup):
+        def sync() -> None:
+            if group.failed_over or group.map_name not in self._groups:
+                return
+            snapshot = group.primary.snapshot()
+            for device, replica in group.replicas.items():
+                replica.restore(snapshot)
+                group.status[device].synced_mutation_count = group.primary.mutation_count
+                group.status[device].last_sync_at = self._loop.now
+            group.syncs += 1
+            self._loop.schedule(group.interval_s, self._periodic_sync(group))
+
+        return sync
+
+    def fail_over(self, map_name: str) -> tuple[str, MapState, int]:
+        """Primary died: promote the freshest replica.
+
+        Returns ``(new_primary_device, its state, mutations lost)`` —
+        the loss is the primary mutations the chosen replica had not yet
+        synced when the failure hit.
+        """
+        group = self.group(map_name)
+        if not group.replicas:
+            raise ControlPlaneError(f"map {map_name!r} has no replicas to promote")
+        freshest = max(group.status.values(), key=lambda s: s.synced_mutation_count)
+        lost = group.primary.mutation_count - freshest.synced_mutation_count
+        group.failed_over = True
+        new_primary = group.replicas[freshest.device]
+        return freshest.device, new_primary, max(lost, 0)

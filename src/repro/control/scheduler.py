@@ -1,0 +1,75 @@
+"""Consistent-update scheduling (§3.4, "Fault tolerance and consistency").
+
+Functional updates to a logical datapath need "application-level,
+consistent packet processing, which goes beyond controlling the order
+of rule updates". The scheduler decides *when* each device on a path
+starts its transition window so a requested consistency level holds:
+
+* ``PER_PACKET_PER_DEVICE`` — no coordination needed: every runtime
+  programmable device guarantees old-XOR-new natively. All devices
+  start together (minimal makespan).
+* ``PER_PACKET_PATH`` — epoch stamping (two-phase): every updated
+  device holds both versions for the whole transition; the first
+  updated device a packet meets decides old-vs-new and stamps the
+  packet, and downstream devices honour the stamp. The scheduler's job
+  is to make the stamp always honourable: all windows start together
+  and downstream windows are stretched by a per-hop guard so in-flight
+  packets never outlive the version they were stamped with.
+* ``PER_FLOW`` — path scheduling plus a flow-affine decision: the
+  ingress draw is keyed by the packet's five-tuple instead of its id,
+  so every packet of a flow cuts over at the same instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.consistency import ConsistencyLevel
+
+
+@dataclass(frozen=True)
+class UpdateSchedule:
+    """Per-device start offsets (seconds from transition begin) plus the
+    per-device window durations the plan charges."""
+
+    stagger: dict[str, float]
+    window_s: dict[str, float]
+
+    @property
+    def makespan_s(self) -> float:
+        return max(
+            (self.stagger[d] + self.window_s.get(d, 0.0) for d in self.stagger),
+            default=0.0,
+        )
+
+
+def plan_schedule(
+    level: ConsistencyLevel,
+    path_order: list[str],
+    window_s: dict[str, float],
+    guard_s: float = 0.001,
+) -> UpdateSchedule:
+    """Compute start offsets for the devices being updated.
+
+    ``path_order`` lists the updated devices in *traffic* order
+    (upstream first); ``window_s`` gives each device's transition
+    window length. ``guard_s`` is slack added between sequenced windows
+    to cover in-flight packets (propagation + queueing headroom).
+    """
+    if level is ConsistencyLevel.PER_PACKET_PER_DEVICE:
+        return UpdateSchedule(stagger={d: 0.0 for d in path_order}, window_s=dict(window_s))
+
+    # Path/flow consistency via epoch stamping: every updated device holds
+    # both versions for the whole transition; the *first* updated device a
+    # packet meets makes the old/new decision and stamps it, downstream
+    # devices honour the stamp. For the stamp to always be honourable,
+    # each downstream device's window must outlast the upstream decision
+    # window by at least the in-flight transit time — so all windows start
+    # together and are stretched by ``guard_s`` per hop of depth.
+    first = path_order[0] if path_order else None
+    base = window_s.get(first, 0.0) if first is not None else 0.0
+    stretched: dict[str, float] = {}
+    for position, device in enumerate(path_order):
+        own = window_s.get(device, 0.0)
+        stretched[device] = max(own, base + position * guard_s)
+    return UpdateSchedule(stagger={d: 0.0 for d in path_order}, window_s=stretched)

@@ -1,0 +1,69 @@
+"""Network telemetry collection for real-time control (§1, §3.4).
+
+The controller needs "a global view of ... traffic patterns" to make
+real-time decisions (summon defenses, scale apps). Telemetry has two
+feeds:
+
+* **digests** — data plane programs push ``emit_digest`` records toward
+  the controller (per-packet or sampled); the collector bins them into
+  sliding-window rates keyed by the digest's first value (by convention
+  the victim/afflicted address).
+* **device stats** — periodic pulls of per-device counters through
+  P4Runtime.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+
+from repro.simulator.packet import Packet
+
+
+@dataclass(frozen=True)
+class DigestRecord:
+    time: float
+    program: str
+    values: tuple[int, ...]
+
+
+class TelemetryCollector:
+    """Sliding-window digest aggregation."""
+
+    def __init__(self, window_s: float = 0.5):
+        self.window_s = window_s
+        self._digests: deque[DigestRecord] = deque()
+        self.total_digests = 0
+
+    def ingest_packet(self, packet: Packet, now: float) -> None:
+        for program, values in packet.digests:
+            self.ingest(DigestRecord(time=now, program=program, values=values))
+
+    def ingest(self, record: DigestRecord) -> None:
+        self._digests.append(record)
+        self.total_digests += 1
+
+    def _evict(self, now: float) -> None:
+        horizon = now - self.window_s
+        while self._digests and self._digests[0].time < horizon:
+            self._digests.popleft()
+
+    def rate_by_key(self, now: float) -> dict[int, float]:
+        """Digests/second in the window, grouped by first digest value."""
+        self._evict(now)
+        counts: dict[int, int] = defaultdict(int)
+        for record in self._digests:
+            if record.values:
+                counts[record.values[0]] += 1
+        return {key: count / self.window_s for key, count in counts.items()}
+
+    def hottest_key(self, now: float) -> tuple[int, float] | None:
+        rates = self.rate_by_key(now)
+        if not rates:
+            return None
+        key = max(rates, key=lambda k: rates[k])
+        return key, rates[key]
+
+    def total_rate(self, now: float) -> float:
+        self._evict(now)
+        return len(self._digests) / self.window_s

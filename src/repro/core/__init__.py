@@ -1,0 +1,14 @@
+"""FlexNet core: the fungible datapath and the network facade."""
+
+from repro.core.datapath import DatapathStatus, FungibleDatapath
+from repro.core.flexnet import FlexNet, TrafficReport
+from repro.core.slo import BEST_EFFORT, Slo
+
+__all__ = [
+    "BEST_EFFORT",
+    "DatapathStatus",
+    "FlexNet",
+    "FungibleDatapath",
+    "Slo",
+    "TrafficReport",
+]

@@ -1,0 +1,230 @@
+"""The FlexNet facade: the library's primary entry point.
+
+Wraps topology construction, the admission pipeline (certify ->
+access-control -> compile), the controller, and traffic simulation into
+one object so a user can stand up a runtime programmable network in a
+few lines::
+
+    net = FlexNet()
+    net.add_host("h1"); net.add_smartnic("nic1"); net.add_switch("sw1")
+    net.add_host("h2"); net.add_smartnic("nic2")
+    net.connect("h1", "nic1"); net.connect("nic1", "sw1")
+    net.connect("sw1", "nic2"); net.connect("nic2", "h2")
+    net.build_datapath("h1", "h2")
+    net.install(program)                  # compile + cold install
+    net.update(delta)                     # hitless runtime change
+    net.run_traffic(rate_pps=1000, duration_s=2)
+
+Admission: every program or delta entering the network is certified by
+the analyzer first (bounded execution / well-behavedness); tenant
+extensions additionally pass access-control validation inside the
+composer. Rejections raise before any device is touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.plan import CompilationPlan
+from repro.control.controller import FlexNetController, TransitionOutcome
+from repro.errors import ControlPlaneError
+from repro.lang.analyzer import Certificate, certify
+from repro.lang.composition import TenantSpec
+from repro.lang.delta import Delta, apply_delta
+from repro.lang.ir import Program
+from repro.runtime.consistency import ConsistencyChecker, ConsistencyLevel
+from repro.simulator.metrics import RunMetrics
+from repro.simulator.flowgen import TimedPacket, constant_rate
+from repro.targets import drmt_switch, fpga, host, rmt_switch, smartnic, tiled_switch
+from repro.targets.base import Target
+
+from repro.core.datapath import FungibleDatapath
+from repro.core.slo import Slo
+
+
+@dataclass
+class TrafficReport:
+    metrics: RunMetrics
+    consistency: ConsistencyChecker | None = None
+    digests: int = 0
+
+
+@dataclass
+class FlexNet:
+    """One runtime programmable network; see module docstring."""
+
+    controller: FlexNetController = field(default_factory=FlexNetController)
+    datapath: FungibleDatapath = field(
+        default_factory=lambda: FungibleDatapath(name="datapath")
+    )
+
+    # -- topology sugar ------------------------------------------------------
+
+    def add_host(self, name: str, **kwargs) -> None:
+        self.controller.add_device(name, host(name, **kwargs))
+
+    def add_smartnic(self, name: str, **kwargs) -> None:
+        self.controller.add_device(name, smartnic(name, **kwargs))
+
+    def add_switch(self, name: str, arch: str = "drmt", **kwargs) -> None:
+        """``arch``: "drmt" (Spectrum-like), "tiles" (Trident4-like),
+        "rmt" (Tofino-like *with* the hypothetical runtime upgrade), or
+        "rmt_static" (stock compile-time-only Tofino)."""
+        factories = {
+            "drmt": drmt_switch,
+            "rmt": lambda n, **kw: rmt_switch(n, runtime_capable=True, **kw),
+            "rmt_static": lambda n, **kw: rmt_switch(n, runtime_capable=False, **kw),
+            "tiles": tiled_switch,
+        }
+        if arch not in factories:
+            raise ControlPlaneError(f"unknown switch architecture {arch!r}")
+        self.controller.add_device(name, factories[arch](name, **kwargs))
+
+    def add_fpga(self, name: str, **kwargs) -> None:
+        self.controller.add_device(name, fpga(name, **kwargs))
+
+    def add_legacy(self, name: str) -> None:
+        """A non-programmable element (forwards, hosts nothing)."""
+        self.controller.add_device(name, None)
+
+    def add_custom(self, name: str, target: Target) -> None:
+        self.controller.add_device(name, target)
+
+    def connect(self, a: str, b: str, latency_s: float = 1e-6) -> None:
+        self.controller.add_link(a, b, latency_s)
+
+    def build_datapath(
+        self, source: str, destination: str, slo: Slo | None = None
+    ) -> FungibleDatapath:
+        self.controller.set_datapath_endpoints(source, destination)
+        if slo is not None:
+            self.datapath.slo = slo
+            self.controller.engine.objective = slo.to_objective()
+        self.datapath.source = source
+        self.datapath.destination = destination
+        return self.datapath
+
+    @classmethod
+    def standard(cls, switch_arch: str = "drmt") -> "FlexNet":
+        """The canonical 5-hop slice used throughout the examples:
+        host - NIC - switch - NIC - host."""
+        net = cls()
+        net.add_host("h1")
+        net.add_smartnic("nic1")
+        net.add_switch("sw1", arch=switch_arch)
+        net.add_smartnic("nic2")
+        net.add_host("h2")
+        for a, b in [("h1", "nic1"), ("nic1", "sw1"), ("sw1", "nic2"), ("nic2", "h2")]:
+            net.connect(a, b, 2e-6)
+        net.build_datapath("h1", "h2")
+        return net
+
+    # -- admission + programming -----------------------------------------------
+
+    def admit(self, program: Program) -> Certificate:
+        """Certify a program for admission (raises AnalysisError if it
+        cannot be certified)."""
+        return certify(program.validate())
+
+    def install(self, program: Program) -> CompilationPlan:
+        """Admit and cold-install the infrastructure program."""
+        self.admit(program)
+        plan = self.controller.install_infrastructure(program)
+        self.datapath.program = self.controller.program
+        self.datapath.plan = plan
+        self.datapath.certificate = plan.certificate
+        return plan
+
+    def update(
+        self,
+        delta: Delta,
+        consistency: ConsistencyLevel = ConsistencyLevel.PER_PACKET_PER_DEVICE,
+    ) -> TransitionOutcome:
+        """Apply a runtime delta hitlessly."""
+        new_program, changes = apply_delta(self.controller.program, delta)
+        self.admit(new_program)
+        outcome = self.controller.transition_to(new_program, changes, consistency)
+        self._refresh()
+        return outcome
+
+    def admit_tenant(self, tenant: TenantSpec, extension: Program) -> TransitionOutcome:
+        outcome = self.controller.admit_tenant(tenant, extension)
+        self._refresh()
+        return outcome
+
+    def evict_tenant(self, name: str) -> TransitionOutcome:
+        outcome = self.controller.evict_tenant(name)
+        self._refresh()
+        return outcome
+
+    def _refresh(self) -> None:
+        self.datapath.program = self.controller.program
+        self.datapath.plan = self.controller.plan
+        self.datapath.certificate = self.controller.plan.certificate
+
+    # -- traffic ------------------------------------------------------------------
+
+    def run_traffic(
+        self,
+        rate_pps: float = 1000.0,
+        duration_s: float = 1.0,
+        packets: list[TimedPacket] | None = None,
+        consistency_level: ConsistencyLevel | None = None,
+        collect_digests: bool = True,
+        extra_time_s: float = 1.0,
+    ) -> TrafficReport:
+        """Inject traffic over the datapath and drain the event loop.
+
+        Custom workloads pass ``packets``; otherwise a constant-rate
+        flow is generated. Any updates scheduled on the controller's
+        loop run interleaved with the traffic.
+        """
+        metrics = RunMetrics()
+        checker = (
+            ConsistencyChecker(consistency_level) if consistency_level is not None else None
+        )
+
+        def on_done(packet) -> None:
+            if checker is not None:
+                checker.observe(packet)
+            if collect_digests:
+                self.controller.telemetry.ingest_packet(packet, self.controller.loop.now)
+
+        workload = packets if packets is not None else list(
+            constant_rate(rate_pps, duration_s, start_s=self.controller.loop.now)
+        )
+        last = self.controller.loop.now
+        for timed in workload:
+            self.controller.network.inject(
+                timed.packet, "datapath", timed.time, metrics, on_done=on_done
+            )
+            last = max(last, timed.time)
+        self.controller.loop.run_until(last + extra_time_s)
+        return TrafficReport(
+            metrics=metrics,
+            consistency=checker,
+            digests=self.controller.telemetry.total_digests,
+        )
+
+    # -- convenience passthroughs ----------------------------------------------------
+
+    @property
+    def loop(self):
+        return self.controller.loop
+
+    @property
+    def program(self) -> Program:
+        return self.controller.program
+
+    def export_program(self) -> str:
+        """The live composed program as normalized FlexBPF source —
+        what an operator reviews after a chain of runtime changes."""
+        from repro.lang.printer import print_program
+
+        return print_program(self.controller.program)
+
+    def device(self, name: str):
+        return self.controller.devices[name]
+
+    def schedule(self, at_s: float, callback) -> None:
+        self.controller.loop.schedule_at(at_s, callback)

@@ -1,0 +1,36 @@
+"""Service-level objectives for fungible datapaths.
+
+The shape and size of a datapath's physical slice are "regulated by the
+network control policies and the negotiated SLAs" (§3.1), and the
+compiler "must take performance SLA into consideration" (§3.3). An
+:class:`Slo` captures the negotiated targets and converts to the
+compiler's :class:`~repro.compiler.placement.Objective`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.placement import Objective, ObjectiveKind
+
+
+@dataclass(frozen=True)
+class Slo:
+    """Negotiated targets for one datapath."""
+
+    #: hard per-packet latency ceiling across the slice (ns); None = best effort.
+    max_latency_ns: float | None = None
+    #: optimize for energy when True (consolidate, prefer efficient tiers).
+    prefer_energy: bool = False
+    #: minimum sustained throughput the slice must support (Mpps).
+    min_throughput_mpps: float | None = None
+
+    def to_objective(self) -> Objective:
+        if self.prefer_energy:
+            return Objective(kind=ObjectiveKind.ENERGY, latency_sla_ns=self.max_latency_ns)
+        if self.max_latency_ns is not None:
+            return Objective(kind=ObjectiveKind.LATENCY, latency_sla_ns=self.max_latency_ns)
+        return Objective(kind=ObjectiveKind.BALANCED)
+
+
+BEST_EFFORT = Slo()

@@ -1,0 +1,97 @@
+"""Exception hierarchy shared across the FlexNet library.
+
+Every error raised by the public API derives from :class:`FlexNetError`,
+so callers can catch one base class at integration boundaries while the
+library keeps fine-grained types for programmatic handling.
+"""
+
+from __future__ import annotations
+
+
+class FlexNetError(Exception):
+    """Base class for all FlexNet errors."""
+
+
+class ParseError(FlexNetError):
+    """Raised when FlexBPF source text cannot be parsed.
+
+    Carries the source line/column when known so tooling can point at
+    the offending token.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", col {column}" if column is not None else "") + ")"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class TypeCheckError(FlexNetError):
+    """Raised when a FlexBPF program fails static type checking."""
+
+
+class AnalysisError(FlexNetError):
+    """Raised when the analyzer cannot certify a program.
+
+    The paper requires FlexBPF programs to be "analyzable to certify
+    bounded execution [and] well-behavedness"; programs that fail the
+    certification are rejected with this error before admission.
+    """
+
+
+class CompilationError(FlexNetError):
+    """Raised when a program cannot be compiled to the physical network."""
+
+
+class PlacementError(CompilationError):
+    """Raised when no feasible placement exists for a datapath."""
+
+
+class ResourceError(FlexNetError):
+    """Raised on illegal resource arithmetic (overcommit, unknown kind)."""
+
+
+class ReconfigError(FlexNetError):
+    """Raised when a runtime reconfiguration cannot be applied."""
+
+
+class MigrationError(FlexNetError):
+    """Raised when state migration between devices fails."""
+
+
+class IsolationError(FlexNetError):
+    """Raised when a tenant extension violates its isolation boundary."""
+
+
+class AccessControlError(IsolationError):
+    """Raised when an extension touches objects outside its permissions."""
+
+
+class CompositionError(FlexNetError):
+    """Raised when datapaths cannot be composed (unresolvable conflicts)."""
+
+
+class ControlPlaneError(FlexNetError):
+    """Base class for controller-side failures."""
+
+
+class UnknownAppError(ControlPlaneError):
+    """Raised when an app URI does not resolve to a deployed app."""
+
+
+class UnknownDeviceError(ControlPlaneError):
+    """Raised when a device id does not exist in the topology."""
+
+
+class ConsensusError(ControlPlaneError):
+    """Raised when a distributed-controller operation cannot commit."""
+
+
+class RpcError(FlexNetError):
+    """Raised when a dRPC invocation fails (no service, timeout)."""
+
+
+class SimulationError(FlexNetError):
+    """Raised on inconsistent simulator usage (e.g., time going backwards)."""

@@ -1,0 +1,36 @@
+"""FlexBPF: the FlexNet programming language (§3.1-§3.2 of the paper).
+
+Public surface:
+
+* :func:`repro.lang.parser.parse_program` — parse FlexBPF source.
+* :class:`repro.lang.builder.ProgramBuilder` — programmatic construction.
+* :func:`repro.lang.analyzer.certify` — bounded-execution certification.
+* :func:`repro.lang.delta.parse_delta` / :func:`repro.lang.delta.apply_delta`
+  — the incremental change DSL.
+* :class:`repro.lang.composition.Composer` — tenant datapath composition.
+"""
+
+from repro.lang.analyzer import Analyzer, Certificate, certify
+from repro.lang.builder import ProgramBuilder
+from repro.lang.delta import ChangeSet, Delta, apply_delta, parse_delta
+from repro.lang.composition import Composer, Permission, TenantSpec
+from repro.lang.ir import Program
+from repro.lang.parser import parse_program
+from repro.lang.printer import print_program
+
+__all__ = [
+    "Analyzer",
+    "Certificate",
+    "ChangeSet",
+    "Composer",
+    "Delta",
+    "Permission",
+    "Program",
+    "ProgramBuilder",
+    "TenantSpec",
+    "apply_delta",
+    "certify",
+    "parse_delta",
+    "parse_program",
+    "print_program",
+]

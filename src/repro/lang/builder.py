@@ -1,0 +1,269 @@
+"""Fluent programmatic construction of FlexBPF programs.
+
+The surface language (:mod:`repro.lang.parser`) is convenient for
+operators; library code (the apps in :mod:`repro.apps`, tests, and the
+delta engine) builds programs with :class:`ProgramBuilder` instead::
+
+    builder = ProgramBuilder("infra")
+    builder.header("ipv4", src=32, dst=32, proto=8, ttl=8)
+    builder.table("acl", keys=[("ipv4.src", "ternary")], actions=["drop"], size=512)
+    program = builder.build()
+
+Field references may be written as ``"header.field"`` strings anywhere
+an expression is expected; integers become constants.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TypeCheckError
+from repro.lang import ir
+from repro.lang.types import BitsType, parse_type
+
+
+def expr(value) -> ir.Expr:
+    """Coerce a Python value into a FlexBPF expression.
+
+    ``int`` -> :class:`Const`; ``"hdr.field"`` -> :class:`FieldRef`;
+    ``"meta.key"`` -> :class:`MetaRef`; bare names -> :class:`VarRef`;
+    IR expressions pass through.
+    """
+    if isinstance(
+        value, (ir.FieldRef, ir.VarRef, ir.Const, ir.MetaRef, ir.BinOp, ir.UnOp, ir.MapGet, ir.HashExpr)
+    ):
+        return value
+    if isinstance(value, bool):
+        raise TypeCheckError("FlexBPF has no boolean literals; use comparisons")
+    if isinstance(value, int):
+        return ir.Const(value=value)
+    if isinstance(value, str):
+        if "." in value:
+            prefix, _, suffix = value.partition(".")
+            if prefix == "meta":
+                return ir.MetaRef(key=suffix)
+            return ir.FieldRef(header=prefix, field=suffix)
+        return ir.VarRef(name=value)
+    raise TypeCheckError(f"cannot convert {value!r} to a FlexBPF expression")
+
+
+def binop(op: str, left, right) -> ir.BinOp:
+    return ir.BinOp(kind=ir.BinOpKind(op), left=expr(left), right=expr(right))
+
+
+def field(name: str) -> ir.FieldRef:
+    header, _, field_name = name.partition(".")
+    return ir.FieldRef(header=header, field=field_name)
+
+
+def let(name: str, type_name: str, value) -> ir.Let:
+    return ir.Let(name=name, value_type=parse_type(type_name), value=expr(value))
+
+
+def assign(target, value) -> ir.Assign:
+    resolved = expr(target)
+    if not isinstance(resolved, (ir.VarRef, ir.FieldRef, ir.MetaRef)):
+        raise TypeCheckError(f"{target!r} is not assignable")
+    return ir.Assign(target=resolved, value=expr(value))
+
+
+def map_get(map_name: str, *key) -> ir.MapGet:
+    return ir.MapGet(map_name=map_name, key=tuple(expr(part) for part in key))
+
+
+def map_put(map_name: str, *key_and_value) -> ir.MapPut:
+    if len(key_and_value) < 2:
+        raise TypeCheckError("map_put needs at least one key part and a value")
+    parts = tuple(expr(part) for part in key_and_value)
+    return ir.MapPut(map_name=map_name, key=parts[:-1], value=parts[-1])
+
+
+def map_delete(map_name: str, *key) -> ir.MapDelete:
+    return ir.MapDelete(map_name=map_name, key=tuple(expr(part) for part in key))
+
+
+def if_(condition, then_body: list, else_body: list | None = None) -> ir.If:
+    return ir.If(
+        condition=expr(condition),
+        then_body=tuple(then_body),
+        else_body=tuple(else_body or ()),
+    )
+
+
+def repeat(count: int, body: list) -> ir.Repeat:
+    return ir.Repeat(count=count, body=tuple(body))
+
+
+def call(primitive: str, *args) -> ir.PrimitiveCall:
+    return ir.PrimitiveCall(name=primitive, args=tuple(expr(a) for a in args))
+
+
+def hash_of(*args, modulus: int) -> ir.HashExpr:
+    return ir.HashExpr(args=tuple(expr(a) for a in args), modulus=modulus)
+
+
+class ProgramBuilder:
+    """Accumulates declarations and produces a validated Program."""
+
+    def __init__(self, name: str, owner: str = "infrastructure"):
+        self._name = name
+        self._owner = owner
+        self._headers: list[ir.HeaderDef] = []
+        self._parser: ir.ParserDef | None = None
+        self._maps: list[ir.MapDef] = []
+        self._actions: list[ir.ActionDef] = []
+        self._tables: list[ir.TableDef] = []
+        self._functions: list[ir.FunctionDef] = []
+        self._apply: list[ir.ApplyStep] = []
+
+    def header(self, name: str, **fields: int) -> "ProgramBuilder":
+        self._headers.append(ir.HeaderDef(name=name, fields=tuple(fields.items())))
+        return self
+
+    def parser(self, start: str, *transitions) -> "ProgramBuilder":
+        """Transitions are ``(field, value, next_header)`` triples or bare
+        header names for unconditional extraction."""
+        resolved: list[ir.ParserTransition] = []
+        for transition in transitions:
+            if isinstance(transition, str):
+                resolved.append(ir.ParserTransition(next_header=transition))
+            else:
+                select_field, select_value, next_header = transition
+                resolved.append(
+                    ir.ParserTransition(
+                        next_header=next_header,
+                        select_field=field(select_field),
+                        select_value=select_value,
+                    )
+                )
+        self._parser = ir.ParserDef(start_header=start, transitions=tuple(resolved))
+        return self
+
+    def map(
+        self,
+        name: str,
+        keys: list[str],
+        value_type: str = "u64",
+        max_entries: int = 1024,
+        persistence: str = "durable",
+    ) -> "ProgramBuilder":
+        self._maps.append(
+            ir.MapDef(
+                name=name,
+                key_fields=tuple(field(k) for k in keys),
+                value_type=parse_type(value_type),
+                max_entries=max_entries,
+                persistence=ir.Persistence(persistence),
+            )
+        )
+        return self
+
+    def action(
+        self, name: str, body: list[ir.Stmt], params: list[tuple[str, str]] | None = None
+    ) -> "ProgramBuilder":
+        resolved_params = tuple(
+            (param_name, parse_type(type_name)) for param_name, type_name in (params or [])
+        )
+        self._actions.append(ir.ActionDef(name=name, params=resolved_params, body=tuple(body)))
+        return self
+
+    def table(
+        self,
+        name: str,
+        keys: list[tuple[str, str]] | list[str],
+        actions: list[str],
+        size: int,
+        default: tuple[str, tuple[int, ...]] | str | None = None,
+    ) -> "ProgramBuilder":
+        resolved_keys = []
+        for key in keys:
+            if isinstance(key, str):
+                resolved_keys.append(ir.TableKey(field=field(key), match_kind=ir.MatchKind.EXACT))
+            else:
+                key_field, kind = key
+                resolved_keys.append(
+                    ir.TableKey(field=field(key_field), match_kind=ir.MatchKind(kind))
+                )
+        default_call = None
+        if isinstance(default, str):
+            default_call = ir.ActionCall(action=default)
+        elif default is not None:
+            default_call = ir.ActionCall(action=default[0], args=tuple(default[1]))
+        self._tables.append(
+            ir.TableDef(
+                name=name,
+                keys=tuple(resolved_keys),
+                actions=tuple(actions),
+                size=size,
+                default_action=default_call,
+            )
+        )
+        return self
+
+    def function(self, name: str, body: list[ir.Stmt]) -> "ProgramBuilder":
+        self._functions.append(ir.FunctionDef(name=name, body=tuple(body)))
+        return self
+
+    def apply(self, *steps) -> "ProgramBuilder":
+        """Steps are element names (resolved to table/function applies),
+        or :class:`ir.ApplyIf` built via :func:`apply_if`."""
+        for step in steps:
+            if isinstance(step, (ir.ApplyTable, ir.ApplyFunction, ir.ApplyIf)):
+                self._apply.append(step)
+            elif isinstance(step, str):
+                self._apply.append(self._resolve_step(step))
+            else:
+                raise TypeCheckError(f"cannot interpret apply step {step!r}")
+        return self
+
+    def apply_if(self, condition, then_steps: list, else_steps: list | None = None) -> ir.ApplyIf:
+        return ir.ApplyIf(
+            condition=expr(condition),
+            then_steps=tuple(
+                self._resolve_step(s) if isinstance(s, str) else s for s in then_steps
+            ),
+            else_steps=tuple(
+                self._resolve_step(s) if isinstance(s, str) else s for s in (else_steps or [])
+            ),
+        )
+
+    def _resolve_step(self, name: str) -> ir.ApplyStep:
+        if any(t.name == name for t in self._tables):
+            return ir.ApplyTable(table=name)
+        if any(f.name == name for f in self._functions):
+            return ir.ApplyFunction(function=name)
+        raise TypeCheckError(f"apply step {name!r} matches no declared table or function")
+
+    def build(self, version: int = 1, validate: bool = True) -> ir.Program:
+        """Assemble the program; ``validate=False`` defers validation for
+        tenant extensions that reference base-program maps or headers —
+        the composer validates those against the joint namespace at
+        admission time."""
+        program = ir.Program(
+            name=self._name,
+            headers=tuple(self._headers),
+            parser=self._parser,
+            maps=tuple(self._maps),
+            actions=tuple(self._actions),
+            tables=tuple(self._tables),
+            functions=tuple(self._functions),
+            apply=tuple(self._apply),
+            version=version,
+            owner=self._owner,
+        )
+        return program.validate() if validate else program
+
+
+__all__ = [
+    "ProgramBuilder",
+    "expr",
+    "binop",
+    "field",
+    "let",
+    "assign",
+    "map_get",
+    "map_put",
+    "map_delete",
+    "if_",
+    "repeat",
+    "call",
+    "hash_of",
+]

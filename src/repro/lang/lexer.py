@@ -1,0 +1,100 @@
+"""Tokenizer for FlexBPF source text."""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.value}, {self.text!r}, {self.line}:{self.column})"
+
+
+#: Multi-character punctuation, longest first so the scanner is greedy.
+_PUNCTUATION = [
+    "==", "!=", "<=", ">=", "<<", ">>", "&&", "||",
+    "{", "}", "(", ")", ";", ":", ",", ".", "=",
+    "+", "-", "*", "/", "%", "&", "|", "^", "<", ">", "!", "~",
+]
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUMBER_RE = re.compile(r"0x[0-9a-fA-F]+|0b[01]+|[0-9]+")
+_COMMENT_RE = re.compile(r"//[^\n]*|/\*.*?\*/", re.DOTALL)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split FlexBPF source into tokens; ``//`` and ``/* */`` comments
+    and whitespace are discarded.
+
+    Raises :class:`ParseError` on any character outside the language.
+    """
+    tokens: list[Token] = []
+    position = 0
+    line = 1
+    line_start = 0
+
+    def advance_position(new_position: int) -> None:
+        nonlocal position, line, line_start
+        chunk = source[position:new_position]
+        newlines = chunk.count("\n")
+        if newlines:
+            line += newlines
+            line_start = position + chunk.rfind("\n") + 1
+        position = new_position
+
+    while position < len(source):
+        char = source[position]
+        if char in " \t\r\n":
+            advance_position(position + 1)
+            continue
+        comment = _COMMENT_RE.match(source, position)
+        if comment:
+            advance_position(comment.end())
+            continue
+        column = position - line_start + 1
+        number = _NUMBER_RE.match(source, position)
+        if number:
+            tokens.append(Token(TokenKind.NUMBER, number.group(), line, column))
+            advance_position(number.end())
+            continue
+        ident = _IDENT_RE.match(source, position)
+        if ident:
+            tokens.append(Token(TokenKind.IDENT, ident.group(), line, column))
+            advance_position(ident.end())
+            continue
+        for punct in _PUNCTUATION:
+            if source.startswith(punct, position):
+                tokens.append(Token(TokenKind.PUNCT, punct, line, column))
+                advance_position(position + len(punct))
+                break
+        else:
+            raise ParseError(f"unexpected character {char!r}", line, column)
+
+    tokens.append(Token(TokenKind.EOF, "", line, position - line_start + 1))
+    return tokens
+
+
+def parse_int(text: str) -> int:
+    """Parse a FlexBPF numeric literal (decimal, 0x..., 0b...)."""
+    if text.startswith("0x"):
+        return int(text, 16)
+    if text.startswith("0b"):
+        return int(text, 2)
+    return int(text)

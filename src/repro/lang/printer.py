@@ -1,0 +1,156 @@
+"""Pretty-printer: serialize a Program back to FlexBPF source.
+
+``parse_program(print_program(p))`` reproduces ``p`` exactly (modulo
+constant-width annotations, which the surface syntax does not carry) —
+property-tested in ``tests/property/test_prop_printer.py``. Used by the
+CLI and by operators exporting the live composed program for review.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FlexNetError
+from repro.lang import ir
+
+_INDENT = "  "
+
+
+def print_expr(expr: ir.Expr) -> str:
+    if isinstance(expr, ir.Const):
+        return str(expr.value)
+    if isinstance(expr, ir.VarRef):
+        return expr.name
+    if isinstance(expr, ir.FieldRef):
+        return f"{expr.header}.{expr.field}"
+    if isinstance(expr, ir.MetaRef):
+        return f"meta.{expr.key}"
+    if isinstance(expr, ir.MapGet):
+        parts = ", ".join(print_expr(k) for k in expr.key)
+        return f"map_get({expr.map_name}, {parts})"
+    if isinstance(expr, ir.HashExpr):
+        parts = ", ".join(print_expr(a) for a in expr.args)
+        return f"(hash({parts}) % {expr.modulus})"
+    if isinstance(expr, ir.UnOp):
+        return f"{expr.op}({print_expr(expr.operand)})"
+    if isinstance(expr, ir.BinOp):
+        return f"({print_expr(expr.left)} {expr.kind.value} {print_expr(expr.right)})"
+    raise FlexNetError(f"cannot print expression {expr!r}")
+
+
+def _print_stmt(stmt: ir.Stmt, depth: int) -> list[str]:
+    pad = _INDENT * depth
+    if isinstance(stmt, ir.Let):
+        return [f"{pad}let {stmt.name}: u{stmt.value_type.width} = {print_expr(stmt.value)};"]
+    if isinstance(stmt, ir.Assign):
+        return [f"{pad}{print_expr(stmt.target)} = {print_expr(stmt.value)};"]
+    if isinstance(stmt, ir.MapPut):
+        parts = ", ".join(print_expr(k) for k in stmt.key)
+        return [f"{pad}map_put({stmt.map_name}, {parts}, {print_expr(stmt.value)});"]
+    if isinstance(stmt, ir.MapDelete):
+        parts = ", ".join(print_expr(k) for k in stmt.key)
+        return [f"{pad}map_delete({stmt.map_name}, {parts});"]
+    if isinstance(stmt, ir.If):
+        lines = [f"{pad}if ({print_expr(stmt.condition)}) {{"]
+        for inner in stmt.then_body:
+            lines.extend(_print_stmt(inner, depth + 1))
+        if stmt.else_body:
+            lines.append(f"{pad}}} else {{")
+            for inner in stmt.else_body:
+                lines.extend(_print_stmt(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ir.Repeat):
+        lines = [f"{pad}repeat {stmt.count} {{"]
+        for inner in stmt.body:
+            lines.extend(_print_stmt(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ir.PrimitiveCall):
+        args = ", ".join(print_expr(a) for a in stmt.args)
+        return [f"{pad}{stmt.name}({args});"]
+    raise FlexNetError(f"cannot print statement {stmt!r}")
+
+
+def _print_apply_step(step: ir.ApplyStep, depth: int) -> list[str]:
+    pad = _INDENT * depth
+    if isinstance(step, ir.ApplyTable):
+        return [f"{pad}{step.table};"]
+    if isinstance(step, ir.ApplyFunction):
+        return [f"{pad}{step.function}();"]
+    lines = [f"{pad}if ({print_expr(step.condition)}) {{"]
+    for inner in step.then_steps:
+        lines.extend(_print_apply_step(inner, depth + 1))
+    if step.else_steps:
+        lines.append(f"{pad}}} else {{")
+        for inner in step.else_steps:
+            lines.extend(_print_apply_step(inner, depth + 1))
+    lines.append(f"{pad}}}")
+    return lines
+
+
+def print_program(program: ir.Program) -> str:
+    """Serialize a validated program to FlexBPF source text."""
+    lines: list[str] = [f"program {program.name} {{"]
+
+    for header in program.headers:
+        fields = " ".join(f"{name}:{width};" for name, width in header.fields)
+        lines.append(f"{_INDENT}header {header.name} {{ {fields} }}")
+
+    if program.parser is not None:
+        lines.append(f"{_INDENT}parser {{")
+        lines.append(f"{_INDENT * 2}start {program.parser.start_header};")
+        for transition in program.parser.transitions:
+            if transition.select_field is not None:
+                lines.append(
+                    f"{_INDENT * 2}on {transition.select_field.header}."
+                    f"{transition.select_field.field} == {transition.select_value} "
+                    f"extract {transition.next_header};"
+                )
+            else:
+                lines.append(f"{_INDENT * 2}extract {transition.next_header};")
+        lines.append(f"{_INDENT}}}")
+
+    for map_def in program.maps:
+        keys = ", ".join(str(ref) for ref in map_def.key_fields)
+        lines.append(f"{_INDENT}map {map_def.name} {{")
+        lines.append(f"{_INDENT * 2}key: {keys};")
+        lines.append(f"{_INDENT * 2}value: u{map_def.value_type.width};")
+        lines.append(f"{_INDENT * 2}max_entries: {map_def.max_entries};")
+        lines.append(f"{_INDENT * 2}persistence: {map_def.persistence.value};")
+        lines.append(f"{_INDENT}}}")
+
+    for action in program.actions:
+        params = ", ".join(f"{name}: u{t.width}" for name, t in action.params)
+        lines.append(f"{_INDENT}action {action.name}({params}) {{")
+        for stmt in action.body:
+            lines.extend(_print_stmt(stmt, 2))
+        lines.append(f"{_INDENT}}}")
+
+    for table in program.tables:
+        lines.append(f"{_INDENT}table {table.name} {{")
+        if table.keys:
+            keys = ", ".join(
+                f"{key.field} {key.match_kind.value}" for key in table.keys
+            )
+            lines.append(f"{_INDENT * 2}key: {keys};")
+        lines.append(f"{_INDENT * 2}actions: {', '.join(table.actions)};")
+        lines.append(f"{_INDENT * 2}size: {table.size};")
+        if table.default_action is not None:
+            args = ", ".join(str(a) for a in table.default_action.args)
+            suffix = f"({args})" if table.default_action.args else ""
+            lines.append(f"{_INDENT * 2}default: {table.default_action.action}{suffix};")
+        lines.append(f"{_INDENT}}}")
+
+    for function in program.functions:
+        lines.append(f"{_INDENT}func {function.name}() {{")
+        for stmt in function.body:
+            lines.extend(_print_stmt(stmt, 2))
+        lines.append(f"{_INDENT}}}")
+
+    if program.apply:
+        lines.append(f"{_INDENT}apply {{")
+        for step in program.apply:
+            lines.extend(_print_apply_step(step, 2))
+        lines.append(f"{_INDENT}}}")
+
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,96 @@
+"""Value types for FlexBPF.
+
+FlexBPF is deliberately small: all values are fixed-width unsigned
+integers (as in P4 and eBPF map values), so the type system reduces to
+bit widths plus booleans produced by comparisons. Keeping widths
+explicit is what lets the compiler pick per-target state encodings and
+size match/action tables (key width x entries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TypeCheckError
+
+
+@dataclass(frozen=True)
+class BitsType:
+    """An unsigned integer of ``width`` bits (P4's ``bit<W>``)."""
+
+    width: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.width <= 128:
+            raise TypeCheckError(f"unsupported bit width {self.width}; must be in [1, 128]")
+
+    @property
+    def max_value(self) -> int:
+        return (1 << self.width) - 1
+
+    def truncate(self, value: int) -> int:
+        """Wrap ``value`` into this type's range (hardware wraparound)."""
+        return value & self.max_value
+
+    def __repr__(self) -> str:
+        return f"u{self.width}"
+
+
+@dataclass(frozen=True)
+class BoolType:
+    """The type of comparison results; not storable in maps or headers."""
+
+    def __repr__(self) -> str:
+        return "bool"
+
+
+ValueType = BitsType | BoolType
+
+#: Common aliases usable in source text (``u8`` .. ``u128``).
+NAMED_TYPES: dict[str, BitsType] = {
+    f"u{width}": BitsType(width) for width in (1, 8, 16, 32, 48, 64, 128)
+}
+
+
+def parse_type(name: str) -> BitsType:
+    """Resolve a source-level type name like ``u32`` or ``bit<9>``."""
+    if name in NAMED_TYPES:
+        return NAMED_TYPES[name]
+    if name.startswith("bit<") and name.endswith(">"):
+        try:
+            width = int(name[4:-1])
+        except ValueError as exc:
+            raise TypeCheckError(f"malformed type {name!r}") from exc
+        return BitsType(width)
+    if name.startswith("u"):
+        try:
+            return BitsType(int(name[1:]))
+        except (ValueError, TypeCheckError):
+            pass
+    raise TypeCheckError(f"unknown type {name!r}")
+
+
+def unify(left: ValueType, right: ValueType, context: str) -> ValueType:
+    """Unify two operand types for a binary operation.
+
+    Widths may differ (narrower operands are implicitly zero-extended,
+    as P4 compilers and eBPF verifiers both permit for unsigned
+    arithmetic); booleans only unify with booleans.
+    """
+    if isinstance(left, BoolType) and isinstance(right, BoolType):
+        return BoolType()
+    if isinstance(left, BitsType) and isinstance(right, BitsType):
+        return BitsType(max(left.width, right.width))
+    raise TypeCheckError(f"type mismatch in {context}: {left!r} vs {right!r}")
+
+
+def require_bits(value_type: ValueType, context: str) -> BitsType:
+    if not isinstance(value_type, BitsType):
+        raise TypeCheckError(f"{context} requires an integer type, got {value_type!r}")
+    return value_type
+
+
+def require_bool(value_type: ValueType, context: str) -> BoolType:
+    if not isinstance(value_type, BoolType):
+        raise TypeCheckError(f"{context} requires a boolean condition, got {value_type!r}")
+    return value_type

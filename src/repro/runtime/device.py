@@ -1,0 +1,283 @@
+"""Per-device runtime: live program versions and hitless transitions.
+
+A :class:`DeviceRuntime` is the node object that sits on simulated
+network paths. It owns the device's installed program version(s) and
+implements the paper's §2 reconfiguration semantics:
+
+* **Hitless update** (runtime programmable targets): the new version is
+  staged alongside the old; during the transition window each packet is
+  processed *entirely* by one version (old XOR new, chosen by a
+  deterministic per-packet draw that shifts toward the new version as
+  the window progresses). Same-shape maps and tables are physically
+  shared between versions, so state survives — nothing is lost and no
+  packet is dropped.
+
+* **Reflash update** (compile-time baseline): the device drains (all
+  packets during drain + reflash + redeploy are *lost*), and the new
+  program starts cold — durable state is gone unless the control plane
+  migrated it out beforehand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReconfigError
+from repro.lang.ir import Program
+from repro.simulator.packet import Packet
+from repro.simulator.pipeline_exec import ProgramInstance
+from repro.targets.base import Target
+from repro.util import stable_hash
+
+
+@dataclass
+class DeviceStats:
+    processed: int = 0
+    dropped_by_program: int = 0
+    total_ops: int = 0
+    energy_nj: float = 0.0
+    per_version: dict[int, int] = field(default_factory=dict)
+    reconfigurations: int = 0
+    #: packets lost because the device was unavailable are counted by the
+    #: network (the packet never reaches ``process``); this counts only
+    #: the drain windows the device has undergone.
+    drain_windows: int = 0
+    #: packets tail-dropped because the ingress queue overflowed.
+    queue_drops: int = 0
+    #: maximum queue depth observed (packets).
+    max_queue_depth: int = 0
+
+
+@dataclass
+class _Transition:
+    old: ProgramInstance
+    new: ProgramInstance
+    start: float
+    end: float
+    #: key the per-packet draw by flow instead of packet id, so all
+    #: packets of one flow cut over together (PER_FLOW consistency).
+    flow_affine: bool = False
+    #: sticky per-flow decisions: a flow commits to the version chosen at
+    #: its first packet inside the window and never flaps back.
+    flow_epochs: dict = field(default_factory=dict)
+
+
+class DeviceRuntime:
+    """One device on the network; see module docstring."""
+
+    def __init__(self, name: str, target: Target, queue_capacity_packets: int = 4096):
+        self.name = name
+        self.target = target
+        self.stats = DeviceStats()
+        #: FIFO ingress queue model: packets are tail-dropped beyond this
+        #: depth (a shared-buffer switch queue).
+        self.queue_capacity_packets = queue_capacity_packets
+        self._active: ProgramInstance | None = None
+        self._transition: _Transition | None = None
+        self._unavailable_until = 0.0
+        #: single-server queue state: when the "pipeline" frees up.
+        self._busy_until_s = 0.0
+
+    # -- install / update -------------------------------------------------------
+
+    @property
+    def active_program(self) -> Program | None:
+        return self._active.program if self._active else None
+
+    @property
+    def active_instance(self) -> ProgramInstance | None:
+        return self._active
+
+    def install(self, program: Program, hosted_elements: set[str] | None = None) -> None:
+        """Cold install (device provisioning, before traffic)."""
+        self._active = ProgramInstance(program, hosted_elements)
+        self._transition = None
+
+    def begin_hitless_update(
+        self,
+        program: Program,
+        now: float,
+        duration_s: float,
+        hosted_elements: set[str] | None = None,
+        flow_affine: bool = False,
+    ) -> ProgramInstance:
+        """Stage a new version; it takes over gradually until ``now +
+        duration_s``, at which point the old version is retired.
+
+        Requires a runtime programmable target (``reconfig.hitless``).
+        """
+        if not self.target.reconfig.hitless:
+            raise ReconfigError(
+                f"device {self.name!r} ({self.target.arch}) is not hitlessly reconfigurable"
+            )
+        if self._active is None:
+            raise ReconfigError(f"device {self.name!r} has no active program to update")
+        if self._transition is not None:
+            if now >= self._transition.end:
+                # The previous window elapsed without traffic observing its
+                # completion; finalize it now.
+                self._active = self._transition.new
+                self._transition = None
+            else:
+                raise ReconfigError(
+                    f"device {self.name!r} already has a transition in flight "
+                    f"(ends t={self._transition.end:.3f}, now t={now:.3f})"
+                )
+        new_instance = ProgramInstance(program, hosted_elements)
+        self._share_state(self._active, new_instance)
+        self._transition = _Transition(
+            old=self._active,
+            new=new_instance,
+            start=now,
+            end=now + duration_s,
+            flow_affine=flow_affine,
+        )
+        self.stats.reconfigurations += 1
+        return new_instance
+
+    def begin_reflash(
+        self,
+        program: Program,
+        now: float,
+        hosted_elements: set[str] | None = None,
+    ) -> float:
+        """The compile-time baseline: drain + full reflash + redeploy.
+
+        Returns the time at which the device is available again. All
+        durable state is lost; packets arriving in the window are lost.
+        """
+        model = self.target.reconfig
+        downtime = model.drain_s + model.full_reflash_s + model.redeploy_s
+        self._unavailable_until = max(self._unavailable_until, now) + downtime
+        self._active = ProgramInstance(program, hosted_elements)  # cold state
+        self._transition = None
+        self.stats.reconfigurations += 1
+        self.stats.drain_windows += 1
+        return self._unavailable_until
+
+    @staticmethod
+    def _share_state(old: ProgramInstance, new: ProgramInstance) -> None:
+        """Physically share same-shape maps and tables across versions —
+        the hardware keeps one copy, so both versions see one state."""
+        for map_def in new.program.maps:
+            if map_def.name in old.maps:
+                old_state = old.maps.state(map_def.name)
+                if old_state.definition.key_fields == map_def.key_fields:
+                    new.maps._states[map_def.name] = old_state  # noqa: SLF001 - deliberate sharing
+        for table in new.program.tables:
+            old_rules = old.rules.get(table.name)
+            if old_rules is not None and old_rules.definition.keys == table.keys:
+                if set(old_rules.definition.actions) <= set(table.actions):
+                    new.rules[table.name] = old_rules
+
+    # -- PacketProcessor protocol ---------------------------------------------------
+
+    def available(self, now: float) -> bool:
+        return now >= self._unavailable_until
+
+    def process(self, packet: Packet, now: float) -> float:
+        instance = self._choose_instance(packet, now)
+        if instance is None:
+            return self.target.performance.base_latency_ns * 1e-9
+
+        # Ingress queue: one packet per service slot at line rate. The
+        # resulting depth is exposed to programs as ``meta.queue_depth``
+        # (what ECN-marking CC functions read) and overflow tail-drops.
+        service_s = 1.0 / (self.target.performance.throughput_mpps * 1e6)
+        start = max(self._busy_until_s, now)
+        queue_depth = int((start - now) / service_s) if service_s > 0 else 0
+        packet.meta["queue_depth"] = queue_depth
+        self.stats.max_queue_depth = max(self.stats.max_queue_depth, queue_depth)
+        if queue_depth >= self.queue_capacity_packets:
+            from repro.simulator.packet import Verdict
+
+            packet.verdict = Verdict.LOST
+            self.stats.queue_drops += 1
+            return (start - now) + service_s
+        self._busy_until_s = start + service_s
+        queueing_delay_s = start - now
+
+        result = instance.process(packet, now)
+        # Pass-through devices (hosting no element of the program) do not
+        # participate in version consistency — a packet's "version" is
+        # defined by the elements that processed it. Hosting devices also
+        # stamp the version they used so a downstream device that is
+        # still mid-window honours the upstream decision (even after the
+        # upstream device's own window has closed).
+        if instance.hosted_elements is None or instance.hosted_elements:
+            packet.versions_seen[self.name] = result.version
+            packet.meta["_epoch"] = result.version
+        self.stats.processed += 1
+        self.stats.total_ops += result.ops
+        self.stats.per_version[result.version] = (
+            self.stats.per_version.get(result.version, 0) + 1
+        )
+        self.stats.energy_nj += self.target.performance.packet_energy_nj(result.ops)
+        if packet.meta.get("drop_flag"):
+            self.stats.dropped_by_program += 1
+        return queueing_delay_s + self.target.performance.packet_latency_ns(result.ops) * 1e-9
+
+    def _choose_instance(self, packet: Packet, now: float) -> ProgramInstance | None:
+        transition = self._transition
+        if transition is None:
+            return self._active
+        if now >= transition.end:
+            # Transition complete: retire the old version.
+            self._active = transition.new
+            self._transition = None
+            return self._active
+        # Epoch stamping for path-wide consistency: if an upstream device
+        # already bound this packet to a version we also hold, honour it.
+        epoch = packet.meta.get("_epoch")
+        if epoch == transition.new.version:
+            return transition.new
+        if epoch == transition.old.version:
+            return transition.old
+        # Mid-window per-packet atomic choice: the probability of taking
+        # the new version rises linearly over the window, modelling the
+        # incremental cut-over of table pointers. The draw is a
+        # deterministic hash (per packet, or per flow for flow-affine
+        # transitions) so runs are reproducible; the decision is stamped
+        # on the packet for downstream devices.
+        progress = (now - transition.start) / (transition.end - transition.start)
+        if transition.flow_affine:
+            from repro.simulator.packet import FiveTuple
+
+            flow = FiveTuple.of(packet)
+            flow_key = (flow.src_ip, flow.dst_ip, flow.proto, flow.src_port, flow.dst_port)
+            memoized = transition.flow_epochs.get(flow_key)
+            if memoized is not None:
+                chosen = (
+                    transition.new
+                    if memoized == transition.new.version
+                    else transition.old
+                )
+                packet.meta["_epoch"] = chosen.version
+                return chosen
+            draw = stable_hash(flow_key) % 1_000_000 / 1_000_000
+            chosen = transition.new if draw < progress else transition.old
+            transition.flow_epochs[flow_key] = chosen.version
+            packet.meta["_epoch"] = chosen.version
+            return chosen
+        draw = stable_hash((packet.packet_id,)) % 1_000_000 / 1_000_000
+        chosen = transition.new if draw < progress else transition.old
+        packet.meta["_epoch"] = chosen.version
+        return chosen
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def in_transition(self) -> bool:
+        return self._transition is not None
+
+    def busy_until(self, now: float) -> float:
+        """Earliest time a new transition may start on this device."""
+        busy = max(self._unavailable_until, now)
+        if self._transition is not None:
+            busy = max(busy, self._transition.end)
+        return busy
+
+    def utilization_fraction(self, interval_s: float, packets_in_interval: int) -> float:
+        """Fraction of the device's line-rate budget consumed."""
+        budget = self.target.performance.throughput_mpps * 1e6 * interval_s
+        return packets_in_interval / budget if budget else 1.0

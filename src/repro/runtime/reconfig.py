@@ -1,0 +1,241 @@
+"""Runtime reconfiguration orchestration.
+
+Takes the compiler's :class:`~repro.compiler.plan.ReconfigPlan` and
+executes it against live :class:`~repro.runtime.device.DeviceRuntime`
+instances inside the event loop:
+
+* each affected device gets **one transition window** whose duration is
+  the sum of its step costs (steps on one device serialize; distinct
+  devices reconfigure concurrently — the plan's makespan);
+* runtime programmable devices transition **hitlessly** (old and new
+  versions coexist in the window; zero loss); non-hitless devices fall
+  back to drain + reflash, losing every packet in the window — this
+  contrast is exactly experiment E1/E2;
+* MOVE steps that carry durable state trigger an in-band data-plane
+  migration at the start of the window so the landing device is warm
+  before it takes over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.plan import CompilationPlan, ReconfigPlan, StepKind
+from repro.errors import ReconfigError
+from repro.lang.ir import Program
+from repro.runtime.device import DeviceRuntime
+from repro.runtime.migration import MigrationReport, data_plane_migration
+from repro.simulator.engine import EventLoop
+
+#: Window charged to devices that only need an apply-block pointer swap
+#: (no structural steps of their own).
+DEFAULT_REFRESH_S = 0.02
+
+#: Batching discount: a device applies all of a transition's steps as one
+#: transaction (the NSDI'22 mechanism batches table/parser changes), so
+#: the window is the dominant step plus a fraction of the rest rather
+#: than their serial sum.
+BATCH_OVERHEAD_FRACTION = 0.2
+
+
+def batched_window_s(step_costs: list[float]) -> float:
+    """Transition window for one device given its step costs."""
+    if not step_costs:
+        return DEFAULT_REFRESH_S
+    dominant = max(step_costs)
+    rest = sum(step_costs) - dominant
+    return dominant + BATCH_OVERHEAD_FRACTION * rest
+
+
+@dataclass
+class TransitionReport:
+    started_at: float
+    finished_at: float = 0.0
+    device_windows: dict[str, tuple[float, float]] = field(default_factory=dict)
+    steps_applied: int = 0
+    migrations: list[MigrationReport] = field(default_factory=list)
+    reflashed_devices: list[str] = field(default_factory=list)
+
+    @property
+    def duration_s(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class ReconfigOrchestrator:
+    """Drives plan transitions on a set of live devices."""
+
+    def __init__(self, loop: EventLoop, devices: dict[str, DeviceRuntime]):
+        self._loop = loop
+        self._devices = devices
+        #: per-device end time of the latest *scheduled* window — devices
+        #: only learn of a transition when its start event fires, so the
+        #: orchestrator keeps its own reservation ledger to serialize
+        #: back-to-back updates planned within the same instant.
+        self._reserved_until: dict[str, float] = {}
+
+    def device(self, name: str) -> DeviceRuntime:
+        if name not in self._devices:
+            raise ReconfigError(f"unknown device {name!r}")
+        return self._devices[name]
+
+    def install_plan(self, plan: CompilationPlan) -> None:
+        """Cold-install a compiled plan on every device (provisioning)."""
+        for device_name, device in self._devices.items():
+            hosted = set(plan.elements_on(device_name))
+            device.install(plan.program, hosted or set())
+
+    def apply(
+        self,
+        reconfig: ReconfigPlan,
+        new_plan: CompilationPlan,
+        old_plan: CompilationPlan | None = None,
+        stagger: dict[str, float] | None = None,
+        window_override: dict[str, float] | None = None,
+        flow_affine: bool = False,
+    ) -> TransitionReport:
+        """Schedule the transition starting now; returns a report that
+        fills in as the event loop advances (read it after run_until
+        passes ``report.finished_at``).
+
+        ``stagger`` and ``window_override`` come from the controller's
+        consistency scheduler; ``flow_affine`` keys the per-packet draw
+        by flow for PER_FLOW consistency.
+        """
+        now = self._loop.now
+        report = TransitionReport(started_at=now)
+        stagger = stagger or {}
+        window_override = window_override or {}
+
+        per_device_steps: dict[str, list[float]] = {}
+        for step in reconfig.steps:
+            per_device_steps.setdefault(step.device, []).append(step.cost_s)
+            report.steps_applied += 1
+        per_device_cost = {
+            device: batched_window_s(costs)
+            for device, costs in per_device_steps.items()
+        }
+
+        affected = set(per_device_cost)
+        # Devices hosting elements in either version also need the new
+        # apply block, even without structural steps of their own.
+        for device_name in set(new_plan.placement.values()):
+            affected.add(device_name)
+        if old_plan is not None:
+            for device_name in set(old_plan.placement.values()):
+                affected.add(device_name)
+
+        finish = now
+        for device_name in sorted(affected):
+            device = self.device(device_name)
+            duration = max(
+                per_device_cost.get(device_name, DEFAULT_REFRESH_S),
+                window_override.get(device_name, 0.0),
+            )
+            start_offset = stagger.get(device_name, 0.0)
+            hosted = set(new_plan.elements_on(device_name))
+            # Serialize with any transition already in flight or already
+            # scheduled on this device — overlapping windows would leave
+            # three live versions, which hardware cannot do.
+            start = max(
+                now + start_offset,
+                device.busy_until(now),
+                self._reserved_until.get(device_name, 0.0),
+            )
+            if device.target.reconfig.hitless:
+                self._loop.schedule_at(
+                    start,
+                    self._hitless_starter(
+                        device, new_plan.program, duration, hosted, flow_affine
+                    ),
+                )
+                end = start + duration
+            else:
+                self._loop.schedule_at(
+                    start, self._reflash_starter(device, new_plan.program, hosted)
+                )
+                model = device.target.reconfig
+                end = start + model.drain_s + model.full_reflash_s + model.redeploy_s
+                report.reflashed_devices.append(device_name)
+            report.device_windows[device_name] = (start, end)
+            self._reserved_until[device_name] = end
+            finish = max(finish, end)
+
+        # State-carrying moves migrate in-band at window start.
+        for step in reconfig.steps:
+            if step.kind is not StepKind.MOVE or not step.carries_state:
+                continue
+            self._loop.schedule_at(
+                now + stagger.get(step.device, 0.0),
+                self._state_mover(step.element, step.source_device, step.device, report),
+            )
+
+        report.finished_at = finish
+        return report
+
+    # -- scheduled-callback factories ------------------------------------------
+
+    def _hitless_starter(
+        self,
+        device: DeviceRuntime,
+        program: Program,
+        duration: float,
+        hosted: set[str],
+        flow_affine: bool = False,
+    ):
+        def start() -> None:
+            device.begin_hitless_update(
+                program,
+                now=self._loop.now,
+                duration_s=duration,
+                hosted_elements=hosted,
+                flow_affine=flow_affine,
+            )
+
+        return start
+
+    def _reflash_starter(self, device: DeviceRuntime, program: Program, hosted: set[str]):
+        def start() -> None:
+            device.begin_reflash(program, now=self._loop.now, hosted_elements=hosted)
+
+        return start
+
+    def _state_mover(
+        self, element: str, source: str | None, destination: str, report: TransitionReport
+    ):
+        def move() -> None:
+            self._migrate_element_state(element, source, destination, report)
+
+        return move
+
+    # -- internals used by scheduled callbacks --------------------------------
+
+    def _migrate_element_state(
+        self, element: str, source_name: str | None, dest_name: str, report: TransitionReport
+    ) -> None:
+        if source_name is None:
+            return
+        source = self.device(source_name).active_instance
+        destination = self.device(dest_name).active_instance
+        if source is None or destination is None:
+            return
+        for map_name in source.maps.names():
+            if map_name not in destination.maps:
+                continue
+            if not self._element_touches_map(source.program, element, map_name):
+                continue
+            migration = data_plane_migration(
+                source.maps.state(map_name), destination.maps.state(map_name)
+            )
+            report.migrations.append(migration)
+
+    @staticmethod
+    def _element_touches_map(program: Program, element: str, map_name: str) -> bool:
+        if element == map_name:
+            return True
+        from repro.lang.analyzer import certify
+
+        certificate = certify(program)
+        if element not in certificate.profiles:
+            return False
+        profile = certificate.profiles[element]
+        return map_name in profile.map_reads or map_name in profile.map_writes

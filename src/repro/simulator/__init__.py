@@ -1,0 +1,33 @@
+"""Discrete-event data plane simulator (the hardware substitution)."""
+
+from repro.simulator.engine import EventLoop
+from repro.simulator.meters import Meter, MeterColor, MeterConfig
+from repro.simulator.metrics import LatencyStats, RunMetrics
+from repro.simulator.network import Link, Network, PacketProcessor
+from repro.simulator.packet import FiveTuple, Packet, Verdict, make_packet
+from repro.simulator.pipeline_exec import ExecutionResult, ProgramInstance
+from repro.simulator.tables import Rule, TableRules, exact, lpm, rng, ternary
+
+__all__ = [
+    "EventLoop",
+    "ExecutionResult",
+    "FiveTuple",
+    "LatencyStats",
+    "Meter",
+    "MeterColor",
+    "MeterConfig",
+    "Link",
+    "Network",
+    "Packet",
+    "PacketProcessor",
+    "ProgramInstance",
+    "Rule",
+    "RunMetrics",
+    "TableRules",
+    "Verdict",
+    "exact",
+    "lpm",
+    "make_packet",
+    "rng",
+    "ternary",
+]

@@ -1,0 +1,99 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic event loop: events are ``(time, sequence,
+callback)`` triples in a heap; ties break by insertion order so runs
+are reproducible. All FlexNet experiments execute inside one
+:class:`EventLoop` — packet arrivals, reconfiguration steps, controller
+decisions, and attack ramps are all just scheduled callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Returned by :meth:`EventLoop.schedule`; allows cancellation."""
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class EventLoop:
+    """A deterministic discrete-event loop with seconds as virtual time."""
+
+    def __init__(self):
+        self._heap: list[_Event] = []
+        self._sequence = 0
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} s in the past")
+        event = _Event(time=self._now + delay, sequence=self._sequence, callback=callback)
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at an absolute virtual time."""
+        return self.schedule(time - self._now, callback)
+
+    def run_until(self, end_time: float) -> None:
+        """Process events with time <= ``end_time``; advance the clock."""
+        if end_time < self._now:
+            raise SimulationError(
+                f"run_until({end_time}) is before current time {self._now}"
+            )
+        self._running = True
+        try:
+            while self._heap and self._heap[0].time <= end_time:
+                event = heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback()
+        finally:
+            self._running = False
+        self._now = end_time
+
+    def run(self) -> None:
+        """Drain every pending event."""
+        self._running = True
+        try:
+            while self._heap:
+                event = heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback()
+        finally:
+            self._running = False
+
+    def pending(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)

@@ -1,0 +1,63 @@
+"""P4-style meters: token-bucket rate markers.
+
+P4Runtime manages "counters, meters, and table rules" (§3.4). A meter
+is attached to a table; each rule hit passes through the bucket and the
+packet is coloured GREEN (conforming) or RED (exceeding), exposed to
+the program as ``meta.meter_color`` so actions/functions can police
+(drop RED) or de-prioritize.
+
+The model is a single-rate two-colour token bucket with continuous
+refill — sufficient for SLA policing experiments; the three-colour
+variant adds nothing the experiments observe.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import FlexNetError
+
+
+class MeterColor(enum.Enum):
+    GREEN = 0
+    RED = 1
+
+
+@dataclass
+class MeterConfig:
+    rate_pps: float
+    burst_packets: float
+
+
+class Meter:
+    """One token bucket. Tokens are packets; refill is continuous."""
+
+    def __init__(self, config: MeterConfig):
+        if config.rate_pps <= 0 or config.burst_packets <= 0:
+            raise FlexNetError("meter rate and burst must be positive")
+        self.config = config
+        self._tokens = config.burst_packets
+        self._last_refill = 0.0
+        self.green_count = 0
+        self.red_count = 0
+
+    def mark(self, now: float) -> MeterColor:
+        """Colour one packet arriving at virtual time ``now``."""
+        if now > self._last_refill:
+            self._tokens = min(
+                self.config.burst_packets,
+                self._tokens + (now - self._last_refill) * self.config.rate_pps,
+            )
+            self._last_refill = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.green_count += 1
+            return MeterColor.GREEN
+        self.red_count += 1
+        return MeterColor.RED
+
+    @property
+    def observed_green_fraction(self) -> float:
+        total = self.green_count + self.red_count
+        return self.green_count / total if total else 1.0

@@ -1,0 +1,85 @@
+"""Measurement collection for simulation runs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.simulator.packet import Packet, Verdict
+
+
+@dataclass
+class LatencyStats:
+    """Streaming latency statistics (seconds)."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = 0.0
+    samples: list[float] = field(default_factory=list)
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = min(int(fraction * len(ordered)), len(ordered) - 1)
+        return ordered[index]
+
+
+@dataclass
+class RunMetrics:
+    """Aggregate outcome of one simulation run."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_by_program: int = 0
+    lost_by_infrastructure: int = 0
+    latency: LatencyStats = field(default_factory=LatencyStats)
+    #: packets that saw a *mixed* program version along one device —
+    #: impossible under correct per-packet consistency; any nonzero
+    #: value is a consistency violation.
+    version_mixtures: int = 0
+    #: packet counts per (device, program version) pair.
+    version_counts: dict[tuple[str, int], int] = field(default_factory=dict)
+
+    def record_sent(self) -> None:
+        self.sent += 1
+
+    def record_outcome(self, packet: Packet) -> None:
+        if packet.verdict is Verdict.FORWARD:
+            self.delivered += 1
+            if packet.latency_s is not None:
+                self.latency.record(packet.latency_s)
+        elif packet.verdict is Verdict.DROP:
+            self.dropped_by_program += 1
+        else:
+            self.lost_by_infrastructure += 1
+        for device, version in packet.versions_seen.items():
+            key = (device, version)
+            self.version_counts[key] = self.version_counts.get(key, 0) + 1
+
+    @property
+    def loss_rate(self) -> float:
+        return self.lost_by_infrastructure / self.sent if self.sent else 0.0
+
+    @property
+    def delivery_rate(self) -> float:
+        return self.delivered / self.sent if self.sent else 0.0
+
+    def versions_on(self, device: str) -> dict[int, int]:
+        return {
+            version: count
+            for (dev, version), count in self.version_counts.items()
+            if dev == device
+        }

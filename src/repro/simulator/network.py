@@ -1,0 +1,152 @@
+"""Network-level simulation: nodes, links, paths, and packet transport.
+
+The network is deliberately generic over the node implementation — any
+object satisfying :class:`PacketProcessor` can sit on a path. The
+concrete node used everywhere is
+:class:`repro.runtime.device.DeviceRuntime`, which layers program
+versions and hitless reconfiguration on top; keeping the simulator
+independent of that machinery keeps the dependency graph acyclic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.errors import SimulationError
+from repro.simulator.engine import EventLoop
+from repro.simulator.metrics import RunMetrics
+from repro.simulator.packet import Packet, Verdict
+
+
+class PacketProcessor(Protocol):
+    """What the network needs from a device."""
+
+    name: str
+
+    def available(self, now: float) -> bool:
+        """False while the device is drained/reflashing (packets are lost)."""
+        ...
+
+    def process(self, packet: Packet, now: float) -> float:
+        """Process the packet, mutating it; return processing latency (s)."""
+        ...
+
+
+@dataclass(frozen=True)
+class Link:
+    source: str
+    destination: str
+    latency_s: float = 1e-6  # 1 us default intra-rack hop
+
+
+class Network:
+    """Nodes + links + named paths, driven by one event loop."""
+
+    def __init__(self, loop: EventLoop | None = None):
+        self.loop = loop or EventLoop()
+        self._nodes: dict[str, PacketProcessor] = {}
+        self._links: dict[tuple[str, str], Link] = {}
+        self._paths: dict[str, list[str]] = {}
+
+    # -- topology -----------------------------------------------------------
+
+    def add_node(self, node: PacketProcessor) -> None:
+        if node.name in self._nodes:
+            raise SimulationError(f"duplicate node {node.name!r}")
+        self._nodes[node.name] = node
+
+    def node(self, name: str) -> PacketProcessor:
+        if name not in self._nodes:
+            raise SimulationError(f"unknown node {name!r}")
+        return self._nodes[name]
+
+    @property
+    def node_names(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def add_link(self, source: str, destination: str, latency_s: float = 1e-6) -> None:
+        self.node(source)
+        self.node(destination)
+        self._links[(source, destination)] = Link(source, destination, latency_s)
+        self._links[(destination, source)] = Link(destination, source, latency_s)
+
+    def has_link(self, source: str, destination: str) -> bool:
+        return (source, destination) in self._links
+
+    def link_latency(self, source: str, destination: str) -> float:
+        link = self._links.get((source, destination))
+        if link is None:
+            raise SimulationError(f"no link {source!r} -> {destination!r}")
+        return link.latency_s
+
+    def define_path(self, name: str, hops: list[str]) -> None:
+        for previous, current in zip(hops, hops[1:]):
+            self.link_latency(previous, current)  # validates links exist
+        self._paths[name] = list(hops)
+
+    def path(self, name: str) -> list[str]:
+        if name not in self._paths:
+            raise SimulationError(f"unknown path {name!r}")
+        return list(self._paths[name])
+
+    # -- transport ------------------------------------------------------------
+
+    def inject(
+        self,
+        packet: Packet,
+        path: str | list[str],
+        at_time: float,
+        metrics: RunMetrics | None = None,
+        on_done: Callable[[Packet], None] | None = None,
+    ) -> None:
+        """Send a packet along a path, starting at ``at_time``."""
+        hops = self.path(path) if isinstance(path, str) else list(path)
+        if not hops:
+            raise SimulationError("empty path")
+        if metrics is not None:
+            metrics.record_sent()
+        self.loop.schedule_at(
+            at_time, lambda: self._arrive(packet, hops, 0, metrics, on_done)
+        )
+
+    def _arrive(
+        self,
+        packet: Packet,
+        hops: list[str],
+        index: int,
+        metrics: RunMetrics | None,
+        on_done: Callable[[Packet], None] | None,
+    ) -> None:
+        now = self.loop.now
+        node = self.node(hops[index])
+        if not node.available(now):
+            packet.verdict = Verdict.LOST
+            self._finish(packet, metrics, on_done)
+            return
+        processing_s = node.process(packet, now)
+        packet.path.append(node.name)
+        if packet.verdict is not Verdict.FORWARD:
+            # program drop or queue overflow — the packet goes no further
+            self._finish(packet, metrics, on_done)
+            return
+        if index + 1 >= len(hops):
+            packet.delivered_at = now + processing_s
+            self._finish(packet, metrics, on_done)
+            return
+        hop_latency = processing_s + self.link_latency(hops[index], hops[index + 1])
+        self.loop.schedule(
+            hop_latency, lambda: self._arrive(packet, hops, index + 1, metrics, on_done)
+        )
+
+    def _finish(
+        self,
+        packet: Packet,
+        metrics: RunMetrics | None,
+        on_done: Callable[[Packet], None] | None,
+    ) -> None:
+        if metrics is not None:
+            metrics.record_outcome(packet)
+        if on_done is not None:
+            on_done(packet)

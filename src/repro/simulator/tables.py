@@ -1,0 +1,188 @@
+"""Runtime match/action table rules.
+
+A program defines a table's *shape* (keys, actions, size); the control
+plane populates its *rules* at runtime through the P4Runtime-level API
+(:mod:`repro.control.p4runtime`). This module models the rule store one
+device keeps per table: typed match specs (exact / LPM / ternary /
+range), priorities, and longest-prefix semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FlexNetError
+from repro.lang.ir import ActionCall, MatchKind, TableDef
+
+
+class TableError(FlexNetError):
+    """Raised on malformed rules or capacity overflow."""
+
+
+@dataclass(frozen=True)
+class ExactMatch:
+    value: int
+
+    def matches(self, value: int) -> bool:
+        return value == self.value
+
+    @property
+    def specificity(self) -> int:
+        return 1 << 20
+
+
+@dataclass(frozen=True)
+class LpmMatch:
+    prefix: int
+    prefix_len: int
+    width: int = 32
+
+    def matches(self, value: int) -> bool:
+        if self.prefix_len == 0:
+            return True
+        shift = self.width - self.prefix_len
+        return (value >> shift) == (self.prefix >> shift)
+
+    @property
+    def specificity(self) -> int:
+        return self.prefix_len
+
+
+@dataclass(frozen=True)
+class TernaryMatch:
+    value: int
+    mask: int
+
+    def matches(self, value: int) -> bool:
+        return (value & self.mask) == (self.value & self.mask)
+
+    @property
+    def specificity(self) -> int:
+        return bin(self.mask).count("1")
+
+
+@dataclass(frozen=True)
+class RangeMatch:
+    low: int
+    high: int
+
+    def matches(self, value: int) -> bool:
+        return self.low <= value <= self.high
+
+    @property
+    def specificity(self) -> int:
+        return max(0, 64 - max(self.high - self.low, 0).bit_length())
+
+
+MatchSpec = ExactMatch | LpmMatch | TernaryMatch | RangeMatch
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One table entry: per-key match specs, action, priority."""
+
+    matches: tuple[MatchSpec, ...]
+    action: ActionCall
+    priority: int = 0
+
+    def matches_key(self, key_values: tuple[int, ...]) -> bool:
+        return all(spec.matches(value) for spec, value in zip(self.matches, key_values))
+
+
+class TableRules:
+    """The installed rules of one table on one device."""
+
+    def __init__(self, definition: TableDef):
+        self.definition = definition
+        self._rules: list[Rule] = []
+        #: per-rule hit counters, aligned with self._rules (P4Runtime
+        #: exposes these as direct counters).
+        self.hit_counts: list[int] = []
+        self.miss_count = 0
+        #: optional table meter (configured via P4Runtime); every rule
+        #: hit is coloured through it.
+        self.meter = None
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    @property
+    def rules(self) -> list[Rule]:
+        return list(self._rules)
+
+    def insert(self, rule: Rule) -> None:
+        if len(rule.matches) != len(self.definition.keys):
+            raise TableError(
+                f"table {self.definition.name!r} has {len(self.definition.keys)} keys; "
+                f"rule provides {len(rule.matches)}"
+            )
+        if rule.action.action not in self.definition.actions:
+            raise TableError(
+                f"table {self.definition.name!r} does not allow action {rule.action.action!r}"
+            )
+        for spec, key in zip(rule.matches, self.definition.keys):
+            expected = {
+                MatchKind.EXACT: ExactMatch,
+                MatchKind.LPM: LpmMatch,
+                MatchKind.TERNARY: TernaryMatch,
+                MatchKind.RANGE: RangeMatch,
+            }[key.match_kind]
+            if not isinstance(spec, expected):
+                raise TableError(
+                    f"table {self.definition.name!r} key {key.field} expects "
+                    f"{key.match_kind.value} match, got {type(spec).__name__}"
+                )
+        if len(self._rules) >= self.definition.size:
+            raise TableError(
+                f"table {self.definition.name!r} is full ({self.definition.size} rules)"
+            )
+        self._rules.append(rule)
+        self.hit_counts.append(0)
+
+    def remove(self, rule: Rule) -> bool:
+        try:
+            index = self._rules.index(rule)
+        except ValueError:
+            return False
+        del self._rules[index]
+        del self.hit_counts[index]
+        return True
+
+    def clear(self) -> None:
+        self._rules.clear()
+        self.hit_counts.clear()
+
+    def lookup(self, key_values: tuple[int, ...]) -> ActionCall | None:
+        """Find the matching rule with highest (priority, specificity);
+        returns the table's default action on miss (None if absent)."""
+        best: Rule | None = None
+        best_index = -1
+        best_rank: tuple[int, int] = (-1, -1)
+        for index, rule in enumerate(self._rules):
+            if not rule.matches_key(key_values):
+                continue
+            specificity = sum(spec.specificity for spec in rule.matches)
+            rank = (rule.priority, specificity)
+            if rank > best_rank:
+                best, best_index, best_rank = rule, index, rank
+        if best is not None:
+            self.hit_counts[best_index] += 1
+            return best.action
+        self.miss_count += 1
+        return self.definition.default_action
+
+
+def exact(value: int) -> ExactMatch:
+    return ExactMatch(value=value)
+
+
+def lpm(prefix: int, prefix_len: int, width: int = 32) -> LpmMatch:
+    return LpmMatch(prefix=prefix, prefix_len=prefix_len, width=width)
+
+
+def ternary(value: int, mask: int) -> TernaryMatch:
+    return TernaryMatch(value=value, mask=mask)
+
+
+def rng(low: int, high: int) -> RangeMatch:
+    return RangeMatch(low=low, high=high)

@@ -1,0 +1,33 @@
+"""Device architecture models for every target class the paper surveys."""
+
+from repro.targets.base import (
+    FungibilityClass,
+    PerformanceModel,
+    ReconfigCostModel,
+    StateEncoding,
+    Target,
+)
+from repro.targets.drmt import drmt_switch
+from repro.targets.fpga import fpga
+from repro.targets.host import host
+from repro.targets.resources import ResourceVector, total
+from repro.targets.rmt import rmt_switch, stage_capacity
+from repro.targets.smartnic import smartnic
+from repro.targets.tiles import tiled_switch
+
+__all__ = [
+    "FungibilityClass",
+    "PerformanceModel",
+    "ReconfigCostModel",
+    "ResourceVector",
+    "StateEncoding",
+    "Target",
+    "drmt_switch",
+    "fpga",
+    "host",
+    "rmt_switch",
+    "smartnic",
+    "stage_capacity",
+    "tiled_switch",
+    "total",
+]

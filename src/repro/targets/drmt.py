@@ -1,0 +1,68 @@
+"""Disaggregated RMT targets (§3.3(ii)): Nvidia/Mellanox Spectrum class.
+
+dRMT removes static stage boundaries: a pool of match/action processors
+executes the program run-to-completion, and table memory is physically
+separate in shared SRAM/TCAM — "any processor can access any table, at
+any point in the program". Memory and compute are therefore *pooled*
+fungible, which is what makes this the paper's flagship runtime
+programmable switch (their NSDI'22 system [66] is built on Spectrum):
+tables and parser states can be added and removed live, hitlessly, with
+changes completing well inside a second.
+"""
+
+from __future__ import annotations
+
+from repro.targets.base import (
+    FungibilityClass,
+    PerformanceModel,
+    ReconfigCostModel,
+    StateEncoding,
+    Target,
+)
+from repro.targets.resources import ResourceVector
+
+
+def drmt_switch(
+    name: str,
+    processors: int = 32,
+    sram_mb: float = 24.0,
+    tcam_mb: float = 2.0,
+    alus: int = 64,
+) -> Target:
+    """Build a Spectrum-like dRMT switch target (runtime programmable)."""
+    capacity = ResourceVector(
+        processors=processors,
+        sram_kb=sram_mb * 1024.0,
+        tcam_kb=tcam_mb * 1024.0,
+        alus=alus,
+        parser_states=256,
+    )
+    reconfig = ReconfigCostModel(
+        # Calibrated to the paper's §2 claim: "Program changes complete
+        # within a second" while the device stays live.
+        add_table_s=0.30,
+        remove_table_s=0.20,
+        modify_entries_per_1k_s=0.002,
+        parser_change_s=0.40,
+        function_reload_s=0.35,
+        full_reflash_s=20.0,
+        hitless=True,
+    )
+    return Target(
+        name=name,
+        arch="drmt",
+        capacity=capacity,
+        fungibility=FungibilityClass.POOLED,
+        performance=PerformanceModel(
+            base_latency_ns=450.0,
+            per_op_ns=1.2,
+            per_op_nj=0.5,
+            idle_power_w=140.0,
+            throughput_mpps=1800.0,
+        ),
+        reconfig=reconfig,
+        encodings=(StateEncoding.STATEFUL_TABLE, StateEncoding.FLOW_INSTRUCTION),
+        tier="switch",
+        max_function_ops=256,  # run-to-completion processors take bigger bodies
+        params={"processors": processors},
+    )

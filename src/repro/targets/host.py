@@ -1,0 +1,60 @@
+"""Host kernel-stack targets (§2): eBPF-programmable end hosts.
+
+The kernel network stack is runtime customizable via eBPF: constrained
+C programs are injected "without any disruption", and reconfiguration
+is an atomic program swap taking milliseconds. Resources are fully
+fungible but the per-packet cost is the highest of any tier.
+"""
+
+from __future__ import annotations
+
+from repro.targets.base import (
+    FungibilityClass,
+    PerformanceModel,
+    ReconfigCostModel,
+    StateEncoding,
+    Target,
+)
+from repro.targets.resources import ResourceVector
+
+
+def host(
+    name: str,
+    cores: int = 16,
+    core_mhz: float = 3000.0,
+    memory_mb: float = 16384.0,
+    kernel_maps: int = 512,
+) -> Target:
+    """Build a host/eBPF target."""
+    capacity = ResourceVector(
+        cpu_cores=cores,
+        cpu_mhz=cores * core_mhz * 0.25,  # only a slice of the host serves the datapath
+        sram_kb=memory_mb * 1024.0,
+        kernel_maps=kernel_maps,
+    )
+    reconfig = ReconfigCostModel(
+        add_table_s=0.002,  # eBPF program swap is effectively instant
+        remove_table_s=0.002,
+        modify_entries_per_1k_s=0.0005,
+        parser_change_s=0.002,
+        function_reload_s=0.003,
+        full_reflash_s=0.01,
+        hitless=True,
+    )
+    return Target(
+        name=name,
+        arch="host",
+        capacity=capacity,
+        fungibility=FungibilityClass.FULL,
+        performance=PerformanceModel(
+            base_latency_ns=9000.0,
+            per_op_ns=15.0,
+            per_op_nj=8.0,
+            idle_power_w=90.0,
+            throughput_mpps=10.0,
+        ),
+        reconfig=reconfig,
+        encodings=(StateEncoding.KERNEL_MAP,),
+        tier="host",
+        max_function_ops=None,
+    )

@@ -1,0 +1,163 @@
+"""Resource vectors for heterogeneous device architectures.
+
+Every FlexNet target advertises its capacity as a :class:`ResourceVector`
+— a mapping from named resource kinds (``sram_kb``, ``tcam_kb``,
+``stages``, ``processors`` ...) to non-negative quantities. Program
+elements carry *demand* vectors in the same space, and placement is
+feasible when demand fits within remaining capacity under the target's
+fungibility rules (see :mod:`repro.compiler.fungibility`).
+
+The vector is deliberately a small value type with explicit arithmetic
+rather than a numpy array: resource kinds differ per architecture, and
+keeping names attached makes infeasibility diagnostics readable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+from repro.errors import ResourceError
+
+#: Resource kinds understood by the built-in architectures. Targets may
+#: introduce additional kinds; these are only used for validation of the
+#: built-in models.
+KNOWN_KINDS = frozenset(
+    {
+        "sram_kb",  # exact-match / index table memory
+        "tcam_kb",  # ternary-match memory
+        "hash_tiles",  # Trident4-style hash tiles
+        "index_tiles",  # Trident4-style index tiles
+        "tcam_tiles",  # Trident4-style TCAM tiles
+        "pem_elems",  # Jericho2 programmable-elements-matrix slots
+        "stages",  # RMT pipeline stages
+        "alus",  # stateful ALUs
+        "processors",  # dRMT match/action processors
+        "parser_states",  # parser TCAM entries
+        "luts",  # FPGA lookup tables (in thousands)
+        "bram_kb",  # FPGA block RAM
+        "cpu_cores",  # SoC / host cores
+        "cpu_mhz",  # aggregate core budget for eBPF-style functions
+        "kernel_maps",  # host eBPF map slots
+    }
+)
+
+
+class ResourceVector(Mapping[str, float]):
+    """An immutable mapping of resource-kind -> quantity.
+
+    Supports element-wise ``+`` / ``-``, scalar ``*``, and the
+    comparison helpers used by placement (:meth:`fits_within`).
+    Missing kinds are treated as zero, so vectors over different kind
+    sets combine naturally.
+    """
+
+    __slots__ = ("_amounts",)
+
+    def __init__(self, amounts: Mapping[str, float] | None = None, **kwargs: float):
+        merged: dict[str, float] = {}
+        for source in (amounts or {}), kwargs:
+            for kind, quantity in source.items():
+                if quantity < 0:
+                    raise ResourceError(f"negative quantity for resource {kind!r}: {quantity}")
+                if quantity:
+                    merged[kind] = merged.get(kind, 0.0) + float(quantity)
+        self._amounts: dict[str, float] = merged
+
+    # -- Mapping protocol -------------------------------------------------
+
+    def __getitem__(self, kind: str) -> float:
+        return self._amounts.get(kind, 0.0)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._amounts)
+
+    def __len__(self) -> int:
+        return len(self._amounts)
+
+    def __contains__(self, kind: object) -> bool:
+        return kind in self._amounts
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        kinds = set(self._amounts) | set(other._amounts)
+        return ResourceVector({k: self[k] + other[k] for k in kinds})
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        """Subtract, raising :class:`ResourceError` if any kind goes negative."""
+        kinds = set(self._amounts) | set(other._amounts)
+        result = {}
+        for kind in kinds:
+            remaining = self[kind] - other[kind]
+            if remaining < -1e-9:
+                raise ResourceError(
+                    f"resource {kind!r} overcommitted: {self[kind]} available, {other[kind]} requested"
+                )
+            result[kind] = max(remaining, 0.0)
+        return ResourceVector(result)
+
+    def __mul__(self, factor: float) -> "ResourceVector":
+        if factor < 0:
+            raise ResourceError(f"cannot scale a resource vector by {factor}")
+        return ResourceVector({k: v * factor for k, v in self._amounts.items()})
+
+    __rmul__ = __mul__
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResourceVector):
+            return NotImplemented
+        kinds = set(self._amounts) | set(other._amounts)
+        return all(abs(self[k] - other[k]) < 1e-9 for k in kinds)
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((k, round(v, 9)) for k, v in self._amounts.items() if v)))
+
+    # -- placement helpers ---------------------------------------------------
+
+    def fits_within(self, capacity: "ResourceVector") -> bool:
+        """True if every kind of this demand fits in ``capacity``."""
+        return all(quantity <= capacity[kind] + 1e-9 for kind, quantity in self._amounts.items())
+
+    def deficit_against(self, capacity: "ResourceVector") -> dict[str, float]:
+        """Per-kind shortfall of ``capacity`` against this demand (empty if it fits)."""
+        return {
+            kind: quantity - capacity[kind]
+            for kind, quantity in self._amounts.items()
+            if quantity > capacity[kind] + 1e-9
+        }
+
+    def utilization_of(self, capacity: "ResourceVector") -> float:
+        """Max per-kind fraction of ``capacity`` this vector consumes.
+
+        Kinds absent from ``capacity`` count as infinitely utilized, which
+        placement treats as infeasible.
+        """
+        fractions = []
+        for kind, quantity in self._amounts.items():
+            if capacity[kind] <= 0:
+                return float("inf")
+            fractions.append(quantity / capacity[kind])
+        return max(fractions, default=0.0)
+
+    def is_zero(self) -> bool:
+        return all(v < 1e-9 for v in self._amounts.values())
+
+    def scaled_to_kinds(self, kinds: frozenset[str]) -> "ResourceVector":
+        """Project this vector onto a subset of kinds."""
+        return ResourceVector({k: v for k, v in self._amounts.items() if k in kinds})
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v:g}" for k, v in sorted(self._amounts.items()))
+        return f"ResourceVector({body})"
+
+
+#: The empty vector, used as the identity for accumulation.
+ZERO = ResourceVector()
+
+
+def total(vectors: list[ResourceVector]) -> ResourceVector:
+    """Sum a list of vectors (empty list -> zero vector)."""
+    acc = ZERO
+    for vector in vectors:
+        acc = acc + vector
+    return acc

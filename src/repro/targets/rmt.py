@@ -1,0 +1,114 @@
+"""RMT pipeline targets (§3.3(i)): Intel FlexPipe / Tofino class.
+
+The RMT architecture processes packets through a fixed number of
+match/action stages; memory and ALUs belong to a stage, so resources
+are only fungible *within* a stage. Placement on RMT must therefore
+solve a stage-assignment problem (tables that depend on each other's
+results must occupy increasing stages); see
+:class:`repro.compiler.fungibility.StagePlanner`.
+
+Stock Tofino-class hardware is compile-time programmable only: a
+program change requires a full pipeline reflash behind a traffic drain.
+The paper notes that "by adding runtime support to reconfigure
+individual stages in a live manner ... all pipeline resources would
+become fungible" — :func:`rmt_switch` exposes a ``runtime_capable``
+flag to model that hypothetical upgrade.
+"""
+
+from __future__ import annotations
+
+from repro.targets.base import (
+    FungibilityClass,
+    PerformanceModel,
+    ReconfigCostModel,
+    StateEncoding,
+    Target,
+)
+from repro.targets.resources import ResourceVector
+
+#: Default per-stage capacities, loosely Tofino-1 proportioned.
+DEFAULT_STAGES = 12
+STAGE_SRAM_KB = 1280.0
+STAGE_TCAM_KB = 88.0
+STAGE_ALUS = 4
+
+
+def rmt_switch(
+    name: str,
+    stages: int = DEFAULT_STAGES,
+    runtime_capable: bool = False,
+    stage_sram_kb: float = STAGE_SRAM_KB,
+    stage_tcam_kb: float = STAGE_TCAM_KB,
+    stage_alus: int = STAGE_ALUS,
+) -> Target:
+    """Build an RMT pipeline switch target.
+
+    ``runtime_capable=False`` models stock hardware: any structural
+    change needs a drain + full reflash (~30 s of virtual time), the
+    compile-time baseline the paper argues against. ``True`` models the
+    per-stage live reconfiguration upgrade the paper hypothesizes.
+    """
+    capacity = ResourceVector(
+        stages=stages,
+        sram_kb=stage_sram_kb * stages,
+        tcam_kb=stage_tcam_kb * stages,
+        alus=stage_alus * stages,
+        parser_states=192,
+    )
+    if runtime_capable:
+        reconfig = ReconfigCostModel(
+            add_table_s=0.40,
+            remove_table_s=0.25,
+            modify_entries_per_1k_s=0.002,
+            parser_change_s=0.45,
+            function_reload_s=0.40,
+            full_reflash_s=25.0,
+            hitless=True,
+        )
+    else:
+        reconfig = ReconfigCostModel(
+            add_table_s=25.0,  # any structural change == full reflash
+            remove_table_s=25.0,
+            modify_entries_per_1k_s=0.002,  # entry churn is control-plane only
+            parser_change_s=25.0,
+            function_reload_s=25.0,
+            full_reflash_s=25.0,
+            hitless=False,
+            drain_s=5.0,
+            redeploy_s=4.0,
+        )
+    return Target(
+        name=name,
+        arch="rmt",
+        capacity=capacity,
+        fungibility=(
+            FungibilityClass.POOLED if runtime_capable else FungibilityClass.STAGE_LOCAL
+        ),
+        performance=PerformanceModel(
+            base_latency_ns=400.0,
+            per_op_ns=1.0,
+            per_op_nj=0.6,
+            idle_power_w=150.0,
+            throughput_mpps=2000.0,
+        ),
+        reconfig=reconfig,
+        encodings=(StateEncoding.REGISTER,),
+        tier="switch",
+        max_function_ops=48,  # only small stateful gadgets fit a pipeline
+        params={
+            "stages": stages,
+            "stage_sram_kb": stage_sram_kb,
+            "stage_tcam_kb": stage_tcam_kb,
+            "stage_alus": stage_alus,
+            "runtime_capable": runtime_capable,
+        },
+    )
+
+
+def stage_capacity(target: Target) -> ResourceVector:
+    """Per-stage capacity vector of an RMT target."""
+    return ResourceVector(
+        sram_kb=target.params["stage_sram_kb"],
+        tcam_kb=target.params["stage_tcam_kb"],
+        alus=target.params["stage_alus"],
+    )

@@ -1,0 +1,58 @@
+"""SoC SmartNIC targets (§3.3(iv)): BlueField / Agilio / Pensando class.
+
+General-purpose SoC cores make resources "essentially fully fungible";
+programs are C/P4 and reload per-core while siblings keep serving, so
+reconfiguration is hitless and fast. The price is per-packet latency
+roughly an order of magnitude above a switch pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.targets.base import (
+    FungibilityClass,
+    PerformanceModel,
+    ReconfigCostModel,
+    StateEncoding,
+    Target,
+)
+from repro.targets.resources import ResourceVector
+
+
+def smartnic(
+    name: str,
+    cores: int = 8,
+    core_mhz: float = 2000.0,
+    dram_mb: float = 8192.0,
+) -> Target:
+    """Build a SoC SmartNIC target."""
+    capacity = ResourceVector(
+        cpu_cores=cores,
+        cpu_mhz=cores * core_mhz,
+        sram_kb=dram_mb * 1024.0,
+    )
+    reconfig = ReconfigCostModel(
+        add_table_s=0.05,
+        remove_table_s=0.03,
+        modify_entries_per_1k_s=0.001,
+        parser_change_s=0.05,
+        function_reload_s=0.06,
+        full_reflash_s=2.0,
+        hitless=True,
+    )
+    return Target(
+        name=name,
+        arch="smartnic",
+        capacity=capacity,
+        fungibility=FungibilityClass.FULL,
+        performance=PerformanceModel(
+            base_latency_ns=2500.0,
+            per_op_ns=8.0,
+            per_op_nj=4.0,
+            idle_power_w=25.0,
+            throughput_mpps=60.0,
+        ),
+        reconfig=reconfig,
+        encodings=(StateEncoding.SOC_MEMORY, StateEncoding.KERNEL_MAP),
+        tier="nic",
+        max_function_ops=None,  # general-purpose cores: anything bounded
+    )

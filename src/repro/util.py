@@ -1,0 +1,27 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+
+def stable_hash(parts: tuple[int, ...]) -> int:
+    """Deterministic 64-bit FNV-1a over a tuple of ints.
+
+    Python's builtin ``hash`` is salted per process; data plane hashing
+    (sketches, ECMP, register indexing) must be reproducible across
+    runs and across simulated devices, so everything hashes through
+    this function.
+    """
+    value = 0xCBF29CE484222325
+    for part in parts:
+        for byte in int(part).to_bytes(16, "little", signed=False):
+            value ^= byte
+            value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    # FNV-1a's low bits are weakly mixed (they only ever see the low bits
+    # of the multiplications); data plane hashing takes `hash % small_n`,
+    # so finish with a murmur3-style avalanche to spread entropy down.
+    value ^= value >> 33
+    value = (value * 0xFF51AFD7ED558CCD) & 0xFFFFFFFFFFFFFFFF
+    value ^= value >> 33
+    value = (value * 0xC4CEB9FE1A85EC53) & 0xFFFFFFFFFFFFFFFF
+    value ^= value >> 33
+    return value

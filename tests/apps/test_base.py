@@ -1,0 +1,42 @@
+"""Base infrastructure program tests."""
+
+from repro.apps.base import STANDARD_HEADERS, base_infrastructure, standard_builder
+from repro.lang.analyzer import certify
+from repro.simulator.packet import Verdict, make_packet
+from repro.simulator.pipeline_exec import ProgramInstance
+
+
+class TestBaseProgram:
+    def test_elements_present(self, base_program):
+        assert base_program.has_table("acl")
+        assert base_program.has_table("l2")
+        assert base_program.has_table("l3")
+        assert base_program.has_function("count_flow")
+        assert base_program.has_function("ttl_guard")
+        assert base_program.has_map("flow_counts")
+
+    def test_certifiable(self, base_program):
+        certificate = certify(base_program)
+        assert certificate.max_packet_ops < 200
+
+    def test_sizes_configurable(self):
+        program = base_infrastructure(acl_size=7, l2_size=8, l3_size=9, flow_entries=10)
+        assert program.table("acl").size == 7
+        assert program.table("l2").size == 8
+        assert program.table("l3").size == 9
+        assert program.map("flow_counts").max_entries == 10
+
+    def test_forwards_normal_traffic(self, base_program):
+        instance = ProgramInstance(base_program)
+        packet = make_packet(1, 2)
+        instance.process(packet)
+        assert packet.verdict is Verdict.FORWARD
+        assert packet.meta["egress_port"] == 1
+
+    def test_standard_builder_parses_tcp(self):
+        program = standard_builder("x").build()
+        assert program.parser.headers_extracted == ("ethernet", "ipv4", "tcp")
+
+    def test_standard_headers_shape(self):
+        assert STANDARD_HEADERS["ipv4"]["src"] == 32
+        assert STANDARD_HEADERS["tcp"]["flags"] == 8

@@ -1,0 +1,85 @@
+"""Congestion-control customization tests (vertical distribution)."""
+
+import pytest
+
+from repro.apps.cc import dctcp_delta, hpcc_delta, remove_cc_delta, swap_cc_delta
+from repro.compiler.placement import PlacementEngine
+from repro.lang.analyzer import certify
+from repro.lang.delta import apply_delta
+from repro.simulator.packet import make_packet
+from repro.simulator.pipeline_exec import ProgramInstance
+
+from tests.conftest import make_standard_slice
+
+
+class TestDctcp:
+    def test_marks_above_threshold(self, base_program):
+        program, _ = apply_delta(base_program, dctcp_delta(ecn_threshold=20))
+        instance = ProgramInstance(program)
+        congested = make_packet(1, 2)
+        congested.meta["queue_depth"] = 50
+        instance.process(congested)
+        assert congested.meta.get("ecn") == 1
+
+        calm = make_packet(1, 2)
+        calm.meta["queue_depth"] = 5
+        instance.process(calm)
+        assert calm.meta.get("ecn", 0) == 0
+
+    def test_window_decreases_on_ecn(self, base_program):
+        program, _ = apply_delta(base_program, dctcp_delta(ecn_threshold=20))
+        instance = ProgramInstance(program)
+        # grow window with unmarked packets
+        for _ in range(16):
+            packet = make_packet(1, 9)
+            packet.meta["queue_depth"] = 0
+            instance.process(packet)
+        grown = instance.maps.state("cc_windows").get((9,))
+        assert grown == 16
+        # one marked packet crushes it
+        marked = make_packet(1, 9)
+        marked.meta["queue_depth"] = 99
+        instance.process(marked)
+        after = instance.maps.state("cc_windows").get((9,))
+        assert after < grown
+
+
+class TestHpcc:
+    def test_precise_depth_carried(self, base_program):
+        program, _ = apply_delta(base_program, hpcc_delta())
+        instance = ProgramInstance(program)
+        packet = make_packet(1, 2)
+        packet.meta["queue_depth"] = 37
+        instance.process(packet)
+        assert packet.meta["int_qdepth"] == 37
+
+
+class TestVerticalPlacement:
+    def test_mark_on_switch_window_on_host_tier(self, base_program):
+        program, _ = apply_delta(base_program, dctcp_delta())
+        certificate = certify(program)
+        slice_ = make_standard_slice()
+        plan = PlacementEngine().compile(program, certificate, slice_)
+        assert plan.placement["ecn_mark"] == "sw1"
+        window_tier = slice_.device(plan.placement["cc_window"]).target.tier
+        assert window_tier in ("nic", "host")
+
+
+class TestSwap:
+    def test_swap_replaces_algorithm(self, base_program):
+        program, _ = apply_delta(base_program, dctcp_delta())
+        swapped, changes = apply_delta(program, swap_cc_delta("hpcc"))
+        assert swapped.has_function("ecn_mark")
+        # hpcc marker writes int_qdepth; dctcp's does not
+        instance = ProgramInstance(swapped)
+        packet = make_packet(1, 2)
+        packet.meta["queue_depth"] = 5
+        instance.process(packet)
+        assert "int_qdepth" in packet.meta
+
+    def test_remove_cleans_up(self, base_program):
+        program, _ = apply_delta(base_program, dctcp_delta())
+        removed, changes = apply_delta(program, remove_cc_delta())
+        assert not removed.has_function("ecn_mark")
+        assert not removed.has_map("cc_windows")
+        assert {"ecn_mark", "cc_window", "cc_windows"} <= set(changes.removed)

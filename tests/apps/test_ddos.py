@@ -1,0 +1,104 @@
+"""Elastic DDoS defense tests (E3 foundations)."""
+
+import pytest
+
+from repro.apps.base import base_infrastructure
+from repro.apps.ddos import (
+    DEFENSE_URI,
+    DdosDefender,
+    DefenderConfig,
+    syn_defense_delta,
+    syn_monitor_delta,
+)
+from repro.core.flexnet import FlexNet
+from repro.lang.delta import apply_delta
+from repro.simulator.flowgen import constant_rate, merge_streams, syn_flood
+from repro.simulator.packet import Verdict, make_packet
+from repro.simulator.pipeline_exec import ProgramInstance
+
+VICTIM = 0x0A0000FE
+
+
+class TestMonitorDelta:
+    def test_syn_digested(self, base_program):
+        program, _ = apply_delta(base_program, syn_monitor_delta())
+        instance = ProgramInstance(program)
+        syn = make_packet(1, VICTIM, tcp_flags=0x02)
+        instance.process(syn)
+        assert syn.digests == [(program.name, (VICTIM, 1))]
+
+    def test_non_syn_not_digested(self, base_program):
+        program, _ = apply_delta(base_program, syn_monitor_delta())
+        instance = ProgramInstance(program)
+        ack = make_packet(1, VICTIM, tcp_flags=0x10)
+        instance.process(ack)
+        assert ack.digests == []
+
+
+class TestDefenseDelta:
+    def test_drops_over_threshold(self, base_program):
+        program, _ = apply_delta(base_program, syn_defense_delta(threshold=5))
+        instance = ProgramInstance(program)
+        verdicts = []
+        for _ in range(10):
+            syn = make_packet(1, VICTIM, tcp_flags=0x02)
+            instance.process(syn)
+            verdicts.append(syn.verdict)
+        assert verdicts[:5].count(Verdict.DROP) == 0
+        assert Verdict.DROP in verdicts[6:]
+
+    def test_benign_traffic_untouched(self, base_program):
+        program, _ = apply_delta(base_program, syn_defense_delta(threshold=5))
+        instance = ProgramInstance(program)
+        for _ in range(20):
+            ack = make_packet(1, VICTIM, tcp_flags=0x10)
+            instance.process(ack)
+            assert ack.verdict is Verdict.FORWARD
+
+
+class TestClosedLoop:
+    def run_attack_scenario(self, config=None):
+        net = FlexNet.standard()
+        net.install(base_infrastructure())
+        net.update(syn_monitor_delta())
+        net.loop.run_until(net.loop.now + 2.0)
+
+        defender = DdosDefender(net.controller, config or DefenderConfig(
+            attack_threshold_pps=300.0,
+            quiet_threshold_pps=50.0,
+            check_interval_s=0.2,
+            quiet_intervals_to_retire=3,
+        ))
+        defender.start()
+
+        start = net.loop.now
+        benign = constant_rate(50, 14.0, start_s=start, dst_ip=0x0A000002)
+        attack = syn_flood(
+            2000, ramp_s=2.0, hold_s=4.0, decay_s=2.0, victim_ip=VICTIM,
+            start_s=start + 1.0, seed=11,
+        )
+        report = net.run_traffic(
+            packets=merge_streams(benign, attack), extra_time_s=6.0
+        )
+        defender.stop()
+        return net, defender, report
+
+    def test_defense_summoned_and_retired(self):
+        net, defender, _ = self.run_attack_scenario()
+        assert defender.log.detections >= 1
+        assert defender.log.deployed_at is not None
+        assert defender.log.retired_at is not None
+        assert defender.log.retired_at > defender.log.deployed_at
+        assert not defender.deployed  # retired after quiet period
+        assert DEFENSE_URI not in net.controller.app_uris
+
+    def test_attack_traffic_dropped_by_program(self):
+        _, _, report = self.run_attack_scenario()
+        assert report.metrics.dropped_by_program > 0
+        assert report.metrics.lost_by_infrastructure == 0
+
+    def test_reaction_time_subsecond_after_threshold(self):
+        net, defender, _ = self.run_attack_scenario()
+        # attack starts ramping at t~3; detection threshold of 300pps is
+        # crossed within the ramp; deployment happens within ~2 checks.
+        assert defender.log.deployed_at < 3.0 + 2.0 + 1.0

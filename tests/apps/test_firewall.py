@@ -1,0 +1,101 @@
+"""Stateful firewall app tests."""
+
+import pytest
+
+from repro.apps.firewall import FirewallManager, firewall_delta
+from repro.control.p4runtime import P4RuntimeClient
+from repro.lang.delta import apply_delta
+from repro.runtime.device import DeviceRuntime
+from repro.simulator.packet import Verdict, make_packet
+from repro.simulator.pipeline_exec import ProgramInstance
+from repro.targets import drmt_switch
+
+PROTECTED = 0x0A000000  # 10.0.0.0/8
+INSIDE = 0x0A000005
+OUTSIDE = 0x0B000007
+
+
+@pytest.fixture
+def firewalled(base_program):
+    program, changes = apply_delta(base_program, firewall_delta())
+    return program, changes
+
+
+class TestDelta:
+    def test_elements_added(self, firewalled):
+        program, changes = firewalled
+        assert changes.added == {"fw_block", "fw_conns", "fw_track"}
+        assert program.has_table("fw_block")
+
+    def test_block_table_before_acl(self, firewalled):
+        from repro.lang import ir
+
+        program, _ = firewalled
+        names = [s.table for s in program.apply if isinstance(s, ir.ApplyTable)]
+        assert names.index("fw_block") < names.index("acl")
+
+
+class TestConnectionTracking:
+    def test_outbound_registers_return_path(self, firewalled):
+        program, _ = firewalled
+        instance = ProgramInstance(program)
+        outbound = make_packet(INSIDE, OUTSIDE)
+        instance.process(outbound)
+        assert outbound.verdict is Verdict.FORWARD
+        inbound = make_packet(OUTSIDE, INSIDE)
+        instance.process(inbound)
+        assert inbound.verdict is Verdict.FORWARD
+
+    def test_unsolicited_inbound_dropped(self, firewalled):
+        program, _ = firewalled
+        instance = ProgramInstance(program)
+        inbound = make_packet(OUTSIDE, INSIDE)
+        instance.process(inbound)
+        assert inbound.verdict is Verdict.DROP
+
+    def test_outside_to_outside_unaffected(self, firewalled):
+        program, _ = firewalled
+        instance = ProgramInstance(program)
+        packet = make_packet(0x0B000001, 0x0C000001)
+        instance.process(packet)
+        assert packet.verdict is Verdict.FORWARD
+
+
+class TestManager:
+    @pytest.fixture
+    def manager(self, firewalled):
+        program, _ = firewalled
+        device = DeviceRuntime("sw1", drmt_switch("sw1"))
+        device.install(program)
+        return device, FirewallManager(P4RuntimeClient(device))
+
+    def test_block_source(self, manager):
+        device, firewall = manager
+        firewall.block_source(0x0B000007)
+        packet = make_packet(0x0B000007, 0x0C000001)
+        device.process(packet, 0.0)
+        assert packet.verdict is Verdict.DROP
+        assert firewall.blocked_count() == 1
+
+    def test_unblock(self, manager):
+        device, firewall = manager
+        entry = firewall.block_source(0x0B000007)
+        assert firewall.unblock(entry)
+        packet = make_packet(0x0B000007, 0x0C000001)
+        device.process(packet, 0.0)
+        assert packet.verdict is Verdict.FORWARD
+
+    def test_block_pair_is_directional(self, manager):
+        device, firewall = manager
+        firewall.block_pair(0x0B000007, 0x0C000001)
+        blocked = make_packet(0x0B000007, 0x0C000001)
+        device.process(blocked, 0.0)
+        assert blocked.verdict is Verdict.DROP
+        reverse = make_packet(0x0C000001, 0x0B000007)
+        device.process(reverse, 0.0)
+        assert reverse.verdict is Verdict.FORWARD
+
+    def test_tracked_connections_counter(self, manager):
+        device, firewall = manager
+        device.process(make_packet(INSIDE, OUTSIDE), 0.0)
+        assert firewall.tracked_connections() == 1

@@ -1,0 +1,85 @@
+"""Dynamic query manager tests (the DynamiQ contrast, live)."""
+
+import pytest
+
+from repro.apps.base import base_infrastructure
+from repro.apps.monitoring import QueryManager, QuerySpec
+from repro.core.flexnet import FlexNet
+from repro.errors import ControlPlaneError
+from repro.simulator.flowgen import constant_rate, merge_streams
+
+
+@pytest.fixture
+def monitored():
+    net = FlexNet.standard()
+    net.install(base_infrastructure())
+    return net, QueryManager(net.controller)
+
+
+class TestQueryLifecycle:
+    def test_add_deploys_at_runtime(self, monitored):
+        net, manager = monitored
+        manager.add(QuerySpec(name="dst", key_field="ipv4.dst"))
+        assert manager.active == ["dst"]
+        assert net.program.has_function("q_dst")
+        assert net.program.has_map("q_dst_r0")
+
+    def test_duplicate_rejected(self, monitored):
+        _, manager = monitored
+        manager.add(QuerySpec(name="dst", key_field="ipv4.dst"))
+        with pytest.raises(ControlPlaneError, match="already active"):
+            manager.add(QuerySpec(name="dst", key_field="ipv4.dst"))
+
+    def test_remove_releases_everything(self, monitored):
+        net, manager = monitored
+        manager.add(QuerySpec(name="dst", key_field="ipv4.dst"))
+        net.loop.run_until(net.loop.now + 2.0)
+        manager.remove("dst")
+        assert manager.active == []
+        assert not net.program.has_function("q_dst")
+        assert not net.program.has_map("q_dst_r0")
+
+    def test_remove_unknown_rejected(self, monitored):
+        _, manager = monitored
+        with pytest.raises(ControlPlaneError, match="no active query"):
+            manager.remove("ghost")
+
+
+class TestQueryResults:
+    def test_estimates_track_traffic(self, monitored):
+        net, manager = monitored
+        manager.add(QuerySpec(name="dst", key_field="ipv4.dst"))
+        net.loop.run_until(net.loop.now + 2.0)
+        start = net.loop.now
+        heavy = constant_rate(200, 1.0, start_s=start, dst_ip=777)
+        light = constant_rate(20, 1.0, start_s=start, dst_ip=888, src_ip=5)
+        net.run_traffic(packets=merge_streams(heavy, light), extra_time_s=2.0)
+
+        assert manager.estimate("dst", 777) >= 200
+        assert manager.estimate("dst", 888) >= 20
+        assert manager.estimate("dst", 777) > manager.estimate("dst", 888)
+        assert manager.heavy_hitters("dst", [777, 888, 999], threshold=100) == [777]
+
+    def test_two_concurrent_queries_different_keys(self, monitored):
+        net, manager = monitored
+        manager.add(QuerySpec(name="dst", key_field="ipv4.dst"))
+        net.loop.run_until(net.loop.now + 2.0)
+        manager.add(QuerySpec(name="port", key_field="tcp.dport"))
+        net.loop.run_until(net.loop.now + 2.0)
+        start = net.loop.now
+        net.run_traffic(
+            packets=list(constant_rate(100, 1.0, start_s=start, dst_ip=42, dst_port=443)),
+            extra_time_s=2.0,
+        )
+        assert manager.estimate("dst", 42) >= 100
+        assert manager.estimate("port", 443) >= 100
+
+    def test_no_preallocation_needed(self, monitored):
+        """Unlike DynamiQ, queries beyond any anticipated pool simply
+        deploy: five distinct queries arrive at runtime."""
+        net, manager = monitored
+        fields = ["ipv4.dst", "ipv4.src", "tcp.dport", "tcp.sport", "ipv4.proto"]
+        for index, key_field in enumerate(fields):
+            manager.add(QuerySpec(name=f"q{index}", key_field=key_field, width=512))
+            net.loop.run_until(net.loop.now + 1.5)
+        assert len(manager.active) == 5

@@ -1,0 +1,48 @@
+"""NAT app tests."""
+
+import pytest
+
+from repro.apps.nat import NatManager, nat_delta
+from repro.control.p4runtime import P4RuntimeClient
+from repro.lang.delta import apply_delta
+from repro.runtime.device import DeviceRuntime
+from repro.simulator.packet import make_packet
+from repro.targets import drmt_switch
+
+PRIVATE = 0x0A000005
+PUBLIC = 0xC0A80001
+
+
+@pytest.fixture
+def natted(base_program):
+    program, _ = apply_delta(base_program, nat_delta())
+    device = DeviceRuntime("sw1", drmt_switch("sw1"))
+    device.install(program)
+    return device, NatManager(P4RuntimeClient(device))
+
+
+class TestNat:
+    def test_egress_rewrite(self, natted):
+        device, nat = natted
+        nat.bind(PRIVATE, PUBLIC)
+        packet = make_packet(PRIVATE, 0x08080808)
+        device.process(packet, 0.0)
+        assert packet.get_field("ipv4", "src") == PUBLIC
+
+    def test_ingress_rewrite(self, natted):
+        device, nat = natted
+        nat.bind(PRIVATE, PUBLIC)
+        packet = make_packet(0x08080808, PUBLIC)
+        device.process(packet, 0.0)
+        assert packet.get_field("ipv4", "dst") == PRIVATE
+
+    def test_unbound_traffic_untouched(self, natted):
+        device, _ = natted
+        packet = make_packet(0x0B000001, 0x08080808)
+        device.process(packet, 0.0)
+        assert packet.get_field("ipv4", "src") == 0x0B000001
+
+    def test_bindings_recorded(self, natted):
+        _, nat = natted
+        nat.bind(PRIVATE, PUBLIC)
+        assert nat.bindings == {PRIVATE: PUBLIC}

@@ -1,0 +1,72 @@
+"""Count-min sketch app tests."""
+
+import pytest
+
+from repro.apps.sketch import SketchReader, count_min_delta, row_map_name
+from repro.control.p4runtime import P4RuntimeClient
+from repro.lang.delta import apply_delta
+from repro.runtime.device import DeviceRuntime
+from repro.simulator.packet import make_packet
+from repro.simulator.pipeline_exec import ProgramInstance
+from repro.targets import drmt_switch
+
+
+@pytest.fixture
+def sketched(base_program):
+    program, changes = apply_delta(base_program, count_min_delta(rows=3, width=512))
+    return program, changes
+
+
+class TestDelta:
+    def test_rows_and_updater_added(self, sketched):
+        program, changes = sketched
+        assert {"cms_row0", "cms_row1", "cms_row2", "cms_update"} <= set(changes.added)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            count_min_delta(rows=0)
+        with pytest.raises(ValueError):
+            count_min_delta(width=1)
+
+
+class TestCounting:
+    def test_estimate_at_least_true_count(self, sketched):
+        program, _ = sketched
+        device = DeviceRuntime("sw1", drmt_switch("sw1"))
+        device.install(program)
+        reader = SketchReader(P4RuntimeClient(device), rows=3, width=512)
+        for _ in range(25):
+            device.process(make_packet(777, 1), 0.0)
+        for _ in range(3):
+            device.process(make_packet(888, 1), 0.0)
+        assert reader.estimate(777) >= 25
+        assert reader.estimate(888) >= 3
+        # count-min never underestimates, and with this density the
+        # estimate should be close
+        assert reader.estimate(777) <= 25 + 3
+
+    def test_heavy_keys(self, sketched):
+        program, _ = sketched
+        device = DeviceRuntime("sw1", drmt_switch("sw1"))
+        device.install(program)
+        reader = SketchReader(P4RuntimeClient(device), rows=3, width=512)
+        for _ in range(50):
+            device.process(make_packet(111, 1), 0.0)
+        device.process(make_packet(222, 1), 0.0)
+        heavy = reader.heavy_keys([111, 222, 333], threshold=10)
+        assert heavy == [111]
+
+    def test_total_updates(self, sketched):
+        program, _ = sketched
+        instance = ProgramInstance(program)
+        for i in range(7):
+            instance.process(make_packet(i, 1))
+        row0 = instance.maps.state(row_map_name(0))
+        assert sum(value for _, value in row0.items()) == 7
+
+    def test_unknown_key_estimates_low(self, sketched):
+        program, _ = sketched
+        device = DeviceRuntime("sw1", drmt_switch("sw1"))
+        device.install(program)
+        reader = SketchReader(P4RuntimeClient(device), rows=3, width=512)
+        assert reader.estimate(0xDEAD) == 0

@@ -1,0 +1,44 @@
+"""INT-probe utility tests: inject, observe, retire."""
+
+from repro.apps.telemetry_app import int_probe_delta, remove_probe_delta
+from repro.lang.delta import apply_delta
+from repro.simulator.packet import make_packet
+from repro.simulator.pipeline_exec import ProgramInstance
+
+
+class TestProbeLifecycle:
+    def test_probe_emits_digest(self, base_program):
+        program, _ = apply_delta(base_program, int_probe_delta())
+        instance = ProgramInstance(program)
+        packet = make_packet(1, 2)
+        packet.meta["queue_depth"] = 12
+        instance.process(packet)
+        assert packet.digests
+        dst, ttl, depth = packet.digests[0][1]
+        assert dst == 2 and depth == 12
+
+    def test_sampling_shift(self, base_program):
+        program, _ = apply_delta(base_program, int_probe_delta(sample_shift=2))
+        instance = ProgramInstance(program)
+        digests = 0
+        for port in range(16):
+            packet = make_packet(1, 2)
+            packet.meta["ingress_port"] = port
+            instance.process(packet)
+            digests += len(packet.digests)
+        assert digests == 4  # every 4th ingress port value
+
+    def test_probe_removed_cleanly(self, base_program):
+        program, _ = apply_delta(base_program, int_probe_delta())
+        trimmed, changes = apply_delta(program, remove_probe_delta())
+        assert changes.removed == frozenset({"int_probe"})
+        instance = ProgramInstance(trimmed)
+        packet = make_packet(1, 2)
+        instance.process(packet)
+        assert packet.digests == []
+
+    def test_no_persistent_footprint(self, base_program):
+        """§3.4: utility functions have no persistent footprint."""
+        program, _ = apply_delta(base_program, int_probe_delta())
+        trimmed, _ = apply_delta(program, remove_probe_delta())
+        assert set(trimmed.element_names) == set(base_program.element_names)

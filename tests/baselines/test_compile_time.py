@@ -1,0 +1,65 @@
+"""Compile-time baseline tests (the §1 contrast)."""
+
+import pytest
+
+from repro.apps.base import base_infrastructure
+from repro.apps.firewall import firewall_delta
+from repro.baselines.compile_time import CompileTimeNetwork
+from repro.errors import ControlPlaneError
+from repro.lang.delta import parse_delta
+from repro.simulator.flowgen import constant_rate
+
+
+class TestInstall:
+    def test_install_places_program(self):
+        baseline = CompileTimeNetwork.standard()
+        plan = baseline.install(base_infrastructure())
+        assert plan.placement
+
+    def test_update_before_install_rejected(self):
+        baseline = CompileTimeNetwork.standard()
+        with pytest.raises(ControlPlaneError):
+            baseline.update(firewall_delta())
+
+
+class TestReflashSemantics:
+    def test_update_causes_downtime(self):
+        baseline = CompileTimeNetwork.standard()
+        baseline.install(base_infrastructure())
+        event = baseline.update(firewall_delta())
+        assert event.downtime_s > 10.0  # drain + reflash + redeploy
+        assert "sw1" in event.devices
+
+    def test_packets_lost_during_reflash(self):
+        baseline = CompileTimeNetwork.standard()
+        baseline.install(base_infrastructure())
+        packets = list(constant_rate(500, 60.0))
+        baseline.loop.schedule_at(10.0, lambda: baseline.update(firewall_delta()))
+        metrics = baseline.run_traffic(packets, extra_time_s=5.0)
+        assert metrics.lost_by_infrastructure > 0
+        # loss proportional to the downtime window
+        expected = 500 * baseline.reflashes[0].downtime_s
+        assert metrics.lost_by_infrastructure == pytest.approx(expected, rel=0.1)
+
+    def test_no_update_no_loss(self):
+        baseline = CompileTimeNetwork.standard()
+        baseline.install(base_infrastructure())
+        metrics = baseline.run_traffic(list(constant_rate(500, 5.0)))
+        assert metrics.lost_by_infrastructure == 0
+
+    def test_state_cold_after_reflash(self):
+        baseline = CompileTimeNetwork.standard()
+        baseline.install(base_infrastructure())
+        metrics = baseline.run_traffic(list(constant_rate(100, 1.0)), extra_time_s=0.5)
+        assert metrics.delivered == 100
+        sw1 = baseline.devices["sw1"]
+        assert len(sw1.active_instance.maps.state("flow_counts")) > 0
+        baseline.update(parse_delta("delta d { resize table acl 2048; }"))
+        assert len(sw1.active_instance.maps.state("flow_counts")) == 0
+
+    def test_multiple_reflashes_accumulate(self):
+        baseline = CompileTimeNetwork.standard()
+        baseline.install(base_infrastructure())
+        baseline.update(parse_delta("delta d1 { resize table acl 2048; }"))
+        baseline.update(parse_delta("delta d2 { resize table acl 512; }"))
+        assert len(baseline.reflashes) == 2

@@ -1,0 +1,61 @@
+"""Mantis-style baseline tests."""
+
+import pytest
+
+from repro.baselines.mantis import ACTIVATION_LATENCY_S, MantisDevice, ProvisionedSlot
+from repro.errors import ReconfigError
+from repro.targets import rmt_switch
+from repro.targets.resources import ResourceVector
+
+
+def slot(name, sram=500.0, alus=2):
+    return ProvisionedSlot(name=name, footprint=ResourceVector(sram_kb=sram, alus=alus))
+
+
+@pytest.fixture
+def device():
+    return MantisDevice(target=rmt_switch("sw"))
+
+
+class TestProvisioning:
+    def test_provision_reserves_resources(self, device):
+        device.provision(slot("a"))
+        assert device.pinned_resources()["sram_kb"] == 500.0
+
+    def test_capacity_limit_enforced(self, device):
+        with pytest.raises(ReconfigError, match="capacity exhausted"):
+            for index in range(100):
+                device.provision(slot(f"s{index}", sram=2000.0, alus=1))
+
+    def test_slots_pin_even_when_inactive(self, device):
+        device.provision(slot("a"))
+        device.provision(slot("b"))
+        assert device.wasted_resources()["sram_kb"] if callable(device.wasted_resources) else device.wasted_resources["sram_kb"] == 1000.0
+
+
+class TestActivation:
+    def test_provisioned_behaviour_is_instant(self, device):
+        device.provision(slot("resp"))
+        result = device.activate("resp")
+        assert result.satisfied
+        assert result.latency_s == ACTIVATION_LATENCY_S
+        assert "resp" in device.active
+
+    def test_unanticipated_behaviour_needs_reflash(self, device):
+        result = device.activate("novel")
+        assert not result.satisfied
+        assert result.required_reflash
+        assert result.latency_s > 10.0
+
+    def test_deactivate_keeps_resources_pinned(self, device):
+        device.provision(slot("resp"))
+        device.activate("resp")
+        device.deactivate("resp")
+        assert device.wasted_resources["sram_kb"] == 500.0
+
+    def test_activation_log(self, device):
+        device.provision(slot("resp"))
+        device.activate("resp")
+        device.activate("ghost")
+        assert len(device.activations) == 2
+        assert [a.satisfied for a in device.activations] == [True, False]

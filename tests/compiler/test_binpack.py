@@ -1,0 +1,84 @@
+"""Bin-packing primitive tests."""
+
+from repro.compiler.binpack import Bin, best_fit_decreasing, first_fit
+from repro.targets.resources import ResourceVector
+
+
+def make_bins(count=3, sram=100.0):
+    return [Bin(name=f"b{i}", capacity=ResourceVector(sram_kb=sram)) for i in range(count)]
+
+
+class TestFirstFit:
+    def test_fills_in_order(self):
+        bins = make_bins()
+        items = [("a", ResourceVector(sram_kb=60)), ("b", ResourceVector(sram_kb=60))]
+        assignment = first_fit(items, bins)
+        assert assignment == {"a": "b0", "b": "b1"}
+
+    def test_second_item_backfills_without_monotone(self):
+        bins = make_bins()
+        items = [
+            ("a", ResourceVector(sram_kb=90)),
+            ("b", ResourceVector(sram_kb=90)),
+            ("c", ResourceVector(sram_kb=10)),
+        ]
+        assignment = first_fit(items, bins)
+        assert assignment["c"] == "b0"  # backfill allowed
+
+    def test_monotone_prevents_backfill(self):
+        bins = make_bins()
+        items = [
+            ("a", ResourceVector(sram_kb=90)),
+            ("b", ResourceVector(sram_kb=90)),
+            ("c", ResourceVector(sram_kb=10)),
+        ]
+        assignment = first_fit(items, bins, monotone=True)
+        assert assignment["c"] == "b1"  # floor advanced past b0
+
+    def test_infeasible_returns_none(self):
+        bins = make_bins(count=1)
+        items = [("a", ResourceVector(sram_kb=200))]
+        assert first_fit(items, bins) is None
+
+    def test_empty_items(self):
+        assert first_fit([], make_bins()) == {}
+
+
+class TestBestFitDecreasing:
+    def test_big_items_placed_first(self):
+        bins = make_bins(count=2)
+        items = [
+            ("small", ResourceVector(sram_kb=10)),
+            ("big", ResourceVector(sram_kb=95)),
+            ("medium", ResourceVector(sram_kb=80)),
+        ]
+        assignment = best_fit_decreasing(items, bins)
+        assert assignment is not None
+        # big and medium must be in different bins; small squeezes in
+        assert assignment["big"] != assignment["medium"]
+
+    def test_prefers_tightest_bin(self):
+        bins = make_bins(count=2)
+        bins[0].add("pre", ResourceVector(sram_kb=70))
+        assignment = best_fit_decreasing([("x", ResourceVector(sram_kb=20))], bins)
+        assert assignment["x"] == "b0"  # 10 slack beats 80 slack
+
+    def test_infeasible_returns_none(self):
+        bins = make_bins(count=1, sram=10)
+        assert best_fit_decreasing([("x", ResourceVector(sram_kb=50))], bins) is None
+
+    def test_no_bins(self):
+        assert best_fit_decreasing([("x", ResourceVector(sram_kb=1))], []) is None
+        assert best_fit_decreasing([], []) == {}
+
+    def test_weight_kind_ordering(self):
+        bins = [
+            Bin(name=f"b{i}", capacity=ResourceVector(sram_kb=100, alus=8))
+            for i in range(2)
+        ]
+        items = [
+            ("a", ResourceVector(sram_kb=30, alus=5)),
+            ("b", ResourceVector(sram_kb=60, alus=1)),
+        ]
+        assignment = best_fit_decreasing(items, bins, weight_kind="alus")
+        assert assignment is not None

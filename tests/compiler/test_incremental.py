@@ -1,0 +1,133 @@
+"""Incremental recompilation tests (E7 foundations)."""
+
+import pytest
+
+from repro.compiler.incremental import (
+    IncrementalCompiler,
+    diff_programs,
+    full_recompile_plan,
+)
+from repro.compiler.placement import PlacementEngine
+from repro.compiler.plan import StepKind
+from repro.lang.analyzer import certify
+from repro.lang.delta import Delta, RemoveElements, SetTableSize, apply_delta, parse_delta
+
+from tests.conftest import make_standard_slice
+
+ADD_DELTA = """
+delta add_guard {
+  add action g_drop() { mark_drop(); }
+  add table guard { key: ipv4.src; actions: g_drop; size: 128; default: g_drop; }
+  insert guard before acl;
+}
+"""
+
+
+@pytest.fixture
+def deployed(base_program, base_certificate):
+    slice_ = make_standard_slice()
+    engine = PlacementEngine()
+    plan = engine.compile(base_program, base_certificate, slice_)
+    return engine, plan, slice_
+
+
+class TestDiff:
+    def test_identical_programs_empty_diff(self, base_program):
+        changes = diff_programs(base_program, base_program)
+        assert changes.added == frozenset()
+        assert changes.removed == frozenset()
+        assert changes.modified == frozenset()
+        assert not changes.apply_changed
+
+    def test_added_element_detected(self, base_program):
+        new_program, _ = apply_delta(base_program, parse_delta(ADD_DELTA))
+        changes = diff_programs(base_program, new_program)
+        assert changes.added == frozenset({"guard"})
+        assert changes.apply_changed
+
+    def test_removed_element_detected(self, base_program):
+        delta = Delta(name="d", ops=(RemoveElements(pattern="l2", kind="table"),))
+        new_program, _ = apply_delta(base_program, delta)
+        changes = diff_programs(base_program, new_program)
+        assert changes.removed == frozenset({"l2"})
+
+    def test_modified_element_detected(self, base_program):
+        delta = Delta(name="d", ops=(SetTableSize(pattern="acl", size=9999),))
+        new_program, _ = apply_delta(base_program, delta)
+        changes = diff_programs(base_program, new_program)
+        assert changes.modified == frozenset({"acl"})
+
+
+class TestIncrementalRecompile:
+    def test_addition_moves_nothing(self, base_program, deployed):
+        engine, plan, slice_ = deployed
+        new_program, changes = apply_delta(base_program, parse_delta(ADD_DELTA))
+        result = IncrementalCompiler(engine).recompile(plan, new_program, slice_, changes)
+        assert result.reconfig.moved_elements == 0
+        assert result.reconfig.added_elements == 1
+        # survivors stayed put
+        for element, device in plan.placement.items():
+            assert result.new_plan.placement[element] == device
+
+    def test_removal_produces_remove_steps(self, base_program, deployed):
+        engine, plan, slice_ = deployed
+        delta = Delta(name="d", ops=(RemoveElements(pattern="l2", kind="table"),))
+        new_program, changes = apply_delta(base_program, delta)
+        result = IncrementalCompiler(engine).recompile(plan, new_program, slice_, changes)
+        kinds = [s.kind for s in result.reconfig.steps]
+        assert StepKind.REMOVE in kinds
+        assert result.reconfig.removed_elements == 1
+
+    def test_resize_charges_entry_updates(self, base_program, deployed):
+        engine, plan, slice_ = deployed
+        delta = Delta(name="d", ops=(SetTableSize(pattern="acl", size=2048),))
+        new_program, changes = apply_delta(base_program, delta)
+        result = IncrementalCompiler(engine).recompile(plan, new_program, slice_, changes)
+        retier = [s for s in result.reconfig.steps if s.kind is StepKind.RETIER]
+        assert len(retier) == 1
+        assert retier[0].element == "acl"
+
+    def test_makespan_reflects_concurrency(self, base_program, deployed):
+        engine, plan, slice_ = deployed
+        new_program, changes = apply_delta(base_program, parse_delta(ADD_DELTA))
+        result = IncrementalCompiler(engine).recompile(plan, new_program, slice_, changes)
+        assert result.reconfig.makespan_s() <= result.reconfig.total_cost_s + 1e-9
+
+    def test_make_before_break_ordering(self, base_program, deployed):
+        engine, plan, slice_ = deployed
+        combined = Delta(
+            name="swap",
+            ops=parse_delta(ADD_DELTA).ops
+            + (RemoveElements(pattern="l2", kind="table"),),
+        )
+        new_program, changes = apply_delta(base_program, combined)
+        result = IncrementalCompiler(engine).recompile(plan, new_program, slice_, changes)
+        kinds = [s.kind for s in result.reconfig.steps]
+        assert kinds.index(StepKind.ADD) < kinds.index(StepKind.REMOVE)
+
+    def test_versions_recorded(self, base_program, deployed):
+        engine, plan, slice_ = deployed
+        new_program, changes = apply_delta(base_program, parse_delta(ADD_DELTA))
+        result = IncrementalCompiler(engine).recompile(plan, new_program, slice_, changes)
+        assert result.reconfig.old_version == base_program.version
+        assert result.reconfig.new_version == new_program.version
+
+    def test_parser_change_gets_parser_step(self, base_program, deployed):
+        engine, plan, slice_ = deployed
+        delta = parse_delta(
+            "delta d { add transition on ipv4.proto == 17 extract tcp; }"
+        )
+        new_program, changes = apply_delta(base_program, delta)
+        result = IncrementalCompiler(engine).recompile(plan, new_program, slice_, changes)
+        assert any(s.kind is StepKind.PARSER for s in result.reconfig.steps)
+
+
+class TestFullRecompileBaseline:
+    def test_full_recompile_never_beats_incremental_moves(self, base_program, deployed):
+        engine, plan, slice_ = deployed
+        new_program, changes = apply_delta(base_program, parse_delta(ADD_DELTA))
+        incremental = IncrementalCompiler(engine).recompile(
+            plan, new_program, slice_, changes
+        )
+        full = full_recompile_plan(plan, new_program, make_standard_slice())
+        assert incremental.reconfig.moved_elements <= full.reconfig.moved_elements

@@ -1,0 +1,121 @@
+"""Table merging and plan refinement tests."""
+
+import pytest
+
+from repro.compiler.optimizer import MergeCandidate, TableMerger, plan_score, refine
+from repro.compiler.placement import Objective, ObjectiveKind, PlacementEngine
+from repro.lang import builder as b
+from repro.lang.analyzer import certify
+from repro.apps.base import standard_builder
+from repro.targets import drmt_switch
+
+from tests.conftest import make_standard_slice
+
+
+@pytest.fixture
+def merger():
+    return TableMerger()
+
+
+class TestCandidates:
+    def test_exact_adjacent_pair_found(self, base_program, merger):
+        candidates = merger.candidates(base_program)
+        assert MergeCandidate(first="l2", second="l3") not in candidates  # l3 is lpm
+        # l2 follows acl but acl is ternary; build a clean program below
+
+    def test_ternary_tables_excluded(self, base_program, merger):
+        for candidate in merger.candidates(base_program):
+            assert not base_program.table(candidate.first).is_ternary
+            assert not base_program.table(candidate.second).is_ternary
+
+    def exactpair_program(self):
+        program = standard_builder("mergeable")
+        program.action("nop", [b.call("no_op")])
+        program.action("fwd", [b.call("set_port", "p")], params=[("p", "u16")])
+        program.table("first", keys=["ethernet.dst"], actions=["nop"], size=64,
+                      default="nop")
+        program.table("second", keys=["ipv4.dst"], actions=["fwd", "nop"], size=128,
+                      default="nop")
+        program.apply("first", "second")
+        return program.build()
+
+    def test_clean_pair_is_candidate(self, merger):
+        program = self.exactpair_program()
+        assert merger.candidates(program) == [MergeCandidate("first", "second")]
+
+    def test_write_then_match_conflict_excluded(self, merger):
+        program = standard_builder("conflicted")
+        program.action("set_dst", [b.assign("ipv4.dst", 1)])
+        program.action("nop", [b.call("no_op")])
+        program.table("first", keys=["ethernet.dst"], actions=["set_dst"], size=4,
+                      default="set_dst")
+        program.table("second", keys=["ipv4.dst"], actions=["nop"], size=4,
+                      default="nop")
+        program.apply("first", "second")
+        assert merger.candidates(program.build()) == []
+
+
+class TestEvaluation:
+    def test_cross_product_memory_growth(self, merger):
+        program = TestCandidates().exactpair_program()
+        evaluation = merger.evaluate(
+            program, MergeCandidate("first", "second"), drmt_switch("d")
+        )
+        assert evaluation.entries_after == 64 * 128
+        assert evaluation.memory_growth > 10
+        assert evaluation.latency_saving_ns > 0
+        assert evaluation.worthwhile
+
+
+class TestApply:
+    def test_merged_program_validates_and_replaces_pair(self, merger):
+        program = TestCandidates().exactpair_program()
+        merged = merger.apply(program, MergeCandidate("first", "second"))
+        assert merged.has_table("first__x__second")
+        assert not merged.has_table("first")
+        assert not merged.has_table("second")
+        table = merged.table("first__x__second")
+        assert table.size == 64 * 128
+        assert len(table.keys) == 2
+        # composite actions exist
+        assert any("__then__" in a for a in table.actions)
+        # apply has one step where two used to be
+        from repro.lang import ir
+
+        tables_applied = [s.table for s in merged.apply if isinstance(s, ir.ApplyTable)]
+        assert tables_applied.count("first__x__second") == 1
+
+    def test_composite_default_action(self, merger):
+        program = TestCandidates().exactpair_program()
+        merged = merger.apply(program, MergeCandidate("first", "second"))
+        default = merged.table("first__x__second").default_action
+        assert default is not None
+        assert default.action == "nop__then__nop"
+
+    def test_merged_program_certifies_cheaper_lookup(self, merger):
+        program = TestCandidates().exactpair_program()
+        merged = merger.apply(program, MergeCandidate("first", "second"))
+        before = certify(program).max_packet_ops
+        after = certify(merged).max_packet_ops
+        assert after <= before
+
+
+class TestRefine:
+    def test_refine_never_worsens(self, base_program, base_certificate):
+        slice_ = make_standard_slice()
+        objective = Objective(ObjectiveKind.ENERGY)
+        engine = PlacementEngine()  # balanced initial placement
+        plan = engine.compile(base_program, base_certificate, slice_)
+        refined = refine(plan, slice_, objective)
+        assert plan_score(refined, objective) <= plan_score(plan, objective)
+
+    def test_refine_moves_toward_energy_optimum(self, base_program, base_certificate):
+        slice_ = make_standard_slice()
+        objective = Objective(ObjectiveKind.ENERGY)
+        plan = PlacementEngine().compile(base_program, base_certificate, slice_)
+        refined = refine(plan, slice_, objective)
+        optimum = PlacementEngine(objective).compile(
+            base_program, base_certificate, make_standard_slice()
+        )
+        assert plan_score(refined, objective) <= plan_score(plan, objective)
+        assert plan_score(refined, objective) <= plan_score(optimum, objective) * 1.5

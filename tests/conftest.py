@@ -1,0 +1,54 @@
+"""Shared fixtures for the FlexNet test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.base import base_infrastructure
+from repro.compiler.placement import NetworkSlice
+from repro.compiler.plan import DeviceSpec
+from repro.core.flexnet import FlexNet
+from repro.lang.analyzer import certify
+from repro.targets import drmt_switch, host, rmt_switch, smartnic
+
+
+@pytest.fixture
+def base_program():
+    """The standard infrastructure program (validated)."""
+    return base_infrastructure()
+
+
+@pytest.fixture
+def base_certificate(base_program):
+    return certify(base_program)
+
+
+def make_standard_slice(switch="drmt"):
+    """host - NIC - switch - NIC - host DeviceSpec path."""
+    factories = {
+        "drmt": lambda: drmt_switch("sw1"),
+        "rmt": lambda: rmt_switch("sw1", runtime_capable=True),
+        "rmt_static": lambda: rmt_switch("sw1", runtime_capable=False),
+    }
+    return NetworkSlice(
+        devices=[
+            DeviceSpec("h1", host("h1"), ingress_link_ns=0.0),
+            DeviceSpec("nic1", smartnic("nic1")),
+            DeviceSpec("sw1", factories[switch]()),
+            DeviceSpec("nic2", smartnic("nic2")),
+            DeviceSpec("h2", host("h2")),
+        ]
+    )
+
+
+@pytest.fixture
+def standard_slice():
+    return make_standard_slice()
+
+
+@pytest.fixture
+def flexnet(base_program):
+    """A standard FlexNet with the base program installed."""
+    net = FlexNet.standard()
+    net.install(base_program)
+    return net

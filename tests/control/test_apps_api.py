@@ -1,0 +1,47 @@
+"""App-level abstraction tests (URIs, records, SLAs)."""
+
+import pytest
+
+from repro.control.apps_api import AppRecord, AppSla, AppUri
+from repro.errors import UnknownAppError
+
+
+class TestAppUri:
+    def test_parse_roundtrip(self):
+        uri = AppUri.parse("flexnet://tenant1/ddos-defense")
+        assert uri.owner == "tenant1"
+        assert uri.name == "ddos-defense"
+        assert str(uri) == "flexnet://tenant1/ddos-defense"
+
+    def test_missing_scheme_rejected(self):
+        with pytest.raises(UnknownAppError):
+            AppUri.parse("http://a/b")
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(UnknownAppError):
+            AppUri.parse("flexnet://owner-only")
+
+    def test_empty_owner_rejected(self):
+        with pytest.raises(UnknownAppError):
+            AppUri.parse("flexnet:///name")
+
+
+class TestAppRecord:
+    def test_footprint_refresh(self):
+        record = AppRecord(
+            uri=AppUri(owner="o", name="n"),
+            elements={"t1", "f1", "m1"},
+        )
+        record.refresh_footprint({"t1": "sw1", "f1": "nic1", "m1": "nic1", "other": "h1"})
+        assert record.footprint == {"sw1": ["t1"], "nic1": ["f1", "m1"]}
+        assert record.devices == ["nic1", "sw1"]
+
+    def test_unplaced_elements_excluded(self):
+        record = AppRecord(uri=AppUri(owner="o", name="n"), elements={"ghost"})
+        record.refresh_footprint({})
+        assert record.footprint == {}
+
+    def test_sla_defaults(self):
+        sla = AppSla()
+        assert not sla.removable
+        assert sla.max_latency_ns is None

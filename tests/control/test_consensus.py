@@ -1,0 +1,160 @@
+"""Raft consensus tests (E11 foundations)."""
+
+import pytest
+
+from repro.control.consensus import ControllerCluster, Role
+from repro.errors import ConsensusError
+from repro.simulator.engine import EventLoop
+
+
+def make_cluster(n=3, seed=0):
+    loop = EventLoop()
+    cluster = ControllerCluster(loop, node_count=n, seed=seed)
+    return loop, cluster
+
+
+def run_until_leader(loop, cluster, deadline=5.0, step=0.05):
+    time = loop.now
+    while time < deadline:
+        time += step
+        loop.run_until(time)
+        if cluster.leader() is not None:
+            return cluster.leader()
+    return cluster.leader()
+
+
+class TestElection:
+    def test_leader_elected(self):
+        loop, cluster = make_cluster()
+        leader = run_until_leader(loop, cluster)
+        assert leader is not None
+        assert leader.role is Role.LEADER
+
+    def test_exactly_one_leader_per_term(self):
+        loop, cluster = make_cluster(5)
+        run_until_leader(loop, cluster)
+        loop.run_until(loop.now + 1.0)
+        leaders = [n for n in cluster.nodes.values() if n.role is Role.LEADER]
+        terms = {n.current_term for n in leaders}
+        assert len(leaders) >= 1
+        by_term = {}
+        for node in leaders:
+            by_term.setdefault(node.current_term, []).append(node.node_id)
+        for term, ids in by_term.items():
+            assert len(ids) == 1
+
+    def test_leader_reelected_after_crash(self):
+        loop, cluster = make_cluster()
+        first = run_until_leader(loop, cluster)
+        cluster.bus.crash(first.node_id)
+        second = run_until_leader(loop, cluster, deadline=loop.now + 5.0)
+        assert second is not None
+        assert second.node_id != first.node_id
+        assert second.current_term > first.current_term
+
+    def test_minority_partition_cannot_elect(self):
+        loop, cluster = make_cluster(5)
+        run_until_leader(loop, cluster)
+        node_ids = sorted(cluster.nodes)
+        minority = set(node_ids[:2])
+        majority = set(node_ids[2:])
+        cluster.bus.partition(minority, majority)
+        loop.run_until(loop.now + 3.0)
+        for node_id in minority:
+            node = cluster.nodes[node_id]
+            # a minority node may become candidate but never leader with
+            # a term that wins: it cannot gather 3 votes.
+            if node.role is Role.LEADER:
+                # stale leadership from before the partition is possible
+                # only if it was the old leader; it cannot commit though.
+                assert node_id in minority
+
+
+class TestReplication:
+    def test_command_committed_on_all_nodes(self):
+        loop, cluster = make_cluster()
+        run_until_leader(loop, cluster)
+        assert cluster.submit({"op": "deploy", "app": "fw"})
+        loop.run_until(loop.now + 1.0)
+        for node in cluster.nodes.values():
+            assert {"op": "deploy", "app": "fw"} in node.applied_commands
+
+    def test_commands_applied_in_order(self):
+        loop, cluster = make_cluster()
+        run_until_leader(loop, cluster)
+        for index in range(5):
+            assert cluster.submit(index)
+        loop.run_until(loop.now + 1.0)
+        assert cluster.committed_commands() == [0, 1, 2, 3, 4]
+
+    def test_non_leader_propose_rejected(self):
+        loop, cluster = make_cluster()
+        leader = run_until_leader(loop, cluster)
+        follower = next(
+            n for n in cluster.nodes.values() if n.node_id != leader.node_id
+        )
+        with pytest.raises(ConsensusError):
+            follower.propose("nope")
+
+    def test_submit_without_leader_returns_false(self):
+        loop, cluster = make_cluster()
+        # crash everyone -> no leader reachable
+        for node_id in cluster.nodes:
+            cluster.bus.crash(node_id)
+        assert not cluster.submit("x")
+
+    def test_progress_with_one_node_down(self):
+        loop, cluster = make_cluster(3)
+        leader = run_until_leader(loop, cluster)
+        victim = next(
+            n for n in cluster.nodes.values() if n.node_id != leader.node_id
+        )
+        cluster.bus.crash(victim.node_id)
+        assert cluster.submit("survives")
+        loop.run_until(loop.now + 1.0)
+        assert "survives" in cluster.committed_commands()
+
+    def test_recovered_node_catches_up(self):
+        loop, cluster = make_cluster(3)
+        leader = run_until_leader(loop, cluster)
+        victim = next(
+            n for n in cluster.nodes.values() if n.node_id != leader.node_id
+        )
+        cluster.bus.crash(victim.node_id)
+        cluster.submit("while-down")
+        loop.run_until(loop.now + 1.0)
+        cluster.bus.recover(victim.node_id)
+        loop.run_until(loop.now + 2.0)
+        assert "while-down" in victim.applied_commands
+
+
+class TestPartitions:
+    def test_majority_side_keeps_committing(self):
+        loop, cluster = make_cluster(5)
+        run_until_leader(loop, cluster)
+        node_ids = sorted(cluster.nodes)
+        cluster.bus.partition(set(node_ids[:2]), set(node_ids[2:]))
+        loop.run_until(loop.now + 3.0)
+        majority_nodes = [cluster.nodes[i] for i in node_ids[2:]]
+        majority_leader = [n for n in majority_nodes if n.role is Role.LEADER]
+        assert majority_leader
+        majority_leader[0].propose("partitioned-commit")
+        loop.run_until(loop.now + 1.0)
+        assert "partitioned-commit" in majority_leader[0].applied_commands
+
+    def test_heal_reconverges(self):
+        loop, cluster = make_cluster(5)
+        run_until_leader(loop, cluster)
+        node_ids = sorted(cluster.nodes)
+        cluster.bus.partition(set(node_ids[:2]), set(node_ids[2:]))
+        loop.run_until(loop.now + 2.0)
+        cluster.bus.heal()
+        loop.run_until(loop.now + 3.0)
+        leader = cluster.leader()
+        assert leader is not None
+        cluster.submit("after-heal")
+        loop.run_until(loop.now + 1.0)
+        applied = [
+            "after-heal" in node.applied_commands for node in cluster.nodes.values()
+        ]
+        assert sum(applied) >= 3  # majority has it

@@ -1,0 +1,119 @@
+"""Raft edge cases: log conflicts, stale leaders, term safety."""
+
+import pytest
+
+from repro.control.consensus import ControllerCluster, Role
+from repro.simulator.engine import EventLoop
+
+
+def make_cluster(n=5, seed=7):
+    loop = EventLoop()
+    return loop, ControllerCluster(loop, node_count=n, seed=seed)
+
+
+def wait_for_leader(loop, cluster, deadline_s=8.0):
+    deadline = loop.now + deadline_s
+    while loop.now < deadline:
+        loop.run_until(loop.now + 0.05)
+        leader = cluster.leader()
+        if leader is not None:
+            return leader
+    raise AssertionError("no leader elected")
+
+
+class TestLogConflicts:
+    def test_uncommitted_minority_entries_overwritten(self):
+        """A leader partitioned into the minority keeps proposing; after
+        heal, its uncommitted entries are replaced by the majority log
+        (Raft's log-matching property)."""
+        loop, cluster = make_cluster(5)
+        old_leader = wait_for_leader(loop, cluster)
+        node_ids = sorted(cluster.nodes)
+        minority = {old_leader.node_id, next(i for i in node_ids if i != old_leader.node_id)}
+        majority = set(node_ids) - minority
+        cluster.bus.partition(minority, majority)
+
+        # Old leader appends entries it can never commit.
+        old_leader.propose("doomed-1")
+        old_leader.propose("doomed-2")
+        loop.run_until(loop.now + 1.0)
+        assert old_leader.commit_index < old_leader.last_log_index
+
+        # Majority elects a new leader and commits real work.
+        new_leader = None
+        deadline = loop.now + 8.0
+        while loop.now < deadline:
+            loop.run_until(loop.now + 0.05)
+            candidates = [
+                cluster.nodes[i] for i in majority
+                if cluster.nodes[i].role is Role.LEADER
+            ]
+            if candidates:
+                new_leader = max(candidates, key=lambda n: n.current_term)
+                break
+        assert new_leader is not None
+        new_leader.propose("committed-1")
+        loop.run_until(loop.now + 1.0)
+
+        cluster.bus.heal()
+        loop.run_until(loop.now + 3.0)
+
+        # The doomed entries are gone from the healed old leader's
+        # committed state; the majority's entry is everywhere.
+        assert "doomed-1" not in old_leader.applied_commands
+        assert "committed-1" in old_leader.applied_commands
+
+    def test_terms_monotone_per_node(self):
+        loop, cluster = make_cluster(3)
+        leader = wait_for_leader(loop, cluster)
+        terms_before = {i: n.current_term for i, n in cluster.nodes.items()}
+        cluster.bus.crash(leader.node_id)
+        wait_for_leader(loop, cluster)
+        cluster.bus.recover(leader.node_id)
+        loop.run_until(loop.now + 2.0)
+        for node_id, node in cluster.nodes.items():
+            assert node.current_term >= terms_before[node_id]
+
+
+class TestSafetyUnderChaos:
+    def test_applied_prefixes_consistent(self):
+        """State-machine safety: any two nodes' applied command lists are
+        prefixes of one another, across crashes and partitions."""
+        loop, cluster = make_cluster(5, seed=11)
+        wait_for_leader(loop, cluster)
+        node_ids = sorted(cluster.nodes)
+
+        sequence = 0
+        for round_index in range(4):
+            for _ in range(3):
+                cluster.submit(sequence)
+                sequence += 1
+                loop.run_until(loop.now + 0.1)
+            if round_index == 1:
+                cluster.bus.partition(set(node_ids[:2]), set(node_ids[2:]))
+                loop.run_until(loop.now + 1.5)
+            if round_index == 2:
+                cluster.bus.heal()
+                loop.run_until(loop.now + 1.5)
+        loop.run_until(loop.now + 3.0)
+
+        applied_lists = [node.applied_commands for node in cluster.nodes.values()]
+        applied_lists.sort(key=len)
+        for shorter, longer in zip(applied_lists, applied_lists[1:]):
+            assert longer[: len(shorter)] == shorter
+
+    def test_no_committed_entry_lost_across_leader_changes(self):
+        loop, cluster = make_cluster(3, seed=5)
+        for round_index in range(3):
+            leader = wait_for_leader(loop, cluster)
+            cluster.submit(f"cmd-{round_index}")
+            loop.run_until(loop.now + 1.0)
+            committed = set(map(str, cluster.committed_commands()))
+            assert f"cmd-{round_index}" in committed
+            cluster.bus.crash(leader.node_id)
+            wait_for_leader(loop, cluster)
+            cluster.bus.recover(leader.node_id)
+            loop.run_until(loop.now + 1.0)
+        final = list(map(str, cluster.committed_commands()))
+        for round_index in range(3):
+            assert f"cmd-{round_index}" in final

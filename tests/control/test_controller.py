@@ -1,0 +1,214 @@
+"""FlexNet controller tests: the app-level API end to end."""
+
+import pytest
+
+from repro.control.apps_api import AppSla
+from repro.control.controller import FlexNetController
+from repro.errors import ControlPlaneError, UnknownAppError
+from repro.lang.composition import Permission, TenantSpec
+from repro.lang.delta import parse_delta
+from repro.lang.builder import ProgramBuilder
+from repro.lang import builder as b
+from repro.apps.base import STANDARD_HEADERS, base_infrastructure
+from repro.targets import drmt_switch, host, smartnic
+
+MONITOR_DELTA = """
+delta monitor {
+  add map hh { key: ipv4.src; value: u32; max_entries: 1024; }
+  add func hh_count() {
+    let v: u32 = map_get(hh, ipv4.src);
+    map_put(hh, ipv4.src, v + 1);
+  }
+  insert hh_count after count_flow;
+}
+"""
+
+
+def make_controller():
+    controller = FlexNetController()
+    controller.add_device("h1", host("h1"))
+    controller.add_device("nic1", smartnic("nic1"))
+    controller.add_device("sw1", drmt_switch("sw1"))
+    controller.add_device("nic2", smartnic("nic2"))
+    controller.add_device("h2", host("h2"))
+    for a, bb in [("h1", "nic1"), ("nic1", "sw1"), ("sw1", "nic2"), ("nic2", "h2")]:
+        controller.add_link(a, bb, 2e-6)
+    controller.set_datapath_endpoints("h1", "h2")
+    return controller
+
+
+@pytest.fixture
+def controller():
+    c = make_controller()
+    c.install_infrastructure(base_infrastructure())
+    return c
+
+
+def tenant_extension():
+    program = ProgramBuilder("ext", owner="tenant")
+    for header, fields in STANDARD_HEADERS.items():
+        program.header(header, **fields)
+    program.map("hits", keys=["ipv4.src"], value_type="u32", max_entries=64)
+    program.function(
+        "watch",
+        [
+            b.let("n", "u32", b.map_get("hits", "ipv4.src")),
+            b.map_put("hits", "ipv4.src", b.binop("+", "n", 1)),
+        ],
+    )
+    program.apply("watch")
+    return program.build()
+
+
+class TestProvisioning:
+    def test_install_registers_base_app(self, controller):
+        assert "flexnet://infrastructure/base" in controller.app_uris
+        record = controller.app("flexnet://infrastructure/base")
+        assert record.footprint  # placed somewhere
+
+    def test_program_and_plan_accessible(self, controller):
+        assert controller.program.name == "infra"
+        assert controller.plan.placement
+
+    def test_endpoints_required_before_install(self):
+        bare = FlexNetController()
+        with pytest.raises(ControlPlaneError):
+            bare.install_infrastructure(base_infrastructure())
+
+
+class TestAppLifecycle:
+    def test_deploy_creates_record(self, controller):
+        outcome = controller.deploy_app(
+            "flexnet://infrastructure/monitor", parse_delta(MONITOR_DELTA)
+        )
+        record = controller.app("flexnet://infrastructure/monitor")
+        assert record.elements == {"hh", "hh_count"}
+        assert outcome.result.reconfig.added_elements == 2
+
+    def test_double_deploy_rejected(self, controller):
+        controller.deploy_app("flexnet://infrastructure/monitor", parse_delta(MONITOR_DELTA))
+        with pytest.raises(ControlPlaneError, match="already deployed"):
+            controller.deploy_app(
+                "flexnet://infrastructure/monitor", parse_delta(MONITOR_DELTA)
+            )
+
+    def test_remove_app_releases_elements(self, controller):
+        controller.deploy_app("flexnet://infrastructure/monitor", parse_delta(MONITOR_DELTA))
+        controller.loop.run_until(controller.loop.now + 2.0)
+        outcome = controller.remove_app("flexnet://infrastructure/monitor")
+        assert outcome.result.changes.removed == frozenset({"hh", "hh_count"})
+        with pytest.raises(UnknownAppError):
+            controller.app("flexnet://infrastructure/monitor")
+        assert not controller.program.has_map("hh")
+
+    def test_scale_app_resizes_maps(self, controller):
+        controller.deploy_app("flexnet://infrastructure/monitor", parse_delta(MONITOR_DELTA))
+        controller.loop.run_until(controller.loop.now + 2.0)
+        controller.scale_app("flexnet://infrastructure/monitor", 4.0)
+        assert controller.program.map("hh").max_entries == 4096
+
+    def test_migrate_app_moves_elements(self, controller):
+        controller.deploy_app("flexnet://infrastructure/monitor", parse_delta(MONITOR_DELTA))
+        controller.loop.run_until(controller.loop.now + 2.0)
+        outcome = controller.migrate_app("flexnet://infrastructure/monitor", "nic2")
+        record = controller.app("flexnet://infrastructure/monitor")
+        assert record.devices == ["nic2"]
+        assert outcome.result.reconfig.moved_elements == 2
+
+    def test_migrate_to_unknown_device_rejected(self, controller):
+        controller.deploy_app("flexnet://infrastructure/monitor", parse_delta(MONITOR_DELTA))
+        controller.loop.run_until(controller.loop.now + 2.0)
+        with pytest.raises(ControlPlaneError, match="unknown device"):
+            controller.migrate_app("flexnet://infrastructure/monitor", "ghost")
+
+    def test_unknown_app_operations_rejected(self, controller):
+        with pytest.raises(UnknownAppError):
+            controller.remove_app("flexnet://x/y")
+        with pytest.raises(UnknownAppError):
+            controller.scale_app("flexnet://x/y", 2.0)
+
+
+class TestTenantLifecycle:
+    def spec(self, name="t1", vlan=100):
+        return TenantSpec(name=name, vlan_id=vlan, permission=Permission())
+
+    def test_admit_creates_namespaced_app(self, controller):
+        controller.admit_tenant(self.spec(), tenant_extension())
+        assert "t1" in controller.tenant_names
+        record = controller.app("flexnet://t1/extension")
+        assert "t1__hits" in record.elements
+        assert controller.program.has_map("t1__hits")
+
+    def test_evict_trims_program(self, controller):
+        controller.admit_tenant(self.spec(), tenant_extension())
+        controller.loop.run_until(controller.loop.now + 2.0)
+        outcome = controller.evict_tenant("t1")
+        assert "t1" not in controller.tenant_names
+        assert not controller.program.has_map("t1__hits")
+        assert "t1__hits" in outcome.result.changes.removed
+
+    def test_two_tenants_coexist(self, controller):
+        controller.admit_tenant(self.spec("t1", 100), tenant_extension())
+        controller.loop.run_until(controller.loop.now + 2.0)
+        controller.admit_tenant(self.spec("t2", 200), tenant_extension())
+        assert controller.tenant_names == ["t1", "t2"]
+
+    def test_evict_unknown_rejected(self, controller):
+        with pytest.raises(ControlPlaneError):
+            controller.evict_tenant("ghost")
+
+
+class TestGcLoop:
+    def test_removable_app_evicted_under_pressure(self):
+        controller = make_controller()
+        # shrink the switch so pressure is realistic
+        controller.topology.device("sw1").target = drmt_switch(
+            "sw1", sram_mb=1.2, tcam_mb=0.2, processors=6, alus=12
+        )
+        controller.devices["sw1"].target = controller.topology.device("sw1").target
+        controller.install_infrastructure(
+            base_infrastructure(acl_size=256, l2_size=512, l3_size=512, flow_entries=2048)
+        )
+        # deploy a big removable app that eats the switch
+        big = parse_delta(
+            """
+            delta big {
+              add map cache { key: ipv4.src, ipv4.dst; value: u64; max_entries: 60000; }
+              add func cache_touch() {
+                let v: u64 = map_get(cache, ipv4.src, ipv4.dst);
+                map_put(cache, ipv4.src, ipv4.dst, v + 1);
+              }
+              insert cache_touch after count_flow;
+            }
+            """
+        )
+        controller.deploy_app(
+            "flexnet://infrastructure/cache", big, sla=AppSla(removable=True)
+        )
+        controller.loop.run_until(controller.loop.now + 2.0)
+        # now a second app needs room; GC should evict the cache app
+        needy = parse_delta(
+            """
+            delta needy {
+              add map need { key: ipv4.src, ipv4.dst; value: u64; max_entries: 60000; }
+              add func need_touch() {
+                let v: u64 = map_get(need, ipv4.src, ipv4.dst);
+                map_put(need, ipv4.src, ipv4.dst, v + 1);
+              }
+              insert need_touch after count_flow;
+            }
+            """
+        )
+        outcome = controller.deploy_app("flexnet://infrastructure/needy", needy)
+        assert outcome.compile_iterations >= 1
+        # Either it fit outright on another tier, or GC evicted the cache.
+        if outcome.gc_evicted:
+            assert "flexnet://infrastructure/cache" in outcome.gc_evicted
+            assert not controller.program.has_map("cache")
+
+
+class TestReporting:
+    def test_device_utilization_nonzero_on_host_device(self, controller):
+        utilization = controller.device_utilization()
+        assert utilization["sw1"] > 0
+        assert utilization["h1"] == 0

@@ -1,0 +1,55 @@
+"""Telemetry collector tests."""
+
+import pytest
+
+from repro.control.telemetry import DigestRecord, TelemetryCollector
+from repro.simulator.packet import make_packet
+
+
+class TestDigestWindow:
+    def test_rate_by_key(self):
+        collector = TelemetryCollector(window_s=1.0)
+        for i in range(10):
+            collector.ingest(DigestRecord(time=i * 0.05, program="p", values=(7,)))
+        rates = collector.rate_by_key(now=0.5)
+        assert rates[7] == pytest.approx(10.0)
+
+    def test_window_eviction(self):
+        collector = TelemetryCollector(window_s=0.5)
+        collector.ingest(DigestRecord(time=0.0, program="p", values=(7,)))
+        collector.ingest(DigestRecord(time=0.9, program="p", values=(7,)))
+        rates = collector.rate_by_key(now=1.0)
+        assert rates[7] == pytest.approx(2.0)  # 1 digest / 0.5 s
+
+    def test_hottest_key(self):
+        collector = TelemetryCollector(window_s=1.0)
+        for _ in range(5):
+            collector.ingest(DigestRecord(time=0.1, program="p", values=(1,)))
+        collector.ingest(DigestRecord(time=0.1, program="p", values=(2,)))
+        key, rate = collector.hottest_key(now=0.2)
+        assert key == 1
+        assert rate == pytest.approx(5.0)
+
+    def test_hottest_key_empty(self):
+        assert TelemetryCollector().hottest_key(now=0.0) is None
+
+    def test_total_rate(self):
+        collector = TelemetryCollector(window_s=2.0)
+        for i in range(4):
+            collector.ingest(DigestRecord(time=0.1 * i, program="p", values=(i,)))
+        assert collector.total_rate(now=0.5) == pytest.approx(2.0)
+
+    def test_ingest_packet_pulls_digests(self):
+        collector = TelemetryCollector()
+        packet = make_packet(1, 2)
+        packet.digests.append(("prog", (42, 1)))
+        packet.digests.append(("prog", (42, 2)))
+        collector.ingest_packet(packet, now=0.0)
+        assert collector.total_digests == 2
+        assert collector.rate_by_key(0.0)[42] > 0
+
+    def test_valueless_digest_ignored_in_rates(self):
+        collector = TelemetryCollector()
+        collector.ingest(DigestRecord(time=0.0, program="p", values=()))
+        assert collector.rate_by_key(0.0) == {}
+        assert collector.total_rate(0.0) > 0

@@ -1,0 +1,112 @@
+"""FlexNet facade tests."""
+
+import pytest
+
+from repro.core.flexnet import FlexNet
+from repro.core.slo import Slo
+from repro.errors import AnalysisError, ControlPlaneError
+from repro.lang import builder as b
+from repro.lang.builder import ProgramBuilder
+from repro.lang.delta import parse_delta
+from repro.apps.base import base_infrastructure
+from repro.runtime.consistency import ConsistencyLevel
+
+
+class TestTopologySugar:
+    def test_standard_network_shape(self):
+        net = FlexNet.standard()
+        assert net.controller.datapath_path == ["h1", "nic1", "sw1", "nic2", "h2"]
+
+    def test_switch_architectures(self):
+        for arch in ("drmt", "rmt", "tiles"):
+            net = FlexNet()
+            net.add_switch("sw", arch=arch)
+            assert net.controller.devices["sw"].target.arch in ("drmt", "rmt", "tiles")
+
+    def test_unknown_arch_rejected(self):
+        with pytest.raises(ControlPlaneError):
+            FlexNet().add_switch("sw", arch="quantum")
+
+    def test_legacy_devices_forward_only(self):
+        net = FlexNet()
+        net.add_host("h1")
+        net.add_legacy("dumb")
+        net.add_switch("sw1")
+        net.add_host("h2")
+        net.connect("h1", "dumb")
+        net.connect("dumb", "sw1")
+        net.connect("sw1", "h2")
+        net.build_datapath("h1", "h2")
+        net.install(base_infrastructure())
+        assert "dumb" not in net.datapath.plan.placement.values()
+
+
+class TestInstallAndTraffic:
+    def test_install_and_run(self, flexnet):
+        report = flexnet.run_traffic(rate_pps=500, duration_s=1.0)
+        assert report.metrics.sent == 500
+        assert report.metrics.delivered == 500
+        assert report.metrics.loss_rate == 0.0
+
+    def test_admission_rejects_unbounded(self):
+        net = FlexNet.standard()
+        program = ProgramBuilder("bad")
+        program.header("h", a=8)
+        program.function(
+            "f", [b.repeat(10_000, [b.repeat(100, [b.call("no_op")])])]
+        )
+        program.apply("f")
+        with pytest.raises(AnalysisError):
+            net.install(program.build())
+
+    def test_datapath_status(self, flexnet):
+        status = flexnet.datapath.status()
+        assert status.program_name == "infra"
+        assert status.devices == ["sw1"]
+        assert status.encodings["flow_counts"] == "stateful_table"
+
+    def test_update_bumps_version(self, flexnet):
+        before = flexnet.program.version
+        flexnet.update(parse_delta("delta d { resize table acl 2048; }"))
+        assert flexnet.program.version == before + 1
+
+    def test_update_is_hitless(self, flexnet):
+        flexnet.schedule(
+            0.5,
+            lambda: flexnet.update(parse_delta("delta d { resize table acl 2048; }")),
+        )
+        report = flexnet.run_traffic(rate_pps=1000, duration_s=1.5)
+        assert report.metrics.lost_by_infrastructure == 0
+
+    def test_consistency_checker_wired(self, flexnet):
+        report = flexnet.run_traffic(
+            rate_pps=100, duration_s=0.5, consistency_level=ConsistencyLevel.PER_PACKET_PATH
+        )
+        assert report.consistency is not None
+        assert report.consistency.report().holds
+
+
+class TestExportProgram:
+    def test_live_program_exports_and_reparses(self, flexnet):
+        from repro.lang.parser import parse_program
+
+        flexnet.update(parse_delta("delta d { resize table acl 2048; }"))
+        source = flexnet.export_program()
+        reparsed = parse_program(source)
+        assert reparsed.table("acl").size == 2048
+        assert set(reparsed.element_names) == set(flexnet.program.element_names)
+
+
+class TestSlo:
+    def test_slo_objective_applied(self, base_program):
+        net = FlexNet.standard()
+        net.build_datapath("h1", "h2", slo=Slo(prefer_energy=True))
+        net.install(base_program)
+        # energy placement avoids the switch's high idle power
+        assert set(net.datapath.plan.placement.values()) == {"nic1"}
+
+    def test_latency_slo(self, base_program):
+        net = FlexNet.standard()
+        net.build_datapath("h1", "h2", slo=Slo(max_latency_ns=100_000.0))
+        plan = net.install(base_program)
+        assert plan.estimated_latency_ns <= 100_000.0

@@ -1,0 +1,23 @@
+"""SLO translation tests."""
+
+from repro.compiler.placement import ObjectiveKind
+from repro.core.slo import BEST_EFFORT, Slo
+
+
+class TestToObjective:
+    def test_best_effort_is_balanced(self):
+        assert BEST_EFFORT.to_objective().kind is ObjectiveKind.BALANCED
+
+    def test_energy_preference(self):
+        objective = Slo(prefer_energy=True).to_objective()
+        assert objective.kind is ObjectiveKind.ENERGY
+
+    def test_latency_bound_selects_latency_kind(self):
+        objective = Slo(max_latency_ns=50_000.0).to_objective()
+        assert objective.kind is ObjectiveKind.LATENCY
+        assert objective.latency_sla_ns == 50_000.0
+
+    def test_energy_with_latency_keeps_sla(self):
+        objective = Slo(max_latency_ns=50_000.0, prefer_energy=True).to_objective()
+        assert objective.kind is ObjectiveKind.ENERGY
+        assert objective.latency_sla_ns == 50_000.0

@@ -1,0 +1,63 @@
+"""SLA re-certification (§3.3) and per-architecture end-to-end runs."""
+
+import pytest
+
+from repro.apps.base import base_infrastructure
+from repro.apps.firewall import firewall_delta
+from repro.core.flexnet import FlexNet
+from repro.core.slo import Slo
+from repro.errors import PlacementError
+from repro.lang.delta import parse_delta
+
+
+class TestSlaRecertification:
+    def test_transition_recertifies_latency_sla(self):
+        """§3.3: 'FlexNet needs to re-certify SLA objectives as well' —
+        a runtime change whose placement would violate the negotiated
+        latency ceiling is rejected before touching the network."""
+        net = FlexNet.standard()
+        # SLA tight enough that the base program fits but a hefty
+        # host-forced function would not.
+        net.build_datapath("h1", "h2", slo=Slo(max_latency_ns=33_000.0))
+        net.install(base_infrastructure())
+        baseline_version = net.program.version
+
+        heavy = parse_delta(
+            """
+            delta heavy {
+              add map big { key: ipv4.src; value: u64; max_entries: 1024; }
+              add func churn() {
+                let v: u64 = map_get(big, ipv4.src);
+                repeat 200 { v = v + 3; }
+                map_put(big, ipv4.src, v);
+              }
+              insert churn after count_flow;
+            }
+            """
+        )
+        with pytest.raises(PlacementError, match="SLA"):
+            net.update(heavy)
+        # network untouched by the rejected change
+        assert net.program.version == baseline_version
+        assert not net.program.has_function("churn")
+
+    def test_sla_respecting_change_admitted(self):
+        net = FlexNet.standard()
+        net.build_datapath("h1", "h2", slo=Slo(max_latency_ns=33_000.0))
+        net.install(base_infrastructure())
+        outcome = net.update(parse_delta("delta ok { resize table acl 2048; }"))
+        assert outcome.result.new_plan.estimated_latency_ns <= 33_000.0
+
+
+@pytest.mark.parametrize("arch", ["drmt", "rmt", "tiles"])
+class TestEveryRuntimeArchitecture:
+    def test_install_update_traffic(self, arch):
+        """The full hitless story holds on every runtime programmable
+        switch architecture the paper surveys."""
+        net = FlexNet.standard(switch_arch=arch)
+        net.install(base_infrastructure())
+        net.schedule(0.5, lambda: net.update(firewall_delta()))
+        report = net.run_traffic(rate_pps=1000, duration_s=1.5, extra_time_s=2.0)
+        assert report.metrics.lost_by_infrastructure == 0
+        versions = report.metrics.versions_on("sw1")
+        assert set(versions) == {1, 2}

@@ -1,0 +1,158 @@
+"""Bounded-execution certification tests."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.lang import builder as b
+from repro.lang.analyzer import Analyzer, certify
+from repro.lang.builder import ProgramBuilder
+
+
+def program_with_function(body, maps=()):
+    program = ProgramBuilder("t")
+    program.header("h", a=32, b=32)
+    for name, entries in maps:
+        program.map(name, keys=["h.a"], value_type="u64", max_entries=entries)
+    program.function("f", body)
+    program.apply("f")
+    return program.build()
+
+
+class TestCosts:
+    def test_cost_scales_with_repeat(self):
+        small = certify(program_with_function([b.repeat(2, [b.call("no_op")])]))
+        large = certify(program_with_function([b.repeat(20, [b.call("no_op")])]))
+        assert large.max_packet_ops > small.max_packet_ops
+        # repeat cost is affine in the count: 1 dispatch + count * body
+        small_body = small.profile("f").max_ops - 1
+        large_body = large.profile("f").max_ops - 1
+        assert large_body == pytest.approx(10 * small_body, rel=0.01)
+
+    def test_if_takes_worst_branch(self):
+        heavy_then = certify(
+            program_with_function(
+                [b.if_(b.binop(">", "h.a", 0), [b.repeat(50, [b.call("no_op")])], [b.call("no_op")])]
+            )
+        )
+        light = certify(
+            program_with_function(
+                [b.if_(b.binop(">", "h.a", 0), [b.call("no_op")], [b.call("no_op")])]
+            )
+        )
+        assert heavy_then.profile("f").max_ops > light.profile("f").max_ops
+
+    def test_map_ops_cost_more_than_arithmetic(self):
+        with_map = certify(
+            program_with_function(
+                [b.map_put("m", "h.a", 1)], maps=[("m", 16)]
+            )
+        )
+        without = certify(program_with_function([b.let("x", "u32", 1)]))
+        assert with_map.profile("f").max_ops > without.profile("f").max_ops
+
+    def test_parser_states_add_to_packet_cost(self, base_program, base_certificate):
+        assert base_certificate.max_packet_ops > 0
+
+    def test_table_cost_includes_worst_action(self):
+        program = ProgramBuilder("t")
+        program.header("h", a=32)
+        program.action("cheap", [b.call("no_op")])
+        program.action(
+            "pricey",
+            [b.assign("h.a", b.binop("+", b.binop("*", "h.a", 3), 7))],
+        )
+        program.table("t1", keys=["h.a"], actions=["cheap", "pricey"], size=4)
+        program.apply("t1")
+        certificate = certify(program.build())
+        pricey_ops = certificate.profile("pricey").max_ops
+        assert certificate.profile("t1").max_ops == 1 + pricey_ops
+
+
+class TestProfiles:
+    def test_map_read_write_sets(self):
+        certificate = certify(
+            program_with_function(
+                [
+                    b.let("c", "u64", b.map_get("m", "h.a")),
+                    b.map_put("m", "h.a", b.binop("+", "c", 1)),
+                ],
+                maps=[("m", 64)],
+            )
+        )
+        profile = certificate.profile("f")
+        assert profile.map_reads == ("m",)
+        assert profile.map_writes == ("m",)
+        assert profile.is_stateful
+
+    def test_stateless_function_profile(self):
+        certificate = certify(program_with_function([b.call("no_op")]))
+        assert not certificate.profile("f").is_stateful
+        assert not certificate.is_stateful
+
+    def test_map_profile_entries_and_key_bits(self):
+        certificate = certify(
+            program_with_function([b.call("no_op")], maps=[("m", 512)])
+        )
+        profile = certificate.profile("m")
+        assert profile.kind == "map"
+        assert profile.table_entries == 512
+        assert profile.key_bits == 32
+
+    def test_unknown_profile_raises(self):
+        certificate = certify(program_with_function([b.call("no_op")]))
+        with pytest.raises(AnalysisError):
+            certificate.profile("ghost")
+
+    def test_table_profile_ternary_flag(self, base_certificate):
+        assert base_certificate.profile("acl").is_ternary
+        assert not base_certificate.profile("l2").is_ternary
+
+
+class TestAdmissionBounds:
+    def test_over_ops_budget_rejected(self):
+        program = program_with_function(
+            [b.repeat(10_000, [b.repeat(100, [b.call("no_op")])])]
+        )
+        with pytest.raises(AnalysisError, match="exceeds admission bound"):
+            certify(program)
+
+    def test_over_map_budget_rejected(self):
+        program = program_with_function(
+            [b.call("no_op")], maps=[("m", 20_000_000)]
+        )
+        with pytest.raises(AnalysisError, match="map entries"):
+            certify(program)
+
+    def test_custom_bounds(self):
+        program = program_with_function([b.repeat(100, [b.call("no_op")])])
+        tight = Analyzer(max_packet_ops=10)
+        with pytest.raises(AnalysisError):
+            tight.certify(program)
+
+
+class TestWellBehavedness:
+    def test_write_to_parser_select_field_rejected(self):
+        program = ProgramBuilder("t")
+        program.header("eth", ethertype=16)
+        program.header("v4", ttl=8)
+        program.parser("eth", ("eth.ethertype", 0x0800, "v4"))
+        program.function("f", [b.assign("eth.ethertype", 0)])
+        program.apply("f")
+        with pytest.raises(AnalysisError, match="parser-select"):
+            certify(program.build())
+
+    def test_write_to_nonselect_field_allowed(self):
+        program = ProgramBuilder("t")
+        program.header("eth", ethertype=16)
+        program.header("v4", ttl=8)
+        program.parser("eth", ("eth.ethertype", 0x0800, "v4"))
+        program.function("f", [b.assign("v4.ttl", 7)])
+        program.apply("f")
+        assert certify(program.build()) is not None
+
+    def test_recirculation_detected(self):
+        certificate = certify(program_with_function([b.call("recirculate")]))
+        assert certificate.recirculates
+
+    def test_no_recirculation_by_default(self, base_certificate):
+        assert not base_certificate.recirculates

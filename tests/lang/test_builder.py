@@ -1,0 +1,85 @@
+"""Programmatic builder tests."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.lang import builder as b
+from repro.lang import ir
+from repro.lang.builder import ProgramBuilder
+
+
+class TestExprCoercion:
+    def test_int_to_const(self):
+        assert b.expr(5) == ir.Const(value=5)
+
+    def test_dotted_string_to_field_ref(self):
+        assert b.expr("ipv4.src") == ir.FieldRef("ipv4", "src")
+
+    def test_meta_string_to_meta_ref(self):
+        assert b.expr("meta.vlan_id") == ir.MetaRef(key="vlan_id")
+
+    def test_bare_name_to_var_ref(self):
+        assert b.expr("x") == ir.VarRef(name="x")
+
+    def test_ir_passthrough(self):
+        node = ir.Const(value=1)
+        assert b.expr(node) is node
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeCheckError):
+            b.expr(True)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeCheckError):
+            b.expr(3.14)
+
+
+class TestStatementHelpers:
+    def test_assign_requires_lvalue(self):
+        with pytest.raises(TypeCheckError):
+            b.assign(5, 1)
+
+    def test_map_put_needs_key_and_value(self):
+        with pytest.raises(TypeCheckError):
+            b.map_put("m", 1)
+
+    def test_if_defaults_empty_else(self):
+        stmt = b.if_(b.binop(">", "x", 1), [b.call("no_op")])
+        assert stmt.else_body == ()
+
+    def test_hash_of(self):
+        expr = b.hash_of("ipv4.src", 7, modulus=128)
+        assert expr.modulus == 128
+        assert len(expr.args) == 2
+
+
+class TestBuilderFlow:
+    def test_full_program_builds(self, base_program):
+        assert base_program.name == "infra"
+        assert base_program.version == 1
+        assert base_program.has_table("acl")
+
+    def test_apply_unknown_step_rejected(self):
+        program = ProgramBuilder("t").header("h", a=8)
+        with pytest.raises(TypeCheckError, match="matches no declared"):
+            program.apply("ghost")
+
+    def test_apply_if_builder(self):
+        program = ProgramBuilder("t")
+        program.header("h", a=8)
+        program.function("f", [b.call("no_op")])
+        program.apply(program.apply_if(b.binop(">", "h.a", 1), ["f"]))
+        built = program.build()
+        assert isinstance(built.apply[0], ir.ApplyIf)
+
+    def test_owner_propagates(self):
+        built = ProgramBuilder("t", owner="tenantA").header("h", a=8).build()
+        assert built.owner == "tenantA"
+
+    def test_default_as_plain_string(self):
+        program = ProgramBuilder("t")
+        program.header("h", a=8)
+        program.action("nop", [b.call("no_op")])
+        program.table("t1", keys=["h.a"], actions=["nop"], size=4, default="nop")
+        built = program.build()
+        assert built.table("t1").default_action == ir.ActionCall(action="nop")

@@ -1,0 +1,220 @@
+"""Tenant datapath composition tests."""
+
+import pytest
+
+from repro.errors import AccessControlError, CompositionError
+from repro.lang import builder as b
+from repro.lang import ir
+from repro.lang.builder import ProgramBuilder
+from repro.lang.composition import Composer, Permission, TenantSpec
+from repro.apps.base import STANDARD_HEADERS
+
+
+def tenant_extension(name="ext", drop_dst=None, entries=64):
+    """A small tenant program against the standard headers."""
+    program = ProgramBuilder(name, owner="tenant")
+    for header, fields in STANDARD_HEADERS.items():
+        program.header(header, **fields)
+    program.map("hits", keys=["ipv4.src"], value_type="u32", max_entries=entries)
+    program.function(
+        "watch",
+        [
+            b.let("n", "u32", b.map_get("hits", "ipv4.src")),
+            b.map_put("hits", "ipv4.src", b.binop("+", "n", 1)),
+        ],
+    )
+    program.apply("watch")
+    return program.build()
+
+
+def tenant(name="t1", vlan=100, **permission_kwargs):
+    return TenantSpec(
+        name=name, vlan_id=vlan, permission=Permission(**permission_kwargs)
+    )
+
+
+class TestAdmission:
+    def test_admit_and_compose(self, base_program):
+        composer = Composer(base_program)
+        composer.admit(tenant(), tenant_extension())
+        report = composer.compose()
+        assert report.tenants == ("t1",)
+        composed = report.composed
+        assert composed.has_map("t1__hits")
+        assert composed.has_function("t1__watch")
+
+    def test_double_admit_rejected(self, base_program):
+        composer = Composer(base_program)
+        composer.admit(tenant(), tenant_extension())
+        with pytest.raises(CompositionError, match="already admitted"):
+            composer.admit(tenant(), tenant_extension())
+
+    def test_evict(self, base_program):
+        composer = Composer(base_program)
+        composer.admit(tenant(), tenant_extension())
+        composer.evict("t1")
+        assert composer.tenant_names == []
+        composed = composer.compose().composed
+        assert not composed.has_map("t1__hits")
+
+    def test_evict_unknown_rejected(self, base_program):
+        with pytest.raises(CompositionError):
+            Composer(base_program).evict("ghost")
+
+    def test_header_layout_conflict_rejected(self, base_program):
+        program = ProgramBuilder("bad", owner="tenant")
+        program.header("ipv4", src=32, dst=32)  # different layout
+        extension = program.build()
+        with pytest.raises(CompositionError, match="different layout"):
+            Composer(base_program).admit(tenant(), extension)
+
+
+class TestAccessControl:
+    def test_map_quota_enforced(self, base_program):
+        extension = tenant_extension(entries=200_000)
+        with pytest.raises(AccessControlError, match="quota"):
+            Composer(base_program).admit(tenant(max_map_entries=100), extension)
+
+    def test_table_quota_enforced(self, base_program):
+        program = ProgramBuilder("ext", owner="tenant")
+        program.header("ipv4", **STANDARD_HEADERS["ipv4"])
+        program.action("nop2", [b.call("no_op")])
+        program.table("big", keys=["ipv4.src"], actions=["nop2"], size=999_999)
+        program.apply("big")
+        with pytest.raises(AccessControlError, match="quota"):
+            Composer(base_program).admit(tenant(), program.build())
+
+    def test_forbidden_primitive_rejected(self, base_program):
+        program = ProgramBuilder("ext", owner="tenant")
+        program.header("ipv4", **STANDARD_HEADERS["ipv4"])
+        program.function("f", [b.call("recirculate")])
+        program.apply("f")
+        with pytest.raises(AccessControlError, match="forbidden primitive"):
+            Composer(base_program).admit(tenant(), program.build())
+
+    def test_base_map_read_needs_permission(self, base_program):
+        program = ProgramBuilder("ext", owner="tenant")
+        program.header("ipv4", **STANDARD_HEADERS["ipv4"])
+        program.function(
+            "peek", [b.let("x", "u64", b.map_get("flow_counts", "ipv4.src", "ipv4.dst"))]
+        )
+        program.apply("peek")
+        extension = program.build(validate=False)
+        with pytest.raises(AccessControlError, match="without permission"):
+            Composer(base_program).admit(tenant(), extension)
+        # with the right permission it is admitted
+        composer = Composer(base_program)
+        composer.admit(tenant(readable_base_maps=("flow_*",)), extension)
+        assert composer.tenant_names == ["t1"]
+
+    def test_base_map_write_always_rejected(self, base_program):
+        program = ProgramBuilder("ext", owner="tenant")
+        program.header("ipv4", **STANDARD_HEADERS["ipv4"])
+        program.function("poison", [b.map_put("flow_counts", "ipv4.src", "ipv4.dst", 0)])
+        program.apply("poison")
+        with pytest.raises(AccessControlError, match="non-local map"):
+            Composer(base_program).admit(
+                tenant(readable_base_maps=("*",)), program.build(validate=False)
+            )
+
+    def test_new_header_needs_parser_permission(self, base_program):
+        program = ProgramBuilder("ext", owner="tenant")
+        program.header("ipv4", **STANDARD_HEADERS["ipv4"])
+        program.header("vxlan", vni=24)
+        program.parser("ipv4", ("ipv4.proto", 17, "vxlan"))
+        extension = program.build()
+        with pytest.raises(AccessControlError, match="parser permission"):
+            Composer(base_program).admit(tenant(), extension)
+        composer = Composer(base_program)
+        composer.admit(tenant(may_extend_parser=True), extension)
+
+
+class TestIsolation:
+    def test_vlan_guard_wraps_tenant_apply(self, base_program):
+        composer = Composer(base_program)
+        composer.admit(tenant(vlan=42), tenant_extension())
+        composed = composer.compose().composed
+        guard = composed.apply[-1]
+        assert isinstance(guard, ir.ApplyIf)
+        assert guard.condition.right == ir.Const(value=42)
+        assert guard.condition.left == ir.MetaRef(key="vlan_id")
+
+    def test_two_tenants_namespaced_independently(self, base_program):
+        composer = Composer(base_program)
+        composer.admit(tenant("t1", 100), tenant_extension())
+        composer.admit(tenant("t2", 200), tenant_extension())
+        composed = composer.compose().composed
+        assert composed.has_map("t1__hits") and composed.has_map("t2__hits")
+
+    def stateless_extension(self):
+        program = ProgramBuilder("stamped", owner="tenant")
+        for header, fields in STANDARD_HEADERS.items():
+            program.header(header, **fields)
+        program.function("stamp_queue", [b.call("set_queue", 3)])
+        program.apply("stamp_queue")
+        return program.build()
+
+    def test_shared_code_detected(self, base_program):
+        composer = Composer(base_program)
+        composer.admit(tenant("t1", 100), self.stateless_extension())
+        composer.admit(tenant("t2", 200), self.stateless_extension())
+        report = composer.compose()
+        assert len(report.shared_code) == 1
+        assert report.shared_code[0].canonical == "t1__stamp_queue"
+        assert report.shared_code[0].duplicates == ("t2__stamp_queue",)
+
+    def test_stateful_functions_never_shared(self, base_program):
+        """watch() touches each tenant's own map — sharing would merge
+        tenant state, so it must not be a dedup candidate."""
+        composer = Composer(base_program)
+        composer.admit(tenant("t1", 100), tenant_extension())
+        composer.admit(tenant("t2", 200), tenant_extension())
+        assert composer.compose().shared_code == ()
+
+    def test_dedupe_collapses_stateless_duplicates(self, base_program):
+        composer = Composer(base_program)
+        composer.admit(tenant("t1", 100), self.stateless_extension())
+        composer.admit(tenant("t2", 200), self.stateless_extension())
+        plain = composer.compose().composed
+        deduped = composer.compose(dedupe_shared_code=True).composed
+        assert plain.has_function("t2__stamp_queue")
+        assert not deduped.has_function("t2__stamp_queue")
+        assert deduped.has_function("t1__stamp_queue")
+        assert len(deduped.functions) == len(plain.functions) - 1
+        # t2's guarded apply now references the canonical copy
+        guard = deduped.apply[-1]
+        assert guard.then_steps == (ir.ApplyFunction(function="t1__stamp_queue"),)
+        deduped.validate()
+
+    def test_dedupe_preserves_behaviour(self, base_program):
+        from repro.simulator.packet import make_packet
+        from repro.simulator.pipeline_exec import ProgramInstance
+
+        composer = Composer(base_program)
+        composer.admit(tenant("t1", 100), self.stateless_extension())
+        composer.admit(tenant("t2", 200), self.stateless_extension())
+        deduped = composer.compose(dedupe_shared_code=True).composed
+        instance = ProgramInstance(deduped)
+        packet = make_packet(1, 2, vlan_id=200)  # t2 traffic
+        instance.process(packet)
+        assert packet.meta["queue_id"] == 3  # canonical copy served t2
+
+    def test_field_write_conflict_rejected(self, base_program):
+        def writer(name):
+            program = ProgramBuilder(name, owner="tenant")
+            program.header("ipv4", **STANDARD_HEADERS["ipv4"])
+            program.function("stamp", [b.assign("ipv4.ttl", 1)])
+            program.apply("stamp")
+            return program.build()
+
+        composer = Composer(base_program)
+        composer.admit(tenant("t1", 100), writer("w1"))
+        composer.admit(tenant("t2", 200), writer("w2"))
+        with pytest.raises(CompositionError, match="conflict"):
+            composer.compose()
+
+    def test_composed_program_validates(self, base_program):
+        composer = Composer(base_program)
+        composer.admit(tenant(), tenant_extension())
+        composed = composer.compose().composed
+        assert composed.validate() is composed

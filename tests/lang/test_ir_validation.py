@@ -1,0 +1,193 @@
+"""Program validation (name resolution + type checking) tests."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.lang import builder as b
+from repro.lang import ir
+from repro.lang.builder import ProgramBuilder
+from repro.lang.types import BitsType
+
+
+def simple_builder():
+    program = ProgramBuilder("t")
+    program.header("h", a=8, b=32)
+    return program
+
+
+class TestUniqueness:
+    def test_duplicate_headers_rejected(self):
+        program = ProgramBuilder("t").header("h", a=8).header("h", b=8)
+        with pytest.raises(TypeCheckError, match="duplicate header"):
+            program.build()
+
+    def test_duplicate_tables_rejected(self):
+        program = simple_builder()
+        program.action("nop", [b.call("no_op")])
+        program.table("t1", keys=["h.a"], actions=["nop"], size=4)
+        program.table("t1", keys=["h.b"], actions=["nop"], size=4)
+        with pytest.raises(TypeCheckError, match="duplicate table"):
+            program.build()
+
+    def test_table_function_name_collision_rejected(self):
+        program = simple_builder()
+        program.action("nop", [b.call("no_op")])
+        program.table("x", keys=["h.a"], actions=["nop"], size=4)
+        program.function("x", [b.call("no_op")])
+        with pytest.raises(TypeCheckError, match="duplicate element"):
+            program.build()
+
+
+class TestTableValidation:
+    def test_unknown_action_rejected(self):
+        program = simple_builder()
+        program.table("t1", keys=["h.a"], actions=["ghost"], size=4)
+        with pytest.raises(TypeCheckError, match="unknown action"):
+            program.build()
+
+    def test_unknown_key_field_rejected(self):
+        program = simple_builder()
+        program.action("nop", [b.call("no_op")])
+        program.table("t1", keys=["h.zzz"], actions=["nop"], size=4)
+        with pytest.raises(TypeCheckError, match="no field"):
+            program.build()
+
+    def test_nonpositive_size_rejected(self):
+        program = simple_builder()
+        program.action("nop", [b.call("no_op")])
+        program.table("t1", keys=["h.a"], actions=["nop"], size=0)
+        with pytest.raises(TypeCheckError, match="positive size"):
+            program.build()
+
+    def test_default_action_arity_checked(self):
+        program = simple_builder()
+        program.action("fwd", [b.call("set_port", "p")], params=[("p", "u16")])
+        program.table("t1", keys=["h.a"], actions=["fwd"], size=4, default=("fwd", ()))
+        with pytest.raises(TypeCheckError, match="expects 1 args"):
+            program.build()
+
+    def test_default_action_arg_overflow_checked(self):
+        program = simple_builder()
+        program.action("fwd", [b.call("set_port", "p")], params=[("p", "u8")])
+        program.table("t1", keys=["h.a"], actions=["fwd"], size=4, default=("fwd", (300,)))
+        with pytest.raises(TypeCheckError, match="overflows"):
+            program.build()
+
+    def test_keyless_table_needs_default(self):
+        program = simple_builder()
+        program.action("nop", [b.call("no_op")])
+        program.table("t1", keys=[], actions=["nop"], size=1)
+        with pytest.raises(TypeCheckError, match="keyless"):
+            program.build()
+
+
+class TestActionValidation:
+    def test_control_flow_in_action_rejected(self):
+        program = simple_builder()
+        program.action("bad", [b.if_(b.binop(">", "h.a", 1), [b.call("mark_drop")])])
+        with pytest.raises(TypeCheckError, match="control flow"):
+            program.build()
+
+    def test_unknown_primitive_rejected(self):
+        program = simple_builder()
+        program.action("bad", [ir.PrimitiveCall(name="teleport")])
+        with pytest.raises(TypeCheckError, match="unknown primitive"):
+            program.build()
+
+
+class TestFunctionValidation:
+    def test_undeclared_variable_rejected(self):
+        program = simple_builder()
+        program.function("f", [b.assign("x", 1)])
+        with pytest.raises(TypeCheckError, match="undeclared"):
+            program.build()
+
+    def test_variable_redeclaration_rejected(self):
+        program = simple_builder()
+        program.function("f", [b.let("x", "u8", 1), b.let("x", "u8", 2)])
+        with pytest.raises(TypeCheckError, match="redeclared"):
+            program.build()
+
+    def test_if_condition_must_be_bool(self):
+        program = simple_builder()
+        program.function("f", [b.if_(b.expr("h.a"), [b.call("no_op")])])
+        with pytest.raises(TypeCheckError, match="boolean"):
+            program.build()
+
+    def test_repeat_count_positive(self):
+        program = simple_builder()
+        program.function("f", [b.repeat(0, [b.call("no_op")])])
+        with pytest.raises(TypeCheckError, match="positive"):
+            program.build()
+
+    def test_map_key_arity_checked(self):
+        program = simple_builder()
+        program.map("m", keys=["h.a", "h.b"], value_type="u64", max_entries=4)
+        program.function("f", [b.map_put("m", "h.a", 1)])
+        with pytest.raises(TypeCheckError, match="key parts"):
+            program.build()
+
+    def test_negative_literal_rejected(self):
+        program = simple_builder()
+        program.function("f", [b.let("x", "u8", ir.Const(value=-1))])
+        with pytest.raises(TypeCheckError, match="unsigned"):
+            program.build()
+
+    def test_scoping_between_branches(self):
+        # a let inside then-branch is not visible in else-branch
+        program = simple_builder()
+        program.function(
+            "f",
+            [
+                b.if_(
+                    b.binop(">", "h.a", 1),
+                    [b.let("x", "u8", 1)],
+                    [b.assign("x", 2)],
+                )
+            ],
+        )
+        with pytest.raises(TypeCheckError, match="undeclared"):
+            program.build()
+
+
+class TestParserValidation:
+    def test_unknown_start_header_rejected(self):
+        program = ProgramBuilder("t").header("h", a=8)
+        program.parser("ghost")
+        with pytest.raises(TypeCheckError, match="unknown header"):
+            program.build()
+
+    def test_transition_to_unknown_header_rejected(self):
+        program = ProgramBuilder("t").header("h", a=8)
+        program.parser("h", ("h.a", 1, "ghost"))
+        with pytest.raises(TypeCheckError, match="unknown header"):
+            program.build()
+
+    def test_headers_extracted_and_state_count(self):
+        program = ProgramBuilder("t").header("h", a=8).header("g", b=8)
+        program.parser("h", ("h.a", 1, "g"))
+        built = program.build()
+        assert built.parser.headers_extracted == ("h", "g")
+        assert built.parser.state_count == 2
+
+
+class TestProgramQueries:
+    def test_element_names(self):
+        program = simple_builder()
+        program.map("m", keys=["h.a"], value_type="u32", max_entries=4)
+        program.action("nop", [b.call("no_op")])
+        program.table("t1", keys=["h.a"], actions=["nop"], size=4)
+        program.function("f", [b.call("no_op")])
+        built = program.build()
+        assert set(built.element_names) == {"t1", "f", "m"}
+
+    def test_bump_version(self):
+        built = simple_builder().build()
+        assert built.bump_version().version == built.version + 1
+
+    def test_table_key_bits(self):
+        program = simple_builder()
+        program.action("nop", [b.call("no_op")])
+        program.table("t1", keys=["h.a", "h.b"], actions=["nop"], size=4)
+        built = program.build()
+        assert built.table_key_bits(built.table("t1")) == 40

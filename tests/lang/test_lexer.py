@@ -1,0 +1,81 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.lexer import Token, TokenKind, parse_int, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]  # strip EOF
+
+
+class TestTokenize:
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifiers(self):
+        assert texts("foo bar_baz _x1") == ["foo", "bar_baz", "_x1"]
+
+    def test_numbers_decimal_hex_binary(self):
+        assert texts("42 0x1F 0b101") == ["42", "0x1F", "0b101"]
+
+    def test_punctuation_single(self):
+        assert texts("{ } ( ) ; : , .") == ["{", "}", "(", ")", ";", ":", ",", "."]
+
+    def test_multichar_operators_are_greedy(self):
+        assert texts("== != <= >= << >> && ||") == [
+            "==", "!=", "<=", ">=", "<<", ">>", "&&", "||",
+        ]
+
+    def test_lt_followed_by_eq_space_not_merged(self):
+        assert texts("< =") == ["<", "="]
+
+    def test_shift_vs_comparison(self):
+        assert texts("a<<b a<b") == ["a", "<<", "b", "a", "<", "b"]
+
+    def test_line_comment_discarded(self):
+        assert texts("a // comment here\nb") == ["a", "b"]
+
+    def test_block_comment_discarded(self):
+        assert texts("a /* multi\nline */ b") == ["a", "b"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("ab\n  cd")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unknown_character_raises_with_location(self):
+        with pytest.raises(ParseError) as excinfo:
+            tokenize("a\n$")
+        assert excinfo.value.line == 2
+
+    def test_whitespace_variants(self):
+        assert texts("a\tb\r\nc") == ["a", "b", "c"]
+
+    def test_ident_with_digits(self):
+        assert texts("table1 x2y") == ["table1", "x2y"]
+
+    def test_number_kind(self):
+        token = tokenize("123")[0]
+        assert token.kind is TokenKind.NUMBER
+
+
+class TestParseInt:
+    def test_decimal(self):
+        assert parse_int("42") == 42
+
+    def test_hex(self):
+        assert parse_int("0x0800") == 0x0800
+
+    def test_binary(self):
+        assert parse_int("0b1010") == 10
+
+    def test_zero(self):
+        assert parse_int("0") == 0

@@ -1,0 +1,229 @@
+"""FlexBPF parser tests."""
+
+import pytest
+
+from repro.errors import ParseError, TypeCheckError
+from repro.lang import ir
+from repro.lang.parser import parse_program
+
+MINIMAL = """
+program p {
+  header eth { dst:48; src:48; ethertype:16; }
+  action fwd(port: u16) { set_port(port); }
+  table l2 { key: eth.dst; actions: fwd; size: 16; default: fwd(1); }
+  apply { l2; }
+}
+"""
+
+FULL = """
+program full {
+  header ethernet { dst:48; src:48; ethertype:16; }
+  header ipv4 { src:32; dst:32; proto:8; ttl:8; }
+  parser {
+    start ethernet;
+    on ethernet.ethertype == 0x0800 extract ipv4;
+  }
+  map counts { key: ipv4.src; value: u64; max_entries: 128; persistence: ephemeral; }
+  action drop() { mark_drop(); }
+  action nop() { no_op(); }
+  table acl {
+    key: ipv4.src ternary, ipv4.dst lpm;
+    actions: drop, nop;
+    size: 64;
+    default: nop;
+  }
+  func tally() {
+    let c: u64 = map_get(counts, ipv4.src);
+    map_put(counts, ipv4.src, c + 1);
+    if (c > 100 && ipv4.ttl != 0) {
+      repeat 3 { no_op(); }
+    } else {
+      ipv4.ttl = ipv4.ttl - 1;
+    }
+  }
+  apply {
+    acl;
+    if (ipv4.ttl > 0) { tally(); }
+  }
+}
+"""
+
+
+class TestProgramStructure:
+    def test_minimal_program(self):
+        program = parse_program(MINIMAL)
+        assert program.name == "p"
+        assert [t.name for t in program.tables] == ["l2"]
+        assert program.apply == (ir.ApplyTable(table="l2"),)
+
+    def test_full_program_elements(self):
+        program = parse_program(FULL)
+        assert {h.name for h in program.headers} == {"ethernet", "ipv4"}
+        assert program.parser.start_header == "ethernet"
+        assert program.parser.state_count == 2
+        assert program.map("counts").persistence is ir.Persistence.EPHEMERAL
+        assert program.table("acl").is_ternary
+        assert program.table("acl").is_lpm
+        assert program.has_function("tally")
+
+    def test_header_field_widths(self):
+        program = parse_program(FULL)
+        assert program.field_width(ir.FieldRef("ipv4", "ttl")) == 8
+        assert program.field_width(ir.FieldRef("ethernet", "dst")) == 48
+
+    def test_table_default_with_args(self):
+        program = parse_program(MINIMAL)
+        default = program.table("l2").default_action
+        assert default.action == "fwd"
+        assert default.args == (1,)
+
+    def test_apply_if_else(self):
+        program = parse_program(FULL)
+        step = program.apply[1]
+        assert isinstance(step, ir.ApplyIf)
+        assert step.then_steps == (ir.ApplyFunction(function="tally"),)
+
+    def test_match_kind_default_is_exact(self):
+        program = parse_program(MINIMAL)
+        assert program.table("l2").keys[0].match_kind is ir.MatchKind.EXACT
+
+    def test_hex_select_value(self):
+        program = parse_program(FULL)
+        assert program.parser.transitions[0].select_value == 0x0800
+
+
+class TestStatements:
+    def test_let_and_map_ops(self):
+        program = parse_program(FULL)
+        body = program.function("tally").body
+        assert isinstance(body[0], ir.Let)
+        assert isinstance(body[1], ir.MapPut)
+        assert isinstance(body[2], ir.If)
+
+    def test_repeat_inside_if(self):
+        program = parse_program(FULL)
+        if_stmt = program.function("tally").body[2]
+        assert isinstance(if_stmt.then_body[0], ir.Repeat)
+        assert if_stmt.then_body[0].count == 3
+
+    def test_else_branch_field_assignment(self):
+        program = parse_program(FULL)
+        if_stmt = program.function("tally").body[2]
+        assign = if_stmt.else_body[0]
+        assert isinstance(assign, ir.Assign)
+        assert assign.target == ir.FieldRef("ipv4", "ttl")
+
+    def test_map_delete(self):
+        source = MINIMAL.replace(
+            "apply { l2; }",
+            """
+            map m { key: eth.dst; value: u32; max_entries: 4; }
+            func f() { map_delete(m, eth.dst); }
+            apply { l2; f(); }
+            """,
+        )
+        program = parse_program(source)
+        assert isinstance(program.function("f").body[0], ir.MapDelete)
+
+    def test_meta_assignment(self):
+        source = MINIMAL.replace(
+            "apply { l2; }",
+            "func f() { meta.egress_port = 3; } apply { l2; f(); }",
+        )
+        program = parse_program(source)
+        stmt = program.function("f").body[0]
+        assert isinstance(stmt.target, ir.MetaRef)
+        assert stmt.target.key == "egress_port"
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        source = MINIMAL.replace(
+            "apply { l2; }",
+            "func f() { let x: u32 = 1 + 2 * 3; } apply { l2; f(); }",
+        )
+        program = parse_program(source)
+        expr = program.function("f").body[0].value
+        assert expr.kind is ir.BinOpKind.ADD
+        assert expr.right.kind is ir.BinOpKind.MUL
+
+    def test_parenthesized_grouping(self):
+        source = MINIMAL.replace(
+            "apply { l2; }",
+            "func f() { let x: u32 = (1 + 2) * 3; } apply { l2; f(); }",
+        )
+        expr = parse_program(source).function("f").body[0].value
+        assert expr.kind is ir.BinOpKind.MUL
+
+    def test_unary_not_and_invert(self):
+        source = MINIMAL.replace(
+            "apply { l2; }",
+            "func f() { if (!(eth.dst == 0)) { let y: u64 = ~eth.src; } } apply { l2; f(); }",
+        )
+        body = parse_program(source).function("f").body
+        assert isinstance(body[0].condition, ir.UnOp)
+        assert body[0].condition.op == "!"
+
+    def test_hash_expression(self):
+        source = MINIMAL.replace(
+            "apply { l2; }",
+            "func f() { let h: u32 = hash(eth.dst, eth.src) % 64; } apply { l2; f(); }",
+        )
+        expr = parse_program(source).function("f").body[0].value
+        assert isinstance(expr, ir.HashExpr)
+        assert expr.modulus == 64
+
+    def test_logical_operators(self):
+        source = MINIMAL.replace(
+            "apply { l2; }",
+            "func f() { if (eth.dst == 1 || eth.src == 2 && eth.ethertype == 3) { no_op(); } } apply { l2; f(); }",
+        )
+        condition = parse_program(source).function("f").body[0].condition
+        # || binds loosest
+        assert condition.kind is ir.BinOpKind.LOR
+
+
+class TestParseErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program("program p { header h { x:8 } }")
+
+    def test_unknown_declaration(self):
+        with pytest.raises(ParseError):
+            parse_program("program p { widget w {} }")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_program(MINIMAL + "garbage")
+
+    def test_apply_references_unknown_element(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                "program p { header h { x:8; } action a() { no_op(); } "
+                "table t { key: h.x; actions: a; size: 4; } apply { missing; } }"
+            )
+
+    def test_map_missing_attributes(self):
+        with pytest.raises(ParseError):
+            parse_program("program p { map m { key: h.x; } }")
+
+    def test_table_missing_size(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                "program p { header h { x:8; } action a() { no_op(); } "
+                "table t { key: h.x; actions: a; } apply { t; } }"
+            )
+
+    def test_duplicate_parser_block(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                "program p { header h { x:8; } parser { start h; } parser { start h; } }"
+            )
+
+    def test_validation_error_propagates(self):
+        # parses fine, but table references unknown action
+        with pytest.raises(TypeCheckError):
+            parse_program(
+                "program p { header h { x:8; } "
+                "table t { key: h.x; actions: ghost; size: 4; } apply { t; } }"
+            )

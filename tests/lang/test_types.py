@@ -1,0 +1,77 @@
+"""Type-system tests."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.lang.types import BitsType, BoolType, parse_type, require_bits, require_bool, unify
+
+
+class TestBitsType:
+    def test_max_value(self):
+        assert BitsType(8).max_value == 255
+        assert BitsType(1).max_value == 1
+
+    def test_truncate_wraps(self):
+        assert BitsType(8).truncate(256) == 0
+        assert BitsType(8).truncate(257) == 1
+        assert BitsType(8).truncate(255) == 255
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(TypeCheckError):
+            BitsType(0)
+        with pytest.raises(TypeCheckError):
+            BitsType(129)
+
+    def test_repr(self):
+        assert repr(BitsType(32)) == "u32"
+
+
+class TestParseType:
+    def test_named_aliases(self):
+        assert parse_type("u8") == BitsType(8)
+        assert parse_type("u64") == BitsType(64)
+
+    def test_bit_angle_syntax(self):
+        assert parse_type("bit<9>") == BitsType(9)
+
+    def test_arbitrary_u_width(self):
+        assert parse_type("u24") == BitsType(24)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeCheckError):
+            parse_type("float")
+
+    def test_malformed_bit_syntax(self):
+        with pytest.raises(TypeCheckError):
+            parse_type("bit<abc>")
+
+
+class TestUnify:
+    def test_same_widths(self):
+        assert unify(BitsType(8), BitsType(8), "t") == BitsType(8)
+
+    def test_widening(self):
+        assert unify(BitsType(8), BitsType(32), "t") == BitsType(32)
+
+    def test_bools_unify(self):
+        assert unify(BoolType(), BoolType(), "t") == BoolType()
+
+    def test_bool_int_mismatch(self):
+        with pytest.raises(TypeCheckError):
+            unify(BoolType(), BitsType(8), "t")
+
+
+class TestRequire:
+    def test_require_bits_passes(self):
+        assert require_bits(BitsType(16), "x") == BitsType(16)
+
+    def test_require_bits_rejects_bool(self):
+        with pytest.raises(TypeCheckError):
+            require_bits(BoolType(), "x")
+
+    def test_require_bool_passes(self):
+        assert require_bool(BoolType(), "x") == BoolType()
+
+    def test_require_bool_rejects_bits(self):
+        with pytest.raises(TypeCheckError):
+            require_bool(BitsType(1), "x")

@@ -1,0 +1,93 @@
+"""Property-based tests for the delta engine: atomicity and inverses."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps.base import base_infrastructure
+from repro.errors import CompositionError
+from repro.lang.delta import (
+    Delta,
+    RemoveElements,
+    SetMapEntries,
+    SetTableSize,
+    apply_delta,
+)
+
+BASE = base_infrastructure()
+TABLES = ["acl", "l2", "l3"]
+
+sizes = st.integers(min_value=1, max_value=1_000_000)
+
+
+@given(st.sampled_from(TABLES), sizes)
+def test_resize_only_touches_target(table, size):
+    delta = Delta(name="d", ops=(SetTableSize(pattern=table, size=size),))
+    new_program, changes = apply_delta(BASE, delta)
+    assert new_program.table(table).size == size
+    assert changes.modified == frozenset({table})
+    for other in TABLES:
+        if other != table:
+            assert new_program.table(other).size == BASE.table(other).size
+
+
+@given(st.sampled_from(TABLES), sizes, sizes)
+def test_resize_last_write_wins(table, first, second):
+    delta = Delta(
+        name="d",
+        ops=(
+            SetTableSize(pattern=table, size=first),
+            SetTableSize(pattern=table, size=second),
+        ),
+    )
+    new_program, _ = apply_delta(BASE, delta)
+    assert new_program.table(table).size == second
+
+
+@given(st.sampled_from(TABLES))
+def test_remove_then_measure_inverse_size(table):
+    delta = Delta(name="d", ops=(RemoveElements(pattern=table, kind="table"),))
+    new_program, changes = apply_delta(BASE, delta)
+    assert len(new_program.tables) == len(BASE.tables) - 1
+    assert changes.removed == frozenset({table})
+    # base untouched (immutability)
+    assert BASE.has_table(table)
+
+
+@given(st.lists(st.sampled_from(TABLES), min_size=1, max_size=3, unique=True))
+def test_sequential_removals_compose(tables):
+    program = BASE
+    for table in tables:
+        delta = Delta(name="d", ops=(RemoveElements(pattern=table, kind="table"),))
+        program, _ = apply_delta(program, delta)
+    assert {t.name for t in program.tables} == set(TABLES) - set(tables)
+    assert program.version == BASE.version + len(tables)
+
+
+@given(sizes)
+def test_failed_delta_leaves_no_trace(size):
+    delta = Delta(
+        name="d",
+        ops=(
+            SetMapEntries(pattern="flow_counts", max_entries=size),
+            RemoveElements(pattern="no_such_thing_*"),  # always fails
+        ),
+    )
+    try:
+        apply_delta(BASE, delta)
+        assert False, "expected failure"
+    except CompositionError:
+        pass
+    assert BASE.map("flow_counts").max_entries == 65536
+
+
+@given(st.sampled_from(TABLES), sizes)
+def test_version_always_bumps_exactly_once(table, size):
+    delta = Delta(
+        name="d",
+        ops=(
+            SetTableSize(pattern=table, size=size),
+            SetTableSize(pattern=table, size=size + 1),
+        ),
+    )
+    new_program, _ = apply_delta(BASE, delta)
+    assert new_program.version == BASE.version + 1

@@ -1,0 +1,61 @@
+"""Property-based tests for state encoding conversions and hashing."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compiler.state_encoding import ASSOCIATIVE, convert, decode, encode
+from repro.lang.maps import MapSnapshot
+from repro.targets.base import StateEncoding
+from repro.util import stable_hash
+
+entries = st.dictionaries(
+    st.tuples(st.integers(min_value=0, max_value=2**32 - 1)),
+    st.integers(min_value=0, max_value=2**63),
+    max_size=40,
+)
+associative = st.sampled_from(sorted(ASSOCIATIVE, key=lambda e: e.value))
+
+
+def snapshot_of(contents):
+    return MapSnapshot(map_name="m", entries=tuple(contents.items()), version=1)
+
+
+@given(entries, associative)
+def test_associative_encode_decode_identity(contents, encoding):
+    snapshot = snapshot_of(contents)
+    assert decode(encode(snapshot, encoding)).as_dict() == contents
+
+
+@given(entries, associative, associative)
+def test_associative_conversion_lossless(contents, source, destination):
+    arrived, report = convert(snapshot_of(contents), source, destination)
+    assert report.lossless
+    assert arrived.as_dict() == contents
+
+
+@given(entries)
+def test_register_encoding_bounded_by_slots(contents):
+    encoded = encode(snapshot_of(contents), StateEncoding.REGISTER, register_slots=16)
+    assert len(encoded) <= 16
+    assert len(encoded) + encoded.collisions == len(contents)
+
+
+@given(st.tuples(st.integers(min_value=0, max_value=2**64)))
+def test_stable_hash_deterministic(key):
+    assert stable_hash(key) == stable_hash(key)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**32), min_size=2, max_size=6))
+def test_stable_hash_order_sensitive(parts):
+    forward = stable_hash(tuple(parts))
+    backward = stable_hash(tuple(reversed(parts)))
+    if parts != list(reversed(parts)):
+        assert forward != backward
+
+
+@given(st.sets(st.integers(min_value=0, max_value=2**32), min_size=50, max_size=200))
+def test_stable_hash_low_bits_spread(values):
+    """The data plane computes hash % small_n; low bits must carry
+    entropy (the FNV-without-finalizer bug this guards against)."""
+    buckets = {stable_hash((v,)) % 4 for v in values}
+    assert len(buckets) >= 3

@@ -1,0 +1,101 @@
+"""Property-based tests for the interpreter: arithmetic fidelity and
+bounded execution."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps.base import standard_builder
+from repro.lang import builder as b
+from repro.lang import ir
+from repro.lang.analyzer import certify
+from repro.simulator.packet import make_packet
+from repro.simulator.pipeline_exec import ProgramInstance
+
+u16 = st.integers(min_value=0, max_value=2**16 - 1)
+u16_pos = st.integers(min_value=1, max_value=2**16 - 1)
+
+ARITH = {
+    "+": lambda x, y: x + y,
+    "-": lambda x, y: max(x - y, 0) if y > x else x - y,
+    "*": lambda x, y: x * y,
+    "&": lambda x, y: x & y,
+    "|": lambda x, y: x | y,
+    "^": lambda x, y: x ^ y,
+}
+
+
+def eval_binop(op, left, right):
+    program = standard_builder("p")
+    program.function(
+        "f", [b.assign("meta.result", b.binop(op, ir.Const(left), ir.Const(right)))]
+    )
+    program.apply("f")
+    packet = make_packet(1, 2)
+    ProgramInstance(program.build()).process(packet)
+    return packet.meta["result"]
+
+
+@given(st.sampled_from(sorted(ARITH)), u16, u16)
+def test_arithmetic_matches_reference(op, left, right):
+    assert eval_binop(op, left, right) == ARITH[op](left, right)
+
+
+@given(u16, u16_pos)
+def test_division_and_modulo(left, right):
+    assert eval_binop("/", left, right) == left // right
+    assert eval_binop("%", left, right) == left % right
+
+
+@given(u16, u16)
+def test_comparisons_boolean(left, right):
+    program = standard_builder("p")
+    program.function(
+        "f",
+        [
+            b.if_(
+                b.binop("<", ir.Const(left), ir.Const(right)),
+                [b.assign("meta.result", 1)],
+                [b.assign("meta.result", 0)],
+            )
+        ],
+    )
+    program.apply("f")
+    packet = make_packet(1, 2)
+    ProgramInstance(program.build()).process(packet)
+    assert packet.meta["result"] == int(left < right)
+
+
+@given(st.integers(min_value=1, max_value=50))
+def test_repeat_executes_exactly_n_times(count):
+    program = standard_builder("p")
+    program.function(
+        "f",
+        [
+            b.assign("meta.counter", 0),
+            b.repeat(count, [b.assign("meta.counter", b.binop("+", "meta.counter", 1))]),
+        ],
+    )
+    program.apply("f")
+    packet = make_packet(1, 2)
+    ProgramInstance(program.build()).process(packet)
+    assert packet.meta["counter"] == count
+
+
+@given(st.integers(min_value=1, max_value=30), st.integers(min_value=1, max_value=30))
+def test_runtime_ops_never_exceed_certified_bound(outer, inner):
+    """The analyzer's certificate is a sound upper bound on runtime work."""
+    program = standard_builder("p")
+    program.function(
+        "f",
+        [
+            b.repeat(
+                outer,
+                [b.repeat(inner, [b.assign("meta.x", b.binop("+", "meta.x", 1))])],
+            )
+        ],
+    )
+    program.apply("f")
+    built = program.build()
+    certificate = certify(built)
+    result = ProgramInstance(built).process(make_packet(1, 2))
+    assert result.ops <= certificate.max_packet_ops

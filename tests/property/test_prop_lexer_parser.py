@@ -1,0 +1,57 @@
+"""Property-based tests for the lexer and delta/program structure."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.lang.lexer import TokenKind, parse_int, tokenize
+
+identifiers = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,10}", fullmatch=True)
+numbers = st.integers(min_value=0, max_value=2**64)
+punctuation = st.sampled_from(
+    ["{", "}", "(", ")", ";", ":", ",", ".", "==", "!=", "<=", ">=", "<<", ">>",
+     "&&", "||", "+", "-", "*", "/", "%", "&", "|", "^", "<", ">", "=", "!", "~"]
+)
+
+
+@given(st.lists(st.one_of(identifiers, numbers.map(str), punctuation), max_size=40))
+def test_space_separated_tokens_roundtrip(parts):
+    source = " ".join(parts)
+    tokens = tokenize(source)
+    assert tokens[-1].kind is TokenKind.EOF
+    assert [t.text for t in tokens[:-1]] == parts
+
+
+@given(numbers)
+def test_decimal_literals_roundtrip(value):
+    assert parse_int(str(value)) == value
+
+
+@given(numbers)
+def test_hex_literals_roundtrip(value):
+    assert parse_int(hex(value)) == value
+
+
+@given(numbers)
+def test_binary_literals_roundtrip(value):
+    assert parse_int(bin(value)) == value
+
+
+@given(st.text(alphabet="@$#`?'\"\\", min_size=1, max_size=3))
+def test_illegal_characters_raise_parse_error(text):
+    try:
+        tokenize(text)
+        raised = False
+    except ParseError:
+        raised = True
+    assert raised
+
+
+@given(st.text(max_size=200))
+def test_lexer_never_crashes_uncontrolled(source):
+    """The lexer either tokenizes or raises ParseError — nothing else."""
+    try:
+        tokens = tokenize(source)
+        assert tokens[-1].kind is TokenKind.EOF
+    except ParseError:
+        pass

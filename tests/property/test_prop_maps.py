@@ -1,0 +1,93 @@
+"""Property-based tests for map state: snapshots, merges, truncation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lang import builder as b
+from repro.lang.ir import MapDef, Persistence
+from repro.lang.maps import MapState
+from repro.lang.types import BitsType
+
+keys = st.tuples(st.integers(min_value=0, max_value=2**32 - 1))
+values = st.integers(min_value=0, max_value=2**64 - 1)
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), keys, values),
+        st.tuples(st.just("delete"), keys, st.just(0)),
+    ),
+    max_size=60,
+)
+
+
+def make_state(width=64, entries=10_000, persistence=Persistence.DURABLE):
+    return MapState(
+        MapDef(
+            name="m",
+            key_fields=(b.field("h.k"),),
+            value_type=BitsType(width),
+            max_entries=entries,
+            persistence=persistence,
+        )
+    )
+
+
+@given(operations)
+def test_matches_python_dict_semantics(ops):
+    state = make_state()
+    reference = {}
+    for op, key, value in ops:
+        if op == "put":
+            state.put(key, value)
+            reference[key] = value
+        else:
+            state.delete(key)
+            reference.pop(key, None)
+    assert dict(state.items()) == reference
+    for key in reference:
+        assert state.get(key) == reference[key]
+
+
+@given(operations)
+def test_snapshot_restore_identity(ops):
+    state = make_state()
+    for op, key, value in ops:
+        if op == "put":
+            state.put(key, value)
+        else:
+            state.delete(key)
+    clone = make_state()
+    clone.restore(state.snapshot())
+    assert dict(clone.items()) == dict(state.items())
+
+
+@given(st.integers(min_value=1, max_value=63), values)
+def test_values_truncated_to_declared_width(width, value):
+    state = make_state(width=width)
+    state.put((1,), value)
+    assert state.get((1,)) == value & ((1 << width) - 1)
+
+
+@given(st.lists(st.tuples(keys, values), min_size=1, max_size=30))
+def test_ephemeral_never_exceeds_capacity(entries):
+    state = make_state(entries=8, persistence=Persistence.EPHEMERAL)
+    for key, value in entries:
+        state.put(key, value)
+        assert len(state) <= 8
+
+
+@given(st.lists(st.tuples(keys, st.integers(min_value=0, max_value=1000)), max_size=30),
+       st.lists(st.tuples(keys, st.integers(min_value=0, max_value=1000)), max_size=30))
+def test_merge_sum_is_additive(first_entries, second_entries):
+    first = make_state()
+    second = make_state()
+    expected = {}
+    for key, value in first_entries:
+        first.put(key, value)
+    for key, value in dict(first_entries).items():
+        expected[key] = value
+    for key, value in second_entries:
+        second.put(key, value)
+    for key, value in dict(second_entries).items():
+        expected[key] = expected.get(key, 0) + value
+    first.merge(second.snapshot(), combine="sum")
+    assert dict(first.items()) == {k: v for k, v in expected.items()}

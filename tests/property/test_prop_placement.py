@@ -1,0 +1,124 @@
+"""Property-based tests for placement invariants over random programs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.base import standard_builder
+from repro.compiler.placement import PlacementEngine
+from repro.errors import PlacementError
+from repro.lang import builder as b
+from repro.lang.analyzer import certify
+from repro.compiler.fungibility import ordered_elements
+from repro.targets.resources import ResourceVector
+
+from tests.conftest import make_standard_slice
+
+
+@st.composite
+def random_programs(draw):
+    """Random small programs: a few tables, maps, and functions wired
+    through an apply block, built over the standard headers."""
+    program = standard_builder("rand")
+    program.action("nop", [b.call("no_op")])
+    program.action("fwd", [b.call("set_port", "p")], params=[("p", "u16")])
+
+    table_count = draw(st.integers(min_value=0, max_value=4))
+    map_count = draw(st.integers(min_value=0, max_value=3))
+    function_count = draw(st.integers(min_value=0, max_value=3))
+    apply_order = []
+
+    key_fields = ["ipv4.src", "ipv4.dst", "ethernet.dst", "tcp.dport"]
+    for index in range(table_count):
+        kind = draw(st.sampled_from(["exact", "ternary", "lpm"]))
+        size = draw(st.integers(min_value=1, max_value=20_000))
+        program.table(
+            f"t{index}",
+            keys=[(draw(st.sampled_from(key_fields)), kind)],
+            actions=["nop", "fwd"],
+            size=size,
+            default="nop",
+        )
+        apply_order.append(f"t{index}")
+
+    map_names = []
+    for index in range(map_count):
+        entries = draw(st.integers(min_value=1, max_value=50_000))
+        program.map(f"m{index}", keys=[draw(st.sampled_from(key_fields))],
+                    value_type="u64", max_entries=entries)
+        map_names.append(f"m{index}")
+
+    for index in range(function_count):
+        body = []
+        reps = draw(st.integers(min_value=1, max_value=60))
+        if map_names and draw(st.booleans()):
+            target_map = draw(st.sampled_from(map_names))
+            body.append(b.let("v", "u64", b.map_get(target_map, "ipv4.src")))
+            body.append(b.map_put(target_map, "ipv4.src", b.binop("+", "v", 1)))
+        body.append(b.repeat(reps, [b.assign("meta.x", b.binop("+", "meta.x", 1))]))
+        program.function(f"f{index}", body)
+        apply_order.append(f"f{index}")
+
+    program.apply(*apply_order)
+    return program.build()
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_programs())
+def test_placement_invariants(program):
+    certificate = certify(program)
+    slice_ = make_standard_slice()
+    try:
+        plan = PlacementEngine().compile(program, certificate, slice_)
+    except PlacementError:
+        return  # infeasible programs may be rejected; nothing to check
+
+    # 1. Everything placeable is placed exactly once.
+    assert set(plan.placement) == set(program.element_names)
+
+    # 2. Co-location: every map lives with each of its accessors.
+    for name, profile in certificate.profiles.items():
+        if profile.kind not in ("table", "function"):
+            continue
+        for map_name in (*profile.map_reads, *profile.map_writes):
+            if map_name in plan.placement:
+                assert plan.placement[map_name] == plan.placement[name]
+
+    # 3. Capacity: per-device demand fits the device.
+    for spec in slice_.devices:
+        demand = ResourceVector()
+        for element, device in plan.placement.items():
+            if device == spec.name:
+                demand = demand + spec.target.demand(certificate.profile(element))
+        assert demand.fits_within(spec.target.capacity)
+
+    # 4. Admission: every element is on a device that admits it.
+    for element, device in plan.placement.items():
+        target = slice_.device(device).target
+        assert target.admits(certificate.profile(element))
+
+    # 5. Path monotonicity over apply order (maps travel with accessors,
+    #    so only tables/functions are order-constrained).
+    order = [
+        e for e in ordered_elements(program)
+        if certificate.profiles[e].kind in ("table", "function")
+    ]
+    positions = {spec.name: i for i, spec in enumerate(slice_.devices)}
+    device_positions = [positions[plan.placement[e]] for e in order]
+    assert device_positions == sorted(device_positions)
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_programs())
+def test_estimates_consistent(program):
+    certificate = certify(program)
+    try:
+        plan = PlacementEngine().compile(program, certificate, make_standard_slice())
+    except PlacementError:
+        return
+    assert plan.estimated_latency_ns > 0
+    assert plan.estimated_energy_nj >= 0
+    # total ops on devices == sum of profile ops
+    total_profile_ops = sum(
+        certificate.profile(e).max_ops for e in plan.placement
+    )
+    assert total_profile_ops >= 0

@@ -1,0 +1,60 @@
+"""Round-trip property: parse(print(program)) == program (structurally)."""
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+
+from repro.apps import (
+    base_infrastructure,
+    count_min_delta,
+    dctcp_delta,
+    firewall_delta,
+    load_balancer_delta,
+    nat_delta,
+)
+from repro.lang.delta import apply_delta
+from repro.lang.parser import parse_program
+from repro.lang.printer import print_program
+
+from tests.property.test_prop_placement import random_programs
+
+
+def normalize(program):
+    """Strip fields the surface syntax does not carry."""
+    return replace(program, version=1, owner="infrastructure")
+
+
+def assert_roundtrip(program):
+    source = print_program(program)
+    reparsed = parse_program(source)
+    assert normalize(reparsed) == normalize(program), source
+
+
+class TestKnownPrograms:
+    def test_base_infrastructure(self):
+        assert_roundtrip(base_infrastructure())
+
+    def test_every_app_delta(self):
+        program = base_infrastructure()
+        for delta in (
+            firewall_delta(),
+            count_min_delta(),
+            load_balancer_delta(),
+            nat_delta(),
+            dctcp_delta(),
+        ):
+            program, _ = apply_delta(program, delta)
+            assert_roundtrip(program)
+
+    def test_printed_source_recompiles_and_certifies(self):
+        from repro.lang.analyzer import certify
+
+        program = base_infrastructure()
+        reparsed = parse_program(print_program(program))
+        assert certify(reparsed).max_packet_ops == certify(program).max_packet_ops
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_programs())
+def test_random_program_roundtrip(program):
+    assert_roundtrip(program)

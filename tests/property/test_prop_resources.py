@@ -1,0 +1,62 @@
+"""Property-based tests for ResourceVector algebra."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.targets.resources import ZERO, ResourceVector
+
+kinds = st.sampled_from(["sram_kb", "tcam_kb", "alus", "processors", "luts"])
+amounts = st.dictionaries(kinds, st.floats(min_value=0, max_value=1e6), max_size=5)
+vectors = amounts.map(ResourceVector)
+
+
+@given(vectors, vectors)
+def test_addition_commutative(a, b):
+    assert a + b == b + a
+
+
+@given(vectors, vectors, vectors)
+def test_addition_associative(a, b, c):
+    assert (a + b) + c == a + (b + c)
+
+
+@given(vectors)
+def test_zero_identity(a):
+    assert a + ZERO == a
+
+
+@given(vectors, vectors)
+def test_add_then_subtract_roundtrip(a, b):
+    assert (a + b) - b == a
+
+
+@given(vectors, vectors)
+def test_sum_dominates_parts(a, b):
+    total = a + b
+    assert a.fits_within(total)
+    assert b.fits_within(total)
+
+
+@given(vectors)
+def test_fits_within_reflexive(a):
+    assert a.fits_within(a)
+
+
+@given(vectors, vectors)
+def test_deficit_empty_iff_fits(a, b):
+    fits = a.fits_within(b)
+    deficit = a.deficit_against(b)
+    assert fits == (not deficit)
+
+
+@given(vectors, st.floats(min_value=0, max_value=100))
+def test_scaling_distributes(a, factor):
+    doubled = a * factor
+    for kind in a:
+        assert abs(doubled[kind] - a[kind] * factor) < 1e-6 * max(1.0, a[kind] * factor)
+
+
+@given(vectors)
+def test_utilization_of_self_at_most_one(a):
+    if not a.is_zero():
+        assert a.utilization_of(a) <= 1.0 + 1e-9

@@ -1,0 +1,84 @@
+"""Property-based tests for table rule matching."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lang import builder as b
+from repro.lang.ir import ActionCall, MatchKind, TableDef, TableKey
+from repro.simulator.tables import Rule, TableRules, exact, lpm, ternary
+
+u32 = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def one_key_table(kind, size=1024):
+    return TableDef(
+        name="t",
+        keys=(TableKey(field=b.field("h.k"), match_kind=kind),),
+        actions=("hit", "miss"),
+        size=size,
+        default_action=ActionCall(action="miss"),
+    )
+
+
+@given(u32)
+def test_exact_matches_itself_only(value):
+    spec = exact(value)
+    assert spec.matches(value)
+    assert not spec.matches(value ^ 1)
+
+
+@given(u32, st.integers(min_value=1, max_value=32))
+def test_lpm_prefix_bits_decide(value, prefix_len):
+    spec = lpm(value, prefix_len)
+    assert spec.matches(value)
+    if prefix_len < 32:
+        # flipping a bit below the prefix still matches
+        below = value ^ (1 << (31 - prefix_len))
+        assert spec.matches(below)
+    # flipping the highest prefix bit breaks the match
+    inside = value ^ (1 << 31)
+    assert not spec.matches(inside)
+
+
+@given(u32, u32)
+def test_ternary_mask_zero_matches_everything(value, probe):
+    assert ternary(value, 0).matches(probe)
+
+
+@given(u32, u32)
+def test_ternary_full_mask_is_exact(value, probe):
+    spec = ternary(value, 0xFFFFFFFF)
+    assert spec.matches(probe) == ((probe & 0xFFFFFFFF) == (value & 0xFFFFFFFF))
+
+
+@given(st.lists(u32, min_size=1, max_size=20, unique=True), u32)
+def test_lookup_exact_consistency(installed, probe):
+    rules = TableRules(one_key_table(MatchKind.EXACT))
+    for value in installed:
+        rules.insert(Rule(matches=(exact(value),), action=ActionCall("hit")))
+    result = rules.lookup((probe,))
+    if probe in installed:
+        assert result == ActionCall("hit")
+    else:
+        assert result == ActionCall("miss")
+
+
+@given(st.lists(st.tuples(u32, st.integers(min_value=0, max_value=32)),
+                min_size=1, max_size=10))
+def test_lpm_longest_prefix_wins(prefixes):
+    rules = TableRules(one_key_table(MatchKind.LPM))
+    for index, (prefix, length) in enumerate(prefixes):
+        rules.insert(
+            Rule(matches=(lpm(prefix, length),), action=ActionCall("hit", (index,)))
+        )
+    probe = prefixes[0][0]
+    result = rules.lookup((probe,))
+    assert result.action == "hit"
+    # the winner's prefix must actually match and no longer matching
+    # prefix may exist
+    winner_index = result.args[0]
+    winner_prefix, winner_len = prefixes[winner_index]
+    assert lpm(winner_prefix, winner_len).matches(probe)
+    for prefix, length in prefixes:
+        if lpm(prefix, length).matches(probe):
+            assert length <= winner_len

@@ -1,0 +1,93 @@
+"""Consistency checker tests."""
+
+from repro.runtime.consistency import (
+    ConsistencyChecker,
+    ConsistencyLevel,
+    version_split,
+)
+from repro.simulator.packet import make_packet
+
+
+def packet_with_versions(versions, src=1, dst=2, sport=100):
+    packet = make_packet(src, dst, src_port=sport)
+    packet.versions_seen = dict(versions)
+    return packet
+
+
+class TestPerPacketPath:
+    def test_uniform_versions_pass(self):
+        checker = ConsistencyChecker(ConsistencyLevel.PER_PACKET_PATH)
+        checker.observe(packet_with_versions({"a": 1, "b": 1}))
+        checker.observe(packet_with_versions({"a": 2, "b": 2}))
+        report = checker.report()
+        assert report.holds
+        assert report.packets_checked == 2
+
+    def test_mixed_versions_flagged(self):
+        checker = ConsistencyChecker(ConsistencyLevel.PER_PACKET_PATH)
+        checker.observe(packet_with_versions({"a": 1, "b": 2}))
+        report = checker.report()
+        assert not report.holds
+        assert report.violations == 1
+        assert report.examples
+
+    def test_scope_restriction(self):
+        checker = ConsistencyChecker(
+            ConsistencyLevel.PER_PACKET_PATH, devices_in_update={"a"}
+        )
+        # b disagrees but b is out of scope (not being updated)
+        checker.observe(packet_with_versions({"a": 1, "b": 99}))
+        assert checker.report().holds
+
+    def test_empty_versions_ignored(self):
+        checker = ConsistencyChecker(ConsistencyLevel.PER_PACKET_PATH)
+        checker.observe(packet_with_versions({}))
+        assert checker.report().holds
+
+
+class TestPerFlow:
+    def test_flapping_flow_flagged(self):
+        """old -> new -> old within one flow is an inconsistent cut-over."""
+        checker = ConsistencyChecker(ConsistencyLevel.PER_FLOW)
+        checker.observe(packet_with_versions({"a": 1}, sport=5))
+        checker.observe(packet_with_versions({"a": 2}, sport=5))
+        checker.observe(packet_with_versions({"a": 1}, sport=5))  # flap back
+        report = checker.report()
+        assert report.violations == 1
+
+    def test_monotone_cutover_allowed(self):
+        """A flow may cross the update once: old* then new*."""
+        checker = ConsistencyChecker(ConsistencyLevel.PER_FLOW)
+        checker.observe(packet_with_versions({"a": 1}, sport=5))
+        checker.observe(packet_with_versions({"a": 2}, sport=5))
+        checker.observe(packet_with_versions({"a": 2}, sport=5))
+        assert checker.report().holds
+
+    def test_mixed_versions_in_one_packet_flagged(self):
+        checker = ConsistencyChecker(ConsistencyLevel.PER_FLOW)
+        checker.observe(packet_with_versions({"a": 1, "b": 2}, sport=5))
+        assert not checker.report().holds
+
+    def test_different_flows_may_differ(self):
+        checker = ConsistencyChecker(ConsistencyLevel.PER_FLOW)
+        checker.observe(packet_with_versions({"a": 1}, sport=5))
+        checker.observe(packet_with_versions({"a": 2}, sport=6))
+        assert checker.report().holds
+
+
+class TestPerDevice:
+    def test_always_holds_structurally(self):
+        checker = ConsistencyChecker(ConsistencyLevel.PER_PACKET_PER_DEVICE)
+        checker.observe(packet_with_versions({"a": 1, "b": 2}))
+        assert checker.report().holds
+
+
+class TestVersionSplit:
+    def test_split_counts(self):
+        packets = [
+            packet_with_versions({"sw": 1}),
+            packet_with_versions({"sw": 1}),
+            packet_with_versions({"sw": 2}),
+            packet_with_versions({"other": 9}),
+        ]
+        assert version_split(packets, "sw") == {1: 2, 2: 1}

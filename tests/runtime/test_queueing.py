@@ -1,0 +1,123 @@
+"""Device ingress-queue model tests: depth, delay, overflow, ECN feed."""
+
+import pytest
+
+from repro.apps.base import base_infrastructure
+from repro.apps.cc import dctcp_delta
+from repro.lang.delta import apply_delta
+from repro.runtime.device import DeviceRuntime
+from repro.simulator.packet import Verdict, make_packet
+from repro.targets import drmt_switch, host
+from repro.targets.base import PerformanceModel, Target
+from repro.targets.resources import ResourceVector
+
+
+def slow_target(pps: float = 1000.0) -> Target:
+    """A deliberately slow device so queues build at test rates."""
+    fast = drmt_switch("slow")
+    return Target(
+        name="slow",
+        arch=fast.arch,
+        capacity=fast.capacity,
+        fungibility=fast.fungibility,
+        performance=PerformanceModel(
+            base_latency_ns=400.0,
+            per_op_ns=1.0,
+            per_op_nj=0.5,
+            idle_power_w=100.0,
+            throughput_mpps=pps / 1e6,
+        ),
+        reconfig=fast.reconfig,
+        encodings=fast.encodings,
+        tier="switch",
+        max_function_ops=fast.max_function_ops,
+    )
+
+
+class TestQueueModel:
+    def test_no_queue_at_low_rate(self, base_program):
+        device = DeviceRuntime("d", drmt_switch("d"))
+        device.install(base_program)
+        for index in range(100):
+            packet = make_packet(1, 2)
+            device.process(packet, index * 0.001)
+            assert packet.meta["queue_depth"] == 0
+        assert device.stats.queue_drops == 0
+
+    def test_queue_builds_under_overload(self, base_program):
+        device = DeviceRuntime("d", slow_target(pps=1000.0))
+        device.install(base_program)
+        # burst of 50 packets at the same instant: service 1ms each
+        depths = []
+        for _ in range(50):
+            packet = make_packet(1, 2)
+            device.process(packet, 0.0)
+            depths.append(packet.meta["queue_depth"])
+        assert depths[0] == 0
+        assert depths[-1] == 49
+        assert device.stats.max_queue_depth == 49
+
+    def test_queueing_delay_in_latency(self, base_program):
+        device = DeviceRuntime("d", slow_target(pps=1000.0))
+        device.install(base_program)
+        first = device.process(make_packet(1, 2), 0.0)
+        second = device.process(make_packet(1, 2), 0.0)
+        assert second > first  # second waits for the first's service slot
+        assert second - first == pytest.approx(0.001, rel=0.01)
+
+    def test_overflow_tail_drops(self, base_program):
+        device = DeviceRuntime("d", slow_target(pps=1000.0), queue_capacity_packets=10)
+        device.install(base_program)
+        verdicts = []
+        for _ in range(20):
+            packet = make_packet(1, 2)
+            device.process(packet, 0.0)
+            verdicts.append(packet.verdict)
+        assert verdicts[:10].count(Verdict.LOST) == 0
+        assert verdicts[10:].count(Verdict.LOST) == 10
+        assert device.stats.queue_drops == 10
+
+    def test_queue_drains_over_time(self, base_program):
+        device = DeviceRuntime("d", slow_target(pps=1000.0))
+        device.install(base_program)
+        for _ in range(10):
+            device.process(make_packet(1, 2), 0.0)
+        late = make_packet(1, 2)
+        device.process(late, 1.0)  # queue (10 ms worth) long drained
+        assert late.meta["queue_depth"] == 0
+
+
+class TestEcnIntegration:
+    def test_congestion_triggers_ecn_marks(self, base_program):
+        """The DCTCP app's queue_depth input is now fed by the real
+        queue model: a burst past the threshold gets marked."""
+        program, _ = apply_delta(base_program, dctcp_delta(ecn_threshold=20))
+        device = DeviceRuntime("d", slow_target(pps=1000.0))
+        device.install(program)
+        marked = 0
+        for _ in range(60):
+            packet = make_packet(1, 2)
+            device.process(packet, 0.0)
+            marked += packet.meta.get("ecn", 0) and 1
+        assert marked > 0  # deep-queue packets were marked
+        # early packets (shallow queue) were not
+        first = make_packet(1, 2)
+        device.process(first, 10.0)
+        assert first.meta.get("ecn", 0) == 0
+
+    def test_network_counts_queue_drops_as_loss(self, base_program):
+        from repro.simulator.engine import EventLoop
+        from repro.simulator.metrics import RunMetrics
+        from repro.simulator.network import Network
+
+        loop = EventLoop()
+        network = Network(loop)
+        device = DeviceRuntime("d", slow_target(pps=100.0), queue_capacity_packets=5)
+        device.install(base_program)
+        network.add_node(device)
+        metrics = RunMetrics()
+        for _ in range(20):
+            network.inject(make_packet(1, 2), ["d"], 0.0, metrics)
+        loop.run()
+        assert metrics.lost_by_infrastructure == 15
+        assert metrics.delivered == 5

@@ -1,0 +1,62 @@
+"""Orchestrated transitions over non-hitless (compile-time-only) devices
+in mixed deployments (§3.4: 'mixed deployments of runtime programmable,
+compile-time programmable, and non-programmable devices')."""
+
+import pytest
+
+from repro.apps.base import base_infrastructure
+from repro.apps.firewall import firewall_delta
+from repro.core.flexnet import FlexNet
+
+
+def mixed_net() -> FlexNet:
+    """The program's switch is a *stock* RMT device: the orchestrator
+    must fall back to drain+reflash for it."""
+    net = FlexNet()
+    net.add_host("h1")
+    net.add_smartnic("nic1")
+    net.add_switch("sw1", arch="rmt_static")
+    net.add_smartnic("nic2")
+    net.add_host("h2")
+    for a, b in [("h1", "nic1"), ("nic1", "sw1"), ("sw1", "nic2"), ("nic2", "h2")]:
+        net.connect(a, b, 2e-6)
+    net.build_datapath("h1", "h2")
+    net.install(base_infrastructure())
+    return net
+
+
+class TestMixedDeployment:
+    def test_reflash_path_taken(self):
+        net = mixed_net()
+        outcome = net.update(firewall_delta())
+        assert "sw1" in outcome.report.reflashed_devices
+        # the window reflects the full drain+reflash+redeploy cycle
+        start, end = outcome.report.device_windows["sw1"]
+        assert end - start > 30.0
+
+    def test_traffic_lost_during_reflash_window(self):
+        net = mixed_net()
+        net.schedule(5.0, lambda: net.update(firewall_delta()))
+        report = net.run_traffic(rate_pps=100, duration_s=60.0, extra_time_s=10.0)
+        # the drain window loses packets — the orchestrator does not hide
+        # a non-hitless device's nature
+        assert report.metrics.lost_by_infrastructure > 1000
+
+    def test_new_program_active_after_reflash(self):
+        net = mixed_net()
+        outcome = net.update(firewall_delta())
+        net.loop.run_until(outcome.report.finished_at + 1.0)
+        device = net.device("sw1")
+        assert device.available(net.loop.now)
+        assert device.active_program.has_table("fw_block")
+
+    def test_state_cold_after_reflash(self):
+        from repro.simulator.packet import make_packet
+
+        net = mixed_net()
+        device = net.device("sw1")
+        device.process(make_packet(7, 8), net.loop.now)
+        assert device.active_instance.maps.state("flow_counts").get((7, 8)) == 1
+        outcome = net.update(firewall_delta())
+        net.loop.run_until(outcome.report.finished_at + 1.0)
+        assert device.active_instance.maps.state("flow_counts").get((7, 8)) == 0

@@ -1,0 +1,115 @@
+"""Traffic generator tests."""
+
+from repro.simulator.flowgen import (
+    constant_rate,
+    merge_streams,
+    poisson_flows,
+    syn_flood,
+    tenant_churn,
+)
+
+
+class TestConstantRate:
+    def test_count_matches_rate_and_duration(self):
+        packets = list(constant_rate(100, 2.0))
+        assert len(packets) == 200
+
+    def test_even_spacing(self):
+        packets = list(constant_rate(10, 1.0))
+        gaps = {
+            round(second.time - first.time, 9)
+            for first, second in zip(packets, packets[1:])
+        }
+        assert gaps == {0.1}
+
+    def test_start_offset(self):
+        packets = list(constant_rate(10, 1.0, start_s=5.0))
+        assert packets[0].time == 5.0
+
+    def test_zero_rate_empty(self):
+        assert list(constant_rate(0, 1.0)) == []
+
+    def test_vlan_and_ports_propagate(self):
+        packet = next(iter(constant_rate(10, 1.0, vlan_id=9, dst_port=443))).packet
+        assert packet.meta["vlan_id"] == 9
+        assert packet.get_field("tcp", "dport") == 443
+
+
+class TestPoissonFlows:
+    def test_deterministic_given_seed(self):
+        first = [(tp.time, tp.packet.get_field("ipv4", "src")) for tp in poisson_flows(100, 1.0, 10, seed=3)]
+        second = [(tp.time, tp.packet.get_field("ipv4", "src")) for tp in poisson_flows(100, 1.0, 10, seed=3)]
+        assert first == second
+
+    def test_rate_approximately_respected(self):
+        packets = list(poisson_flows(1000, 2.0, 10, seed=1))
+        assert 1500 < len(packets) < 2500
+
+    def test_zipf_popularity(self):
+        packets = list(poisson_flows(2000, 2.0, 20, seed=2))
+        counts = {}
+        for tp in packets:
+            src = tp.packet.get_field("ipv4", "src")
+            counts[src] = counts.get(src, 0) + 1
+        ordered = sorted(counts.values(), reverse=True)
+        assert ordered[0] > ordered[-1] * 2  # heavy head
+
+    def test_times_within_window(self):
+        packets = list(poisson_flows(100, 1.0, 5, seed=4, start_s=2.0))
+        assert all(2.0 <= tp.time < 3.0 for tp in packets)
+
+
+class TestSynFlood:
+    def test_ramp_hold_decay_envelope(self):
+        packets = list(syn_flood(2000, ramp_s=1.0, hold_s=1.0, decay_s=1.0, seed=5))
+        def count(window):
+            return sum(1 for tp in packets if window[0] <= tp.time < window[1])
+        ramp_head = count((0.0, 0.3))
+        hold = count((1.2, 1.5))
+        decay_tail = count((2.7, 3.0))
+        assert hold > ramp_head * 2
+        assert hold > decay_tail * 2
+
+    def test_all_syn_to_victim(self):
+        packets = list(syn_flood(500, 0.5, 0.5, 0.5, victim_ip=77, seed=6))
+        assert packets
+        for tp in packets:
+            assert tp.packet.get_field("ipv4", "dst") == 77
+            assert tp.packet.get_field("tcp", "flags") & 0x02
+
+    def test_spoofed_sources_diverse(self):
+        packets = list(syn_flood(2000, 0.5, 0.5, 0.5, seed=7))
+        sources = {tp.packet.get_field("ipv4", "src") for tp in packets}
+        assert len(sources) > len(packets) * 0.9
+
+
+class TestTenantChurn:
+    def test_arrivals_before_departures(self):
+        events = tenant_churn(2.0, 5.0, 20.0, seed=8)
+        first_seen = {}
+        for event in events:
+            if event.kind == "arrive":
+                assert event.tenant not in first_seen
+                first_seen[event.tenant] = event.time
+            else:
+                assert event.tenant in first_seen
+                assert event.time > first_seen[event.tenant]
+
+    def test_sorted_by_time(self):
+        events = tenant_churn(3.0, 2.0, 10.0, seed=9)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_deterministic(self):
+        assert tenant_churn(2.0, 5.0, 10.0, seed=1) == tenant_churn(2.0, 5.0, 10.0, seed=1)
+
+
+class TestMerge:
+    def test_merge_sorts_by_time(self):
+        merged = merge_streams(
+            constant_rate(10, 1.0),
+            constant_rate(10, 1.0, start_s=0.05),
+        )
+        times = [tp.time for tp in merged]
+        assert times == sorted(times)
+        assert len(merged) == 20

@@ -1,0 +1,51 @@
+"""Meter model tests."""
+
+import pytest
+
+from repro.errors import FlexNetError
+from repro.simulator.meters import Meter, MeterColor, MeterConfig
+
+
+class TestTokenBucket:
+    def test_burst_then_red(self):
+        meter = Meter(MeterConfig(rate_pps=10.0, burst_packets=5.0))
+        colors = [meter.mark(0.0) for _ in range(8)]
+        assert colors[:5] == [MeterColor.GREEN] * 5
+        assert colors[5:] == [MeterColor.RED] * 3
+
+    def test_refill_over_time(self):
+        meter = Meter(MeterConfig(rate_pps=10.0, burst_packets=2.0))
+        assert meter.mark(0.0) is MeterColor.GREEN
+        assert meter.mark(0.0) is MeterColor.GREEN
+        assert meter.mark(0.0) is MeterColor.RED
+        # 0.1 s refills one token at 10 pps
+        assert meter.mark(0.1) is MeterColor.GREEN
+        assert meter.mark(0.1) is MeterColor.RED
+
+    def test_burst_caps_refill(self):
+        meter = Meter(MeterConfig(rate_pps=1000.0, burst_packets=3.0))
+        meter.mark(0.0)
+        # a long quiet period refills at most to the burst size
+        colors = [meter.mark(100.0) for _ in range(5)]
+        assert colors.count(MeterColor.GREEN) == 3
+
+    def test_steady_state_rate_enforced(self):
+        meter = Meter(MeterConfig(rate_pps=100.0, burst_packets=5.0))
+        greens = 0
+        for index in range(1000):  # 1000 packets over 1 s = 10x the rate
+            if meter.mark(index * 0.001) is MeterColor.GREEN:
+                greens += 1
+        assert greens == pytest.approx(100, rel=0.15)
+
+    def test_counters(self):
+        meter = Meter(MeterConfig(rate_pps=10.0, burst_packets=1.0))
+        meter.mark(0.0)
+        meter.mark(0.0)
+        assert (meter.green_count, meter.red_count) == (1, 1)
+        assert meter.observed_green_fraction == 0.5
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(FlexNetError):
+            Meter(MeterConfig(rate_pps=0.0, burst_packets=1.0))
+        with pytest.raises(FlexNetError):
+            Meter(MeterConfig(rate_pps=1.0, burst_packets=0.0))

@@ -1,0 +1,157 @@
+"""Network transport tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.engine import EventLoop
+from repro.simulator.metrics import RunMetrics
+from repro.simulator.network import Network
+from repro.simulator.packet import Verdict, make_packet
+
+
+class FakeNode:
+    """A configurable PacketProcessor."""
+
+    def __init__(self, name, latency_s=1e-6, drop=False, down_until=0.0):
+        self.name = name
+        self.latency_s = latency_s
+        self.drop = drop
+        self.down_until = down_until
+        self.seen = []
+
+    def available(self, now):
+        return now >= self.down_until
+
+    def process(self, packet, now):
+        self.seen.append(packet.packet_id)
+        if self.drop:
+            packet.meta["drop_flag"] = 1
+            packet.verdict = Verdict.DROP
+        return self.latency_s
+
+
+def two_hop_network():
+    net = Network(EventLoop())
+    a, b_ = FakeNode("a"), FakeNode("b")
+    net.add_node(a)
+    net.add_node(b_)
+    net.add_link("a", "b", 1e-3)
+    net.define_path("p", ["a", "b"])
+    return net, a, b_
+
+
+class TestTopology:
+    def test_duplicate_node_rejected(self):
+        net = Network()
+        net.add_node(FakeNode("a"))
+        with pytest.raises(SimulationError):
+            net.add_node(FakeNode("a"))
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(SimulationError):
+            Network().node("ghost")
+
+    def test_link_requires_nodes(self):
+        net = Network()
+        net.add_node(FakeNode("a"))
+        with pytest.raises(SimulationError):
+            net.add_link("a", "ghost")
+
+    def test_path_requires_links(self):
+        net = Network()
+        net.add_node(FakeNode("a"))
+        net.add_node(FakeNode("b"))
+        with pytest.raises(SimulationError):
+            net.define_path("p", ["a", "b"])
+
+    def test_links_bidirectional(self):
+        net, *_ = two_hop_network()
+        assert net.link_latency("b", "a") == 1e-3
+
+
+class TestTransport:
+    def test_packet_traverses_path(self):
+        net, a, b_ = two_hop_network()
+        metrics = RunMetrics()
+        packet = make_packet(1, 2)
+        net.inject(packet, "p", 0.0, metrics)
+        net.loop.run()
+        assert a.seen == [packet.packet_id]
+        assert b_.seen == [packet.packet_id]
+        assert packet.path == ["a", "b"]
+        assert metrics.delivered == 1
+
+    def test_latency_accumulates_links_and_processing(self):
+        net, a, b_ = two_hop_network()
+        a.latency_s = 0.5e-3
+        metrics = RunMetrics()
+        packet = make_packet(1, 2, created_at=0.0)
+        net.inject(packet, "p", 0.0, metrics)
+        net.loop.run()
+        # link 1ms + processing a 0.5ms (+ b's processing)
+        assert packet.latency_s == pytest.approx(1.5e-3 + b_.latency_s, rel=1e-6)
+
+    def test_program_drop_stops_path(self):
+        net, a, b_ = two_hop_network()
+        a.drop = True
+        metrics = RunMetrics()
+        net.inject(make_packet(1, 2), "p", 0.0, metrics)
+        net.loop.run()
+        assert b_.seen == []
+        assert metrics.dropped_by_program == 1
+
+    def test_unavailable_node_loses_packet(self):
+        net, a, b_ = two_hop_network()
+        b_.down_until = 10.0
+        metrics = RunMetrics()
+        net.inject(make_packet(1, 2), "p", 0.0, metrics)
+        net.loop.run()
+        assert metrics.lost_by_infrastructure == 1
+        assert metrics.delivered == 0
+
+    def test_on_done_callback(self):
+        net, *_ = two_hop_network()
+        done = []
+        net.inject(make_packet(1, 2), "p", 0.0, None, on_done=done.append)
+        net.loop.run()
+        assert len(done) == 1
+
+    def test_explicit_hop_list(self):
+        net, a, b_ = two_hop_network()
+        metrics = RunMetrics()
+        net.inject(make_packet(1, 2), ["a"], 0.0, metrics)
+        net.loop.run()
+        assert metrics.delivered == 1
+        assert b_.seen == []
+
+    def test_empty_path_rejected(self):
+        net, *_ = two_hop_network()
+        with pytest.raises(SimulationError):
+            net.inject(make_packet(1, 2), [], 0.0)
+
+
+class TestMetrics:
+    def test_loss_and_delivery_rates(self):
+        net, a, b_ = two_hop_network()
+        b_.down_until = 0.0005  # in-flight packets at t<~0 lost at b
+        metrics = RunMetrics()
+        for i in range(10):
+            net.inject(make_packet(1, 2, created_at=i * 0.001), "p", i * 0.001, metrics)
+        net.loop.run()
+        assert metrics.sent == 10
+        assert metrics.delivered + metrics.lost_by_infrastructure == 10
+        assert metrics.loss_rate == pytest.approx(
+            metrics.lost_by_infrastructure / 10
+        )
+
+    def test_latency_percentiles(self):
+        from repro.simulator.metrics import LatencyStats
+
+        stats = LatencyStats()
+        for value in [1.0, 2.0, 3.0, 4.0, 5.0]:
+            stats.record(value)
+        assert stats.mean == 3.0
+        assert stats.percentile(0.0) == 1.0
+        assert stats.percentile(0.99) == 5.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 5.0

@@ -1,0 +1,52 @@
+"""Packet model tests."""
+
+from repro.simulator.packet import FiveTuple, Packet, Verdict, make_packet
+
+
+class TestPacket:
+    def test_make_packet_standard_headers(self):
+        packet = make_packet(src_ip=1, dst_ip=2, proto=6)
+        assert packet.get_field("ipv4", "src") == 1
+        assert packet.get_field("ipv4", "dst") == 2
+        assert packet.has_header("ethernet")
+        assert packet.has_header("tcp")
+
+    def test_unique_ids(self):
+        assert make_packet(1, 2).packet_id != make_packet(1, 2).packet_id
+
+    def test_absent_field_reads_zero(self):
+        assert make_packet(1, 2).get_field("vxlan", "vni") == 0
+
+    def test_set_field(self):
+        packet = make_packet(1, 2)
+        packet.set_field("ipv4", "ttl", 9)
+        assert packet.get_field("ipv4", "ttl") == 9
+
+    def test_verdict_default_forward(self):
+        packet = make_packet(1, 2)
+        assert packet.verdict is Verdict.FORWARD
+        assert not packet.dropped
+
+    def test_latency_requires_delivery(self):
+        packet = make_packet(1, 2, created_at=1.0)
+        assert packet.latency_s is None
+        packet.delivered_at = 1.5
+        assert packet.latency_s == 0.5
+
+    def test_meta_defaults(self):
+        packet = make_packet(1, 2, vlan_id=7)
+        assert packet.meta["vlan_id"] == 7
+        assert packet.meta["drop_flag"] == 0
+
+
+class TestFiveTuple:
+    def test_of_packet(self):
+        packet = make_packet(1, 2, proto=17, src_port=5, dst_port=53)
+        flow = FiveTuple.of(packet)
+        assert flow == FiveTuple(src_ip=1, dst_ip=2, proto=17, src_port=5, dst_port=53)
+
+    def test_hashable_key(self):
+        first = FiveTuple.of(make_packet(1, 2))
+        second = FiveTuple.of(make_packet(1, 2))
+        assert first == second
+        assert hash(first) == hash(second)

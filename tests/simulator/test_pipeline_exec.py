@@ -1,0 +1,212 @@
+"""FlexBPF interpreter tests."""
+
+import pytest
+
+from repro.lang import builder as b
+from repro.lang.ir import ActionCall
+from repro.apps.base import standard_builder
+from repro.simulator.packet import Verdict, make_packet
+from repro.simulator.pipeline_exec import MAX_RECIRCULATIONS, ProgramInstance
+from repro.simulator.tables import Rule, exact, ternary
+
+
+def run(program, packet=None, hosted=None):
+    instance = ProgramInstance(program, hosted)
+    packet = packet or make_packet(0x0A000001, 0x0A000002)
+    result = instance.process(packet)
+    return instance, packet, result
+
+
+class TestParsing:
+    def test_parsed_headers_visible(self, base_program):
+        _, packet, _ = run(base_program)
+        # count_flow read ipv4 fields and wrote the map
+        assert packet.verdict is Verdict.FORWARD
+
+    def test_unparsed_header_reads_zero(self):
+        program = standard_builder("p")
+        program.function("f", [b.assign("meta.seen", b.expr("ipv4.src"))])
+        program.apply("f")
+        built = program.build()
+        packet = make_packet(7, 8)
+        packet.fields[("ethernet", "ethertype")] = 0x86DD  # not ipv4 -> not parsed
+        _, packet, _ = run(built, packet)
+        assert packet.meta["seen"] == 0
+
+    def test_unparsed_header_writes_ignored(self):
+        program = standard_builder("p")
+        program.function("f", [b.assign("ipv4.ttl", 1)])
+        program.apply("f")
+        packet = make_packet(7, 8, ttl=64)
+        packet.fields[("ethernet", "ethertype")] = 0x86DD
+        _, packet, _ = run(program.build(), packet)
+        assert packet.get_field("ipv4", "ttl") == 64
+
+    def test_missing_start_header_skips_program(self):
+        program = standard_builder("p")
+        program.function("f", [b.call("mark_drop")])
+        program.apply("f")
+        packet = make_packet(7, 8)
+        packet.fields = {k: v for k, v in packet.fields.items() if k[0] != "ethernet"}
+        _, packet, _ = run(program.build(), packet)
+        # parse failed at start; apply still runs but field reads are 0;
+        # mark_drop doesn't depend on fields so it drops.
+        assert packet.verdict is Verdict.DROP
+
+
+class TestTables:
+    def test_default_action_on_miss(self, base_program):
+        instance, packet, _ = run(base_program)
+        # l2 default forwards to port 1
+        assert packet.meta["egress_port"] == 1
+
+    def test_installed_rule_hit(self, base_program):
+        instance = ProgramInstance(base_program)
+        instance.rules["acl"].insert(
+            Rule(
+                matches=(ternary(0x0A000001, 0xFFFFFFFF), ternary(0, 0)),
+                action=ActionCall("drop"),
+                priority=5,
+            )
+        )
+        packet = make_packet(0x0A000001, 0x0A000002)
+        instance.process(packet)
+        assert packet.verdict is Verdict.DROP
+
+    def test_action_args_bound_to_params(self, base_program):
+        # host only l2 so the later l3 default does not overwrite the port
+        instance = ProgramInstance(base_program, hosted_elements={"l2"})
+        instance.rules["l2"].insert(
+            Rule(matches=(exact(0x0000AABBCCDD),), action=ActionCall("forward", (42,)))
+        )
+        packet = make_packet(1, 2)
+        instance.process(packet)
+        assert packet.meta["egress_port"] == 42
+
+    def test_drop_continues_pipeline(self, base_program):
+        """mark_drop sets the flag but later stages still execute
+        (hardware drops at egress)."""
+        instance = ProgramInstance(base_program)
+        instance.rules["acl"].insert(
+            Rule(
+                matches=(ternary(0, 0), ternary(0, 0)),
+                action=ActionCall("drop"),
+                priority=1,
+            )
+        )
+        packet = make_packet(3, 4)
+        instance.process(packet)
+        assert packet.verdict is Verdict.DROP
+        # count_flow still ran: the flow is in the map
+        assert instance.maps.state("flow_counts").get((3, 4)) == 1
+
+
+class TestFunctionsAndState:
+    def test_map_update_per_packet(self, base_program):
+        instance = ProgramInstance(base_program)
+        for _ in range(5):
+            instance.process(make_packet(9, 10))
+        assert instance.maps.state("flow_counts").get((9, 10)) == 5
+
+    def test_ttl_guard_drops_zero_ttl(self, base_program):
+        packet = make_packet(1, 2, ttl=0)
+        _, packet, _ = run(base_program, packet)
+        assert packet.verdict is Verdict.DROP
+
+    def test_hash_expression_deterministic(self):
+        program = standard_builder("p")
+        program.function(
+            "f", [b.assign("meta.bucket", b.hash_of("ipv4.src", modulus=8))]
+        )
+        program.apply("f")
+        built = program.build()
+        first = make_packet(123, 1)
+        second = make_packet(123, 2)
+        run(built, first)
+        run(built, second)
+        assert first.meta["bucket"] == second.meta["bucket"]
+        assert 0 <= first.meta["bucket"] < 8
+
+    def test_field_write_truncated_to_width(self):
+        program = standard_builder("p")
+        program.function("f", [b.assign("ipv4.ttl", 300)])
+        program.apply("f")
+        packet = make_packet(1, 2)
+        run(program.build(), packet)
+        assert packet.get_field("ipv4", "ttl") == 300 & 0xFF
+
+    def test_division_by_zero_yields_zero(self):
+        program = standard_builder("p")
+        program.function(
+            "f", [b.assign("meta.x", b.binop("/", "ipv4.ttl", 0))]
+        )
+        program.apply("f")
+        packet = make_packet(1, 2)
+        run(program.build(), packet)
+        assert packet.meta["x"] == 0
+
+    def test_apply_if_branches(self):
+        program = standard_builder("p")
+        program.function("mark", [b.assign("meta.hit", 1)])
+        program.apply(
+            program.apply_if(b.binop(">", "ipv4.ttl", 10), ["mark"])
+        )
+        built = program.build()
+        high = make_packet(1, 2, ttl=64)
+        low = make_packet(1, 2, ttl=5)
+        run(built, high)
+        run(built, low)
+        assert high.meta.get("hit") == 1
+        assert "hit" not in low.meta
+
+
+class TestPrimitives:
+    def test_emit_digest(self):
+        program = standard_builder("p")
+        program.function("f", [b.call("emit_digest", "ipv4.dst", "ipv4.src")])
+        program.apply("f")
+        packet = make_packet(5, 6)
+        run(program.build(), packet)
+        assert packet.digests == [("p", (6, 5))]
+
+    def test_clone_counts(self):
+        program = standard_builder("p")
+        program.function("f", [b.call("clone")])
+        program.apply("f")
+        packet = make_packet(1, 2)
+        run(program.build(), packet)
+        assert packet.meta["clones"] == 1
+
+    def test_recirculate_bounded(self):
+        program = standard_builder("p")
+        program.function("f", [b.call("recirculate")])
+        program.apply("f")
+        _, _, result = run(program.build())
+        assert result.recirculations == MAX_RECIRCULATIONS
+
+    def test_set_queue(self):
+        program = standard_builder("p")
+        program.function("f", [b.call("set_queue", 3)])
+        program.apply("f")
+        packet = make_packet(1, 2)
+        run(program.build(), packet)
+        assert packet.meta["queue_id"] == 3
+
+
+class TestHostedFiltering:
+    def test_unhosted_elements_skipped(self, base_program):
+        instance = ProgramInstance(base_program, hosted_elements={"acl"})
+        packet = make_packet(11, 12)
+        instance.process(packet)
+        # count_flow not hosted here -> no map update
+        assert instance.maps.state("flow_counts").get((11, 12)) == 0
+        # l2 default (forward 1) not applied either
+        assert packet.meta["egress_port"] == 0
+
+    def test_version_recorded(self, base_program):
+        _, packet, result = run(base_program)
+        assert result.version == base_program.version
+
+    def test_ops_counted(self, base_program):
+        _, _, result = run(base_program)
+        assert result.ops > 0

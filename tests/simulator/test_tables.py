@@ -1,0 +1,126 @@
+"""Runtime table rule tests."""
+
+import pytest
+
+from repro.lang import builder as b
+from repro.lang.ir import ActionCall, MatchKind, TableDef, TableKey
+from repro.simulator.tables import (
+    Rule,
+    TableError,
+    TableRules,
+    exact,
+    lpm,
+    rng,
+    ternary,
+)
+
+
+def table_def(kinds=("exact",), size=8, actions=("allow", "deny"), default="allow"):
+    keys = tuple(
+        TableKey(field=b.field(f"ipv4.f{i}"), match_kind=MatchKind(kind))
+        for i, kind in enumerate(kinds)
+    )
+    return TableDef(
+        name="t",
+        keys=keys,
+        actions=actions,
+        size=size,
+        default_action=ActionCall(action=default),
+    )
+
+
+class TestMatchSpecs:
+    def test_exact(self):
+        assert exact(5).matches(5)
+        assert not exact(5).matches(6)
+
+    def test_lpm(self):
+        spec = lpm(0x0A000000, 8)
+        assert spec.matches(0x0A123456)
+        assert not spec.matches(0x0B000000)
+
+    def test_lpm_zero_length_matches_all(self):
+        assert lpm(0, 0).matches(0xFFFFFFFF)
+
+    def test_ternary(self):
+        spec = ternary(0x0A000000, 0xFF000000)
+        assert spec.matches(0x0AFFFFFF)
+        assert not spec.matches(0x0B000000)
+
+    def test_range(self):
+        spec = rng(10, 20)
+        assert spec.matches(10) and spec.matches(20) and spec.matches(15)
+        assert not spec.matches(9) and not spec.matches(21)
+
+
+class TestInsertValidation:
+    def test_wrong_arity_rejected(self):
+        rules = TableRules(table_def(("exact", "exact")))
+        with pytest.raises(TableError, match="keys"):
+            rules.insert(Rule(matches=(exact(1),), action=ActionCall("allow")))
+
+    def test_wrong_kind_rejected(self):
+        rules = TableRules(table_def(("exact",)))
+        with pytest.raises(TableError, match="expects exact"):
+            rules.insert(Rule(matches=(ternary(1, 1),), action=ActionCall("allow")))
+
+    def test_unknown_action_rejected(self):
+        rules = TableRules(table_def())
+        with pytest.raises(TableError, match="does not allow"):
+            rules.insert(Rule(matches=(exact(1),), action=ActionCall("explode")))
+
+    def test_capacity_enforced(self):
+        rules = TableRules(table_def(size=2))
+        rules.insert(Rule(matches=(exact(1),), action=ActionCall("allow")))
+        rules.insert(Rule(matches=(exact(2),), action=ActionCall("allow")))
+        with pytest.raises(TableError, match="full"):
+            rules.insert(Rule(matches=(exact(3),), action=ActionCall("allow")))
+
+
+class TestLookup:
+    def test_miss_returns_default(self):
+        rules = TableRules(table_def())
+        assert rules.lookup((99,)) == ActionCall("allow")
+        assert rules.miss_count == 1
+
+    def test_hit_returns_rule_action(self):
+        rules = TableRules(table_def())
+        rules.insert(Rule(matches=(exact(5),), action=ActionCall("deny")))
+        assert rules.lookup((5,)) == ActionCall("deny")
+        assert rules.hit_counts == [1]
+
+    def test_priority_wins(self):
+        rules = TableRules(table_def(("ternary",)))
+        rules.insert(Rule(matches=(ternary(0, 0),), action=ActionCall("allow"), priority=1))
+        rules.insert(Rule(matches=(ternary(5, 0xFF),), action=ActionCall("deny"), priority=10))
+        assert rules.lookup((5,)) == ActionCall("deny")
+
+    def test_specificity_breaks_priority_ties(self):
+        rules = TableRules(table_def(("lpm",)))
+        rules.insert(Rule(matches=(lpm(0x0A000000, 8),), action=ActionCall("allow")))
+        rules.insert(Rule(matches=(lpm(0x0A0A0000, 16),), action=ActionCall("deny")))
+        assert rules.lookup((0x0A0A0101,)) == ActionCall("deny")  # /16 beats /8
+        assert rules.lookup((0x0A0B0101,)) == ActionCall("allow")
+
+    def test_remove(self):
+        rules = TableRules(table_def())
+        rule = Rule(matches=(exact(5),), action=ActionCall("deny"))
+        rules.insert(rule)
+        assert rules.remove(rule)
+        assert not rules.remove(rule)
+        assert rules.lookup((5,)) == ActionCall("allow")
+
+    def test_clear(self):
+        rules = TableRules(table_def())
+        rules.insert(Rule(matches=(exact(5),), action=ActionCall("deny")))
+        rules.clear()
+        assert len(rules) == 0
+
+    def test_multi_key_all_must_match(self):
+        rules = TableRules(table_def(("exact", "ternary")))
+        rules.insert(
+            Rule(matches=(exact(1), ternary(0x10, 0xF0)), action=ActionCall("deny"))
+        )
+        assert rules.lookup((1, 0x1F)) == ActionCall("deny")
+        assert rules.lookup((2, 0x1F)) == ActionCall("allow")
+        assert rules.lookup((1, 0x2F)) == ActionCall("allow")

@@ -1,0 +1,178 @@
+"""Device architecture model tests."""
+
+import pytest
+
+from repro.lang.analyzer import ElementProfile
+from repro.targets import (
+    FungibilityClass,
+    StateEncoding,
+    drmt_switch,
+    fpga,
+    host,
+    rmt_switch,
+    smartnic,
+    stage_capacity,
+    tiled_switch,
+)
+
+
+def table_profile(entries=1024, key_bits=32, ternary=False, stateful=False):
+    return ElementProfile(
+        name="t", kind="table", max_ops=3, table_entries=entries,
+        key_bits=key_bits, is_ternary=ternary, is_stateful=stateful,
+    )
+
+
+def function_profile(ops):
+    return ElementProfile(name="f", kind="function", max_ops=ops)
+
+
+def map_profile(entries=1024, key_bits=32):
+    return ElementProfile(
+        name="m", kind="map", table_entries=entries, key_bits=key_bits, is_stateful=True
+    )
+
+
+ALL_TARGETS = {
+    "rmt": lambda: rmt_switch("d"),
+    "rmt_rt": lambda: rmt_switch("d", runtime_capable=True),
+    "drmt": lambda: drmt_switch("d"),
+    "tiles": lambda: tiled_switch("d"),
+    "smartnic": lambda: smartnic("d"),
+    "fpga": lambda: fpga("d"),
+    "host": lambda: host("d"),
+}
+
+
+class TestFungibilityClasses:
+    def test_paper_classification(self):
+        assert rmt_switch("d").fungibility is FungibilityClass.STAGE_LOCAL
+        assert drmt_switch("d").fungibility is FungibilityClass.POOLED
+        assert tiled_switch("d").fungibility is FungibilityClass.TILE_TYPED
+        assert smartnic("d").fungibility is FungibilityClass.FULL
+        assert fpga("d").fungibility is FungibilityClass.FULL
+        assert host("d").fungibility is FungibilityClass.FULL
+
+    def test_runtime_capable_rmt_becomes_pooled(self):
+        assert rmt_switch("d", runtime_capable=True).fungibility is FungibilityClass.POOLED
+
+
+class TestReconfigModels:
+    def test_runtime_switches_are_hitless_and_subsecond(self):
+        """§2: 'Program changes complete within a second' while live."""
+        for factory in (drmt_switch, tiled_switch):
+            target = factory("d")
+            assert target.reconfig.hitless
+            assert target.reconfig.add_table_s < 1.0
+            assert target.reconfig.parser_change_s < 1.0
+
+    def test_stock_rmt_is_not_hitless(self):
+        model = rmt_switch("d").reconfig
+        assert not model.hitless
+        assert model.drain_s > 0
+        assert model.full_reflash_s > 10
+
+    def test_ebpf_reload_is_milliseconds(self):
+        assert host("d").reconfig.add_table_s < 0.01
+
+    def test_fpga_partial_reconfig_is_fast_and_hitless(self):
+        model = fpga("d").reconfig
+        assert model.hitless
+        assert model.add_table_s < 0.5
+
+
+class TestPerformanceEnvelopes:
+    def test_latency_ordering_switch_nic_host(self):
+        """Per-packet latency: switch < FPGA < NIC < host."""
+        ordering = [
+            drmt_switch("d").performance.packet_latency_ns(100),
+            fpga("d").performance.packet_latency_ns(100),
+            smartnic("d").performance.packet_latency_ns(100),
+            host("d").performance.packet_latency_ns(100),
+        ]
+        assert ordering == sorted(ordering)
+
+    def test_energy_per_op_switch_most_efficient(self):
+        assert (
+            drmt_switch("d").performance.per_op_nj
+            < smartnic("d").performance.per_op_nj
+            < host("d").performance.per_op_nj
+        )
+
+    def test_throughput_ordering(self):
+        assert (
+            drmt_switch("d").performance.throughput_mpps
+            > smartnic("d").performance.throughput_mpps
+            > host("d").performance.throughput_mpps
+        )
+
+
+class TestDemandModel:
+    @pytest.mark.parametrize("name", sorted(ALL_TARGETS))
+    def test_every_target_prices_tables(self, name):
+        target = ALL_TARGETS[name]()
+        demand = target.demand(table_profile())
+        assert not demand.is_zero()
+
+    def test_ternary_tables_consume_tcam_on_switches(self):
+        demand = drmt_switch("d").demand(table_profile(ternary=True))
+        assert demand["tcam_kb"] > 0
+        assert demand["sram_kb"] == 0
+
+    def test_exact_tables_consume_sram(self):
+        demand = drmt_switch("d").demand(table_profile(ternary=False))
+        assert demand["sram_kb"] > 0
+
+    def test_tiles_price_by_tile_type(self):
+        target = tiled_switch("d")
+        assert target.demand(table_profile(ternary=True))["tcam_tiles"] >= 1
+        assert target.demand(table_profile(ternary=False))["hash_tiles"] >= 1
+        assert target.demand(map_profile())["index_tiles"] >= 1
+
+    def test_functions_price_by_architecture(self):
+        profile = function_profile(64)
+        assert drmt_switch("d").demand(profile)["processors"] > 0
+        assert tiled_switch("d").demand(profile)["pem_elems"] > 0
+        assert fpga("d").demand(profile)["luts"] > 0
+        assert host("d").demand(profile)["cpu_mhz"] > 0
+
+    def test_demand_scales_with_entries(self):
+        target = drmt_switch("d")
+        small = target.demand(table_profile(entries=256))
+        large = target.demand(table_profile(entries=4096))
+        assert large["sram_kb"] > small["sram_kb"]
+
+    def test_host_maps_consume_kernel_map_slots(self):
+        assert host("d").demand(map_profile())["kernel_maps"] == 1
+
+
+class TestAdmission:
+    def test_rmt_rejects_big_functions(self):
+        target = rmt_switch("d")
+        assert target.admits(function_profile(10))
+        assert not target.admits(function_profile(500))
+
+    def test_drmt_takes_bigger_functions_than_rmt(self):
+        big = function_profile(200)
+        assert drmt_switch("d").admits(big)
+        assert not rmt_switch("d").admits(big)
+
+    def test_hosts_admit_far_bigger_functions_than_switches(self):
+        assert host("d").admits(function_profile(5_000))
+        assert not drmt_switch("d").admits(function_profile(5_000))
+
+    def test_oversized_table_not_admitted(self):
+        huge = table_profile(entries=200_000_000, key_bits=128)
+        assert not drmt_switch("d").admits(huge)
+
+
+class TestStateEncodings:
+    def test_encoding_availability_per_arch(self):
+        assert StateEncoding.REGISTER in rmt_switch("d").encodings
+        assert StateEncoding.STATEFUL_TABLE in drmt_switch("d").encodings
+        assert StateEncoding.KERNEL_MAP in host("d").encodings
+
+    def test_stage_capacity_consistency(self):
+        target = rmt_switch("d", stages=10)
+        per_stage = stage_capacity(target)
+        assert per_stage["sram_kb"] * 10 == pytest.approx(target.capacity["sram_kb"])

@@ -1,0 +1,123 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+program demo {
+  header ethernet { dst:48; src:48; ethertype:16; }
+  header ipv4 { src:32; dst:32; proto:8; ttl:8; }
+  parser { start ethernet; on ethernet.ethertype == 0x0800 extract ipv4; }
+  map counts { key: ipv4.src; value: u64; max_entries: 1024; }
+  action drop() { mark_drop(); }
+  action nop() { no_op(); }
+  table acl { key: ipv4.src ternary; actions: drop, nop; size: 64; default: nop; }
+  func tally() {
+    let c: u64 = map_get(counts, ipv4.src);
+    map_put(counts, ipv4.src, c + 1);
+  }
+  apply { acl; tally(); }
+}
+"""
+
+PATCH = """
+delta widen {
+  resize table acl 256;
+  resize map counts 4096;
+}
+"""
+
+BAD_PROGRAM = "program broken { header h { x:8 } }"
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "demo.fbpf"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+@pytest.fixture
+def patch_file(tmp_path):
+    path = tmp_path / "widen.delta"
+    path.write_text(PATCH)
+    return str(path)
+
+
+class TestCertify:
+    def test_certify_ok(self, program_file, capsys):
+        assert main(["certify", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "CERTIFIED" in out
+        assert "tally" in out and "acl" in out
+
+    def test_certify_parse_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.fbpf"
+        path.write_text(BAD_PROGRAM)
+        assert main(["certify", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["certify", "/nonexistent.fbpf"]) == 2
+
+
+class TestCompile:
+    def test_compile_default(self, program_file, capsys):
+        assert main(["compile", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "acl" in out and "sw1" in out
+        assert "estimated latency" in out
+
+    def test_compile_energy_objective(self, program_file, capsys):
+        assert main(["compile", program_file, "--objective", "energy"]) == 0
+        out = capsys.readouterr().out
+        assert "nic1" in out  # energy placement consolidates on the NIC
+
+    def test_compile_rmt_shows_stage_plan(self, program_file, capsys):
+        assert main(["compile", program_file, "--arch", "rmt_static"]) == 0
+        out = capsys.readouterr().out
+        assert "stage plan" in out
+
+
+class TestDelta:
+    def test_delta_applies(self, program_file, patch_file, capsys):
+        assert main(["delta", program_file, patch_file]) == 0
+        out = capsys.readouterr().out
+        assert "version 1 -> 2" in out
+        assert "modified" in out and "acl" in out
+
+
+class TestExport:
+    def test_export_roundtrips(self, program_file, capsys):
+        assert main(["export", program_file]) == 0
+        out = capsys.readouterr().out
+        from repro.lang.parser import parse_program
+
+        reparsed = parse_program(out)
+        assert reparsed.has_table("acl")
+
+    def test_export_with_patch(self, program_file, patch_file, capsys):
+        assert main(["export", program_file, "--patch", patch_file]) == 0
+        out = capsys.readouterr().out
+        assert "size: 256;" in out  # the resize applied
+
+
+class TestSimulate:
+    def test_simulate_clean(self, program_file, capsys):
+        assert main(["simulate", program_file, "--rate", "200", "--duration", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "sent      : 100" in out
+        assert "lost      : 0" in out
+
+    def test_simulate_with_patch(self, program_file, patch_file, capsys):
+        assert (
+            main([
+                "simulate", program_file, "--rate", "200", "--duration", "1.0",
+                "--patch", patch_file, "--at", "0.3",
+            ])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "scheduled delta" in out
+        assert "versions on sw1" in out

@@ -1,0 +1,53 @@
+"""Error hierarchy and shared-utility tests."""
+
+import pytest
+
+from repro import errors
+from repro.util import stable_hash
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_flexnet_error(self):
+        error_types = [
+            value
+            for value in vars(errors).values()
+            if isinstance(value, type) and issubclass(value, Exception)
+        ]
+        for error_type in error_types:
+            assert issubclass(error_type, errors.FlexNetError)
+
+    def test_placement_is_compilation_error(self):
+        assert issubclass(errors.PlacementError, errors.CompilationError)
+
+    def test_access_control_is_isolation_error(self):
+        assert issubclass(errors.AccessControlError, errors.IsolationError)
+
+    def test_parse_error_location_formatting(self):
+        error = errors.ParseError("bad token", line=3, column=7)
+        assert "line 3" in str(error) and "col 7" in str(error)
+        assert error.line == 3 and error.column == 7
+
+    def test_parse_error_without_location(self):
+        error = errors.ParseError("bad token")
+        assert str(error) == "bad token"
+
+    def test_catching_base_class_at_boundaries(self):
+        with pytest.raises(errors.FlexNetError):
+            raise errors.ReconfigError("x")
+
+
+class TestStableHash:
+    def test_64_bit_range(self):
+        for key in [(0,), (1, 2, 3), (2**64 - 1,), (2**127,)]:
+            value = stable_hash(key)
+            assert 0 <= value < 2**64
+
+    def test_empty_tuple(self):
+        assert stable_hash(()) == stable_hash(())
+
+    def test_distinct_inputs_distinct_outputs(self):
+        values = {stable_hash((i,)) for i in range(1000)}
+        assert len(values) == 1000  # no collisions at this scale
+
+    def test_arity_sensitivity(self):
+        assert stable_hash((1,)) != stable_hash((1, 0))
