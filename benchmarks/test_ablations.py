@@ -13,7 +13,6 @@ Each ablation disables one mechanism and shows the property it buys:
   stranded off-path is unreachable.
 """
 
-import pytest
 
 from benchmarks.harness import fmt, print_table
 
@@ -89,7 +88,7 @@ def a2_batched_transactions() -> dict:
 
 
 def a3_survivor_pinning() -> dict:
-    from benchmarks.test_e7_incremental import EDIT_STREAM, run_experiment
+    from benchmarks.test_e7_incremental import run_experiment
 
     results = run_experiment()
     return {

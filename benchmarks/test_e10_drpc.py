@@ -11,7 +11,6 @@ magnitude — and a freshly registered service becomes discoverable a
 propagation delay later.
 """
 
-import pytest
 
 from benchmarks.harness import fmt, print_table
 

@@ -9,7 +9,6 @@ controller keeps committing management commands across a leader crash
 datapath state fails over with loss bounded by the sync interval.
 """
 
-import pytest
 
 from benchmarks.harness import fmt, print_table
 

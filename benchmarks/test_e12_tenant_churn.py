@@ -10,9 +10,8 @@ composed program never leaks departed tenants' elements, and traffic
 flows losslessly throughout.
 """
 
-import pytest
 
-from benchmarks.harness import fmt, print_table
+from benchmarks.harness import print_table
 
 from repro.apps.base import STANDARD_HEADERS, base_infrastructure
 from repro.core.flexnet import FlexNet

@@ -12,17 +12,12 @@ lossless at any size; only register targets (index-addressed) impose a
 capacity/aliasing limit — which the logical layer detects up front.
 """
 
-import pytest
 
 from benchmarks.harness import print_table
 
 from repro.apps.base import base_infrastructure
-from repro.compiler.placement import PlacementEngine
-from repro.compiler.plan import DeviceSpec
-from repro.compiler.placement import NetworkSlice
 from repro.compiler.state_encoding import convert, select_encoding
 from repro.errors import MigrationError
-from repro.lang.analyzer import certify
 from repro.lang.maps import MapSnapshot
 from repro.targets import drmt_switch, fpga, host, rmt_switch, smartnic, tiled_switch
 from repro.targets.base import StateEncoding

@@ -11,9 +11,8 @@ re-specification, pattern selectors hit whole element families at once,
 and every ill-formed patch leaves the base program untouched.
 """
 
-import pytest
 
-from benchmarks.harness import fmt, print_table
+from benchmarks.harness import print_table
 
 from repro.apps import (
     count_min_delta,

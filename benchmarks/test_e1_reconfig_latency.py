@@ -7,7 +7,6 @@ seconds of virtual downtime. Expected shape: runtime transitions are
 1-2 orders of magnitude faster, on every runtime-capable architecture.
 """
 
-import pytest
 
 from benchmarks.harness import fmt, print_table
 

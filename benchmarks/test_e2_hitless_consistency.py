@@ -10,7 +10,7 @@ path; the compile-time baseline loses every packet in its drain window
 
 import pytest
 
-from benchmarks.harness import fmt, print_table
+from benchmarks.harness import print_table
 
 from repro.apps import base_infrastructure, firewall_delta
 from repro.baselines.compile_time import CompileTimeNetwork

@@ -10,7 +10,6 @@ quiet time — while the compile-time baseline's reflash leaves the
 victim exposed for its whole drain window (and loses benign traffic).
 """
 
-import pytest
 
 from benchmarks.harness import fmt, print_table
 

@@ -14,7 +14,6 @@ runtime-requested behaviours grows past what was provisioned:
   standing overhead.
 """
 
-import pytest
 
 from benchmarks.harness import fmt, print_table
 

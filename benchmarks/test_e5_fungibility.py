@@ -11,9 +11,8 @@ first because freed capacity is stranded inside stages.
 
 import random
 
-import pytest
 
-from benchmarks.harness import fmt, print_table
+from benchmarks.harness import print_table
 
 from repro.compiler.fungibility import fungibility_score
 from repro.lang.analyzer import ElementProfile

@@ -8,7 +8,6 @@ program the network could host; the GC loop retires a removable app and
 fits it on the next iteration.
 """
 
-import pytest
 
 from benchmarks.harness import print_table
 

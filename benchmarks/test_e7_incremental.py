@@ -9,7 +9,6 @@ placements freely — more moved elements, more state migrations, longer
 transitions.
 """
 
-import pytest
 
 from benchmarks.harness import fmt, print_table
 
@@ -19,7 +18,6 @@ from repro.compiler.placement import PlacementEngine
 from repro.lang.analyzer import certify
 from repro.lang.delta import apply_delta, parse_delta
 
-from tests.conftest import make_standard_slice
 
 EDIT_STREAM = [
     # e1: a big monitoring map+function that nearly fills the first switch.

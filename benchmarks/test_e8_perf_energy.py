@@ -10,7 +10,6 @@ lowest power, balanced in between); the table merge trades a large
 memory multiplier for a measurable latency saving.
 """
 
-import pytest
 
 from benchmarks.harness import fmt, print_table
 

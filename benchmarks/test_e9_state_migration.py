@@ -9,7 +9,6 @@ data-plane rates, while the data-plane migration completes in one pass
 at line rate with zero lost updates at every rate.
 """
 
-import pytest
 
 from benchmarks.harness import fmt, print_table
 

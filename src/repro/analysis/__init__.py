@@ -1,0 +1,153 @@
+"""FlexCheck: static data-flow & reconfiguration-safety analysis.
+
+The paper (§3.1) requires FlexBPF programs to be "analyzable to certify
+bounded execution [and] well-behavedness" before runtime insertion.
+:mod:`repro.lang.analyzer` certifies the *bounds* (ops, state); this
+package certifies the *behaviour*: data flow, reconfiguration safety,
+tenant isolation, and resource feasibility. One entry point:
+
+    >>> from repro import analysis
+    >>> report = analysis.check(program)                  # lints + dataflow
+    >>> report = analysis.check(program, delta=my_delta)  # + race detection
+    >>> report = analysis.check(program, target=targets)  # + overcommit
+    >>> report.ok, report.to_json()
+
+``check`` never raises on findings — it returns a :class:`Report`; the
+admission pipeline (:meth:`repro.core.flexnet.FlexNet.admit`) turns
+``report.errors`` into :class:`~repro.errors.AnalysisError`, and the
+controller uses the race pass to escalate unsafe transitions onto the
+two-phase consistent path instead of rejecting them outright.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.dataflow import AccessSet, DataflowInfo, analyze
+from repro.analysis.interference import check_tenants
+from repro.analysis.lints import check_lints
+from repro.analysis.overcommit import check_overcommit
+from repro.analysis.races import check_reconfig
+from repro.analysis.report import Finding, Report, Severity
+from repro.lang import ir
+from repro.lang.analyzer import Certificate, certify
+from repro.lang.composition import TenantSpec
+from repro.lang.delta import ChangeSet, Delta, apply_delta
+from repro.targets.base import Target
+
+__all__ = [
+    "AccessSet",
+    "DataflowInfo",
+    "Finding",
+    "Report",
+    "Severity",
+    "analyze",
+    "check",
+    "check_lints",
+    "check_overcommit",
+    "check_reconfig",
+    "check_tenants",
+]
+
+
+def _as_targets(target) -> list[Target]:
+    """Accept a Target, a sequence of Targets, or a NetworkSlice."""
+    if target is None:
+        return []
+    if isinstance(target, Target):
+        return [target]
+    devices = getattr(target, "devices", None)
+    if devices is not None:  # NetworkSlice duck type
+        return [spec.target for spec in devices]
+    return list(target)
+
+
+def check(
+    program: ir.Program,
+    delta: Delta | None = None,
+    target: Target | Sequence[Target] | object | None = None,
+    *,
+    tenants: Sequence[tuple[TenantSpec, ir.Program]] = (),
+    two_phase: bool = False,
+    certificate: Certificate | None = None,
+) -> Report:
+    """Run every applicable FlexCheck pass and return a :class:`Report`.
+
+    Parameters
+    ----------
+    program:
+        The (validated) live program to analyze.
+    delta:
+        Optional :class:`~repro.lang.delta.Delta` proposed against
+        ``program``; enables the reconfiguration-race pass. The delta is
+        applied to a scratch copy — ``program`` is never mutated.
+    target:
+        Optional :class:`~repro.targets.base.Target`, sequence of
+        targets, or :class:`~repro.compiler.placement.NetworkSlice`;
+        enables the overcommit pass.
+    tenants:
+        Optional ``(TenantSpec, extension_program)`` pairs; enables the
+        tenant-interference pass against ``program`` as the base.
+    two_phase:
+        The proposed transition is already scheduled through the
+        two-phase consistent path, downgrading race ERRORs to INFO.
+    certificate:
+        Reuse an existing Certificate instead of re-certifying (the
+        admission pipeline already holds one).
+    """
+    program = program.validate()
+    findings: list[Finding] = []
+    passes = ["dataflow", "lint"]
+
+    dataflow = analyze(program)
+    findings.extend(check_lints(program, dataflow))
+
+    if delta is not None:
+        passes.append("race")
+        new_program, changes = apply_delta(program, delta)
+        findings.extend(
+            check_reconfig(
+                program,
+                new_program,
+                changes,
+                two_phase=two_phase,
+                old_dataflow=dataflow,
+            )
+        )
+
+    if tenants:
+        passes.append("tenant")
+        findings.extend(check_tenants(program, tenants))
+
+    targets = _as_targets(target)
+    if targets:
+        passes.append("overcommit")
+        cert = certificate or certify(program)
+        findings.extend(check_overcommit(cert, targets))
+
+    return Report(
+        program_name=program.name,
+        program_version=program.version,
+        findings=tuple(findings),
+        passes_run=tuple(passes),
+    )
+
+
+def check_changeset(
+    old_program: ir.Program,
+    new_program: ir.Program,
+    changes: ChangeSet,
+    *,
+    two_phase: bool = False,
+) -> Report:
+    """Race-only analysis for callers that already applied their delta
+    (the controller's transition path)."""
+    findings = tuple(
+        check_reconfig(old_program, new_program, changes, two_phase=two_phase)
+    )
+    return Report(
+        program_name=new_program.name,
+        program_version=new_program.version,
+        findings=findings,
+        passes_run=("race",),
+    )

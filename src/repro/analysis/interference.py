@@ -1,0 +1,194 @@
+"""Tenant-interference analysis (multi-tenancy, §3.2/§3.5).
+
+Proves that the merged datapath of base + tenant extensions shares no
+*writable* field or map without a declared :class:`Permission`. This
+strengthens :func:`repro.lang.composition.validate_extension` in two
+ways: it is expressed as findings (so ``repro check`` can report every
+violation at once instead of raising on the first), and it adds the
+``writable_fields`` permission check — a tenant writing a base-program
+header field that infrastructure elements read is cross-tenant
+interference even when no *second* tenant writes the same field, which
+is all the seed composer detected.
+
+Codes:
+
+* ``TENANT-MAP-WRITE``    — extension writes a map it did not declare.
+* ``TENANT-MAP-READ``     — extension reads a base map with no matching
+  ``readable_base_maps`` grant.
+* ``TENANT-SHARED-FIELD`` — two tenants write the same shared header
+  field (whoever runs last wins — order-dependent behaviour).
+* ``TENANT-FIELD-PERM``   — extension writes a base header field that
+  its ``writable_fields`` permission does not grant.
+* ``TENANT-BASE-FIELD``   — (INFO) extension writes a base field that
+  infrastructure elements read, under a legacy unrestricted permission;
+  suggests declaring ``writable_fields`` explicitly.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Sequence
+
+from repro.analysis.dataflow import AccessSet, analyze
+from repro.analysis.report import Finding, Severity
+from repro.lang import ir
+from repro.lang.composition import TenantSpec
+
+
+def _applied_access(program: ir.Program) -> AccessSet:
+    return analyze(program).program_access
+
+
+def check_tenants(
+    base: ir.Program,
+    tenants: Sequence[tuple[TenantSpec, ir.Program]],
+) -> list[Finding]:
+    """Analyze base + extensions for undeclared shared writable state."""
+    findings: list[Finding] = []
+    base_df = analyze(base)
+    base_maps = {m.name for m in base.maps}
+    base_headers = {h.name for h in base.headers}
+
+    per_tenant: dict[str, AccessSet] = {}
+    for spec, extension in tenants:
+        permission = spec.permission
+        local_maps = {m.name for m in extension.maps}
+        access = _applied_access(extension)
+        per_tenant[spec.name] = access
+
+        # -- map writes outside the tenant's own namespace ------------------
+        for map_name in sorted(access.map_writes - local_maps):
+            findings.append(
+                Finding(
+                    code="TENANT-MAP-WRITE",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"tenant {spec.name!r} writes map {map_name!r} it does not "
+                        "declare; no Permission grants write access to foreign maps"
+                    ),
+                    pass_name="tenant",
+                    element=map_name,
+                    fixit=(
+                        f"declare a tenant-local map (it will be namespaced to "
+                        f"'{spec.name}__{map_name}') or drop the write"
+                    ),
+                )
+            )
+
+        # -- base map reads require a readable_base_maps grant --------------
+        for map_name in sorted(access.map_reads - local_maps):
+            granted = map_name in base_maps and any(
+                fnmatch.fnmatchcase(map_name, pattern)
+                for pattern in permission.readable_base_maps
+            )
+            if not granted:
+                findings.append(
+                    Finding(
+                        code="TENANT-MAP-READ",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"tenant {spec.name!r} reads map {map_name!r} without a "
+                            "readable_base_maps grant"
+                        ),
+                        pass_name="tenant",
+                        element=map_name,
+                        fixit=(
+                            f"grant it: Permission(readable_base_maps=({map_name!r},)) "
+                            "— or declare the map locally"
+                        ),
+                    )
+                )
+
+        # -- writes to base header fields -----------------------------------
+        shared_writes = sorted(
+            (ref for ref in access.field_writes if ref.header in base_headers), key=str
+        )
+        for ref in shared_writes:
+            if permission.writable_fields is not None:
+                granted = any(
+                    fnmatch.fnmatchcase(str(ref), pattern)
+                    for pattern in permission.writable_fields
+                )
+                if not granted:
+                    readers = sorted(base_df.readers_of_field(ref))
+                    extra = (
+                        f"; infrastructure element(s) {readers} read this field"
+                        if readers
+                        else ""
+                    )
+                    findings.append(
+                        Finding(
+                            code="TENANT-FIELD-PERM",
+                            severity=Severity.ERROR,
+                            message=(
+                                f"tenant {spec.name!r} writes base field {ref} but its "
+                                f"writable_fields permission "
+                                f"{permission.writable_fields!r} does not grant it"
+                                f"{extra}"
+                            ),
+                            pass_name="tenant",
+                            element=str(ref),
+                            fixit=(
+                                f"grant it: Permission(writable_fields=('{ref}',)) — "
+                                "or make the write tenant-local state instead"
+                            ),
+                        )
+                    )
+            else:
+                # Legacy unrestricted permission: surface (not block) writes
+                # that infrastructure logic observably depends on.
+                readers = sorted(base_df.readers_of_field(ref))
+                if readers:
+                    findings.append(
+                        Finding(
+                            code="TENANT-BASE-FIELD",
+                            severity=Severity.INFO,
+                            message=(
+                                f"tenant {spec.name!r} writes base field {ref} which "
+                                f"infrastructure element(s) {readers} read; permission "
+                                "is legacy-unrestricted (writable_fields=None)"
+                            ),
+                            pass_name="tenant",
+                            element=str(ref),
+                            fixit=(
+                                f"pin the grant explicitly: "
+                                f"Permission(writable_fields=('{ref}',))"
+                            ),
+                        )
+                    )
+
+    # -- pairwise tenant/tenant same-field writes ---------------------------
+    names = sorted(per_tenant)
+    tenant_headers = {
+        spec.name: {h.name for h in ext.headers} for spec, ext in tenants
+    }
+    for i, first in enumerate(names):
+        for second in names[i + 1 :]:
+            shared_headers = base_headers | (
+                tenant_headers.get(first, set()) & tenant_headers.get(second, set())
+            )
+            both = {
+                ref
+                for ref in per_tenant[first].field_writes & per_tenant[second].field_writes
+                if ref.header in shared_headers
+            }
+            for ref in sorted(both, key=str):
+                findings.append(
+                    Finding(
+                        code="TENANT-SHARED-FIELD",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"tenants {first!r} and {second!r} both write shared "
+                            f"field {ref}; the composed pipeline's result depends "
+                            "on tenant apply order"
+                        ),
+                        pass_name="tenant",
+                        element=str(ref),
+                        fixit=(
+                            "move one write into a tenant-local header/metadata, or "
+                            "have the operator arbitrate via an infrastructure table"
+                        ),
+                    )
+                )
+
+    return findings

@@ -1,0 +1,198 @@
+"""Reconfiguration-race detection (§3.4/§3.5 of the paper).
+
+During a hitless update the device runs *both* program versions for a
+window (old-XOR-new per packet). A delta is race-prone when the state
+or fields it mutates are still being read by surviving elements that
+in-flight old-version packets will execute:
+
+* ``RACE-MAP-RESIZE``   — a delta resizes/re-declares a map while
+  surviving elements read or write it. Shrinking silently drops
+  entries old-version packets may still depend on; re-keying splits the
+  state into two incoherent instances.
+* ``RACE-MAP-REMOVED``  — a DURABLE map is removed while surviving
+  elements (or in-flight packets) still write it; those updates are
+  lost, violating the no-lost-updates migration contract.
+* ``RACE-WRITE-READ``   — a new/modified element writes a field, meta
+  key, or map that a *surviving* old element reads, so a packet's
+  observed value depends on which version of the pipeline it draws
+  mid-transition.
+
+Severity depends on the schedule: under the default per-device window
+these are ERRORs (the plan must be rejected or escalated); when the
+caller commits to the two-phase consistent path (PER_PACKET_PATH epoch
+stamping + swing-state migration) the same findings downgrade to INFO,
+recording that the hazard exists but is mitigated. This is exactly the
+"reject or force through the two-phase consistent path" wiring the
+controller performs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow import AccessSet, DataflowInfo, analyze
+from repro.analysis.report import Finding, Severity
+from repro.lang import ir
+from repro.lang.delta import ChangeSet
+
+
+def _severity(two_phase: bool) -> Severity:
+    return Severity.INFO if two_phase else Severity.ERROR
+
+
+def _mitigated(two_phase: bool) -> str:
+    return " (mitigated: two-phase consistent path in effect)" if two_phase else ""
+
+
+def check_reconfig(
+    old_program: ir.Program,
+    new_program: ir.Program,
+    changes: ChangeSet,
+    *,
+    two_phase: bool = False,
+    old_dataflow: DataflowInfo | None = None,
+    new_dataflow: DataflowInfo | None = None,
+) -> list[Finding]:
+    """Flag deltas that race with in-flight packets of ``old_program``.
+
+    ``two_phase=True`` means the transition is already scheduled through
+    the consistent path (epoch-stamped windows + swing-state migration),
+    so hazards are reported as INFO instead of ERROR.
+    """
+    findings: list[Finding] = []
+    old_df = old_dataflow or analyze(old_program)
+    new_df = new_dataflow or analyze(new_program)
+
+    #: Elements present in both versions and untouched by the delta —
+    #: the "in-flight" population that old-version packets keep executing
+    #: during the transition window.
+    old_names = set(old_df.elements)
+    surviving = frozenset(
+        (old_names & set(new_df.elements)) - changes.added - changes.removed - changes.modified
+    )
+
+    def survivors(names: frozenset[str]) -> list[str]:
+        return sorted(names & surviving)
+
+    # -- map resize / re-declaration racing with surviving accessors -------
+    old_maps = {m.name: m for m in old_program.maps}
+    new_maps = {m.name: m for m in new_program.maps}
+    for name in sorted(changes.modified):
+        old_map, new_map = old_maps.get(name), new_maps.get(name)
+        if old_map is None or new_map is None or old_map == new_map:
+            continue
+        accessors = survivors(old_df.readers_of_map(name) | old_df.writers_of_map(name))
+        if not accessors:
+            continue
+        shrunk = new_map.max_entries < old_map.max_entries
+        what = (
+            f"shrunk from {old_map.max_entries} to {new_map.max_entries} entries"
+            if shrunk
+            else "re-declared with different shape/size"
+        )
+        findings.append(
+            Finding(
+                code="RACE-MAP-RESIZE",
+                severity=_severity(two_phase),
+                message=(
+                    f"map {name!r} is {what} while surviving element(s) "
+                    f"{accessors} still access it; in-flight old-version packets "
+                    f"race with the resize{_mitigated(two_phase)}"
+                ),
+                pass_name="race",
+                element=name,
+                fixit=(
+                    "schedule the update with ConsistencyLevel.PER_PACKET_PATH "
+                    "(two-phase epoch stamping) or drain readers first by removing "
+                    "them in a preceding delta"
+                ),
+            )
+        )
+
+    # -- DURABLE map removed while still written ---------------------------
+    for name in sorted(changes.removed):
+        old_map = old_maps.get(name)
+        if old_map is None or old_map.persistence is not ir.Persistence.DURABLE:
+            continue
+        writers = survivors(old_df.writers_of_map(name))
+        # Writers removed in the same delta stop producing updates once the
+        # window closes; only *surviving* writers keep racing forever.
+        if not writers:
+            continue
+        findings.append(
+            Finding(
+                code="RACE-MAP-REMOVED",
+                severity=Severity.WARNING,
+                message=(
+                    f"durable map {name!r} is removed while surviving element(s) "
+                    f"{writers} still write it; updates made during the transition "
+                    "window are lost"
+                ),
+                pass_name="race",
+                element=name,
+                fixit=(
+                    f"remove the writer(s) {writers} in the same delta, or mark "
+                    f"{name!r} Persistence.EPHEMERAL if its state is disposable"
+                ),
+            )
+        )
+
+    # -- new/modified writers racing surviving readers ---------------------
+    for name in sorted(changes.added | changes.modified):
+        access = new_df.element_access(name)
+        if name not in new_df.applied or not access.writes_anything:
+            continue
+        # A modified element only races through writes it did not already
+        # perform in the old version (a resize does not change behaviour).
+        baseline = old_df.element_access(name) if name in old_df.elements else None
+        if baseline is not None:
+            access = AccessSet(
+                field_reads=access.field_reads,
+                field_writes=access.field_writes - baseline.field_writes,
+                meta_reads=access.meta_reads,
+                meta_writes=access.meta_writes - baseline.meta_writes,
+                map_reads=access.map_reads,
+                map_writes=access.map_writes - baseline.map_writes,
+            )
+            if not access.writes_anything:
+                continue
+        conflicts: list[str] = []
+        for ref in sorted(access.field_writes, key=str):
+            readers = survivors(old_df.readers_of_field(ref))
+            if readers:
+                conflicts.append(f"field {ref} read by {readers}")
+        for key in sorted(access.meta_writes):
+            if key.startswith("_"):
+                continue  # synthetic primitive-effect keys are not shared state
+            readers = survivors(
+                frozenset(
+                    n
+                    for n, a in old_df.elements.items()
+                    if n in old_df.applied and key in a.meta_reads
+                )
+            )
+            if readers:
+                conflicts.append(f"meta.{key} read by {readers}")
+        for map_name in sorted(access.map_writes):
+            readers = survivors(old_df.readers_of_map(map_name))
+            if readers:
+                conflicts.append(f"map {map_name!r} read by {readers}")
+        if conflicts:
+            findings.append(
+                Finding(
+                    code="RACE-WRITE-READ",
+                    severity=_severity(two_phase),
+                    message=(
+                        f"element {name!r} introduced/modified by the delta writes "
+                        f"state that surviving elements read ({'; '.join(conflicts)}); "
+                        "packets drawing different pipeline versions observe "
+                        f"inconsistent values{_mitigated(two_phase)}"
+                    ),
+                    pass_name="race",
+                    element=name,
+                    fixit=(
+                        "schedule with ConsistencyLevel.PER_PACKET_PATH so every "
+                        "packet sees exactly one version end-to-end"
+                    ),
+                )
+            )
+
+    return findings

@@ -63,7 +63,7 @@ def base_infrastructure(
     program.table(
         "l3",
         keys=[("ipv4.dst", "lpm")],
-        actions=["forward", "nop"],
+        actions=["forward", "dec_ttl", "nop"],
         size=l3_size,
         default=("forward", (1,)),
     )

@@ -17,7 +17,7 @@ from repro.lang import builder as b
 from repro.lang.delta import AddFunction, AddMap, AddTable, AddAction, Delta, InsertApply
 from repro.lang.ir import MatchKind, TableKey
 from repro.lang import ir
-from repro.simulator.tables import exact, ternary
+from repro.simulator.tables import ternary
 
 
 def firewall_delta(

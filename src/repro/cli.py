@@ -3,6 +3,8 @@
 Usage (also ``python -m repro.cli``)::
 
     flexnet certify  program.fbpf                 # admission certification
+    flexnet check    program.fbpf [--patch patch.delta] [--arch drmt] [--json]
+    flexnet check    --builtin                    # FlexCheck all bundled programs
     flexnet compile  program.fbpf [--arch drmt] [--objective latency|energy]
     flexnet delta    program.fbpf patch.delta     # apply a patch, show changes
     flexnet simulate program.fbpf [--rate 1000] [--duration 1.0]
@@ -45,6 +47,54 @@ def cmd_certify(args: argparse.Namespace) -> int:
             f"entries={profile.table_entries}"
         )
     return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Run FlexCheck: data-flow lints, reconfiguration races (--patch),
+    and per-target overcommit. Exit 0 when no ERROR finding, 1 otherwise."""
+    import json as json_module
+
+    from repro import analysis
+    from repro.targets import drmt_switch, rmt_switch, tiled_switch
+
+    target_factories = {
+        "drmt": drmt_switch,
+        "rmt": lambda name: rmt_switch(name, runtime_capable=True),
+        "tiles": tiled_switch,
+    }
+
+    if args.builtin:
+        from repro.analysis.corpus import bundled_programs
+
+        subjects = bundled_programs()
+        deltas = {}
+    else:
+        if not args.program:
+            print("error: provide a program file or --builtin", file=sys.stderr)
+            return 2
+        program = parse_program(_read(args.program))
+        subjects = [(program.name, program)]
+        deltas = (
+            {program.name: parse_delta(_read(args.patch))} if args.patch else {}
+        )
+
+    target = target_factories[args.arch]("check_target") if args.arch else None
+
+    reports = []
+    worst = 0
+    for label, program in subjects:
+        report = analysis.check(program, delta=deltas.get(label), target=target)
+        reports.append((label, report))
+        if not report.ok:
+            worst = 1
+    if args.json:
+        payload = [dict(label=label, **report.to_dict()) for label, report in reports]
+        print(json_module.dumps(payload if len(payload) > 1 else payload[0], indent=2))
+    else:
+        for label, report in reports:
+            prefix = f"[{label}] " if len(reports) > 1 else ""
+            print(prefix + report.render())
+    return worst
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
@@ -136,6 +186,21 @@ def build_parser() -> argparse.ArgumentParser:
     certify_parser = subparsers.add_parser("certify", help="certify a FlexBPF program")
     certify_parser.add_argument("program")
     certify_parser.set_defaults(func=cmd_certify)
+
+    check_parser = subparsers.add_parser(
+        "check", help="run FlexCheck static analysis (lints, races, overcommit)"
+    )
+    check_parser.add_argument("program", nargs="?", default=None)
+    check_parser.add_argument("--patch", default=None,
+                              help="delta file to race-check against the program")
+    check_parser.add_argument("--arch", default=None,
+                              choices=["drmt", "rmt", "tiles"],
+                              help="also run the overcommit pass against this target")
+    check_parser.add_argument("--json", action="store_true",
+                              help="emit machine-readable JSON findings")
+    check_parser.add_argument("--builtin", action="store_true",
+                              help="check every bundled app/example program")
+    check_parser.set_defaults(func=cmd_check)
 
     compile_parser = subparsers.add_parser("compile", help="compile onto the standard slice")
     compile_parser.add_argument("program")

@@ -21,13 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.lang.analyzer import Certificate, ElementProfile
-from repro.lang.ir import (
-    ApplyFunction,
-    ApplyIf,
-    ApplyStep,
-    ApplyTable,
-    Program,
-)
+from repro.lang.ir import ApplyFunction, ApplyStep, ApplyTable, Program
 from repro.targets.base import FungibilityClass, Target
 from repro.targets.resources import ResourceVector
 from repro.targets.rmt import stage_capacity

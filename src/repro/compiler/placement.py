@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import enum
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import PlacementError
 from repro.lang.analyzer import Certificate

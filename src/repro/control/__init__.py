@@ -5,7 +5,7 @@ from repro.control.consensus import ControllerCluster, MessageBus, RaftNode, Rol
 from repro.control.controller import FlexNetController, TransitionOutcome
 from repro.control.p4runtime import P4RuntimeClient, P4RuntimeHub, TableEntry
 from repro.control.replication import ReplicationGroup, ReplicationManager
-from repro.control.scheduler import UpdateSchedule, plan_schedule
+from repro.control.scheduler import UpdateSchedule
 from repro.control.telemetry import DigestRecord, TelemetryCollector
 from repro.control.topology import DeviceInfo, TopologyView
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 import enum
 import random
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConsensusError
 from repro.simulator.engine import EventLoop

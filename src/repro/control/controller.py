@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis import check_changeset
+from repro.analysis.report import Finding
 from repro.compiler.incremental import IncrementalCompiler, IncrementalResult, diff_programs
 from repro.compiler.placement import NetworkSlice, Objective, PlacementEngine
 from repro.compiler.plan import CompilationPlan
@@ -31,7 +33,6 @@ from repro.lang.composition import Composer, TenantSpec
 from repro.lang.delta import (
     ChangeSet,
     Delta,
-    InsertApply,
     RemoveElements,
     SetMapEntries,
     SetTableSize,
@@ -62,6 +63,12 @@ class TransitionOutcome:
     report: TransitionReport
     compile_iterations: int = 1
     gc_evicted: list[str] = field(default_factory=list)
+    #: FlexCheck race-pass findings for this transition (post-escalation).
+    race_findings: tuple[Finding, ...] = ()
+    #: True when the race pass found hazards under the requested
+    #: consistency and the controller escalated the schedule onto the
+    #: two-phase consistent path (PER_PACKET_PATH) instead of rejecting.
+    forced_two_phase: bool = False
 
 
 class FlexNetController:
@@ -202,13 +209,57 @@ class FlexNetController:
         new_program: Program,
         changes: ChangeSet | None = None,
         consistency: ConsistencyLevel = ConsistencyLevel.PER_PACKET_PER_DEVICE,
+        strict_analysis: bool = False,
     ) -> TransitionOutcome:
         """Incrementally recompile to ``new_program`` and orchestrate the
-        hitless runtime transition under the requested consistency."""
+        hitless runtime transition under the requested consistency.
+
+        Every transition first runs FlexCheck's reconfiguration-race pass
+        against the live program. Hazards under a per-device schedule are
+        *escalated*: the controller forces the transition through the
+        two-phase consistent path (PER_PACKET_PATH epoch stamping plus
+        swing-state migration of the flagged maps) so the change ships
+        safely. With ``strict_analysis=True`` the transition is instead
+        rejected with :class:`~repro.errors.AnalysisError`.
+        """
         if self._plan is None:
             raise ControlPlaneError("install infrastructure before transitioning")
         certificate = certify(new_program)
         changes = changes or diff_programs(self._plan.program, new_program)
+
+        race_findings: tuple[Finding, ...] = ()
+        forced_two_phase = False
+        protected_maps: set[str] = set()
+        if not changes.is_empty():
+            two_phase = consistency in (
+                ConsistencyLevel.PER_PACKET_PATH,
+                ConsistencyLevel.PER_FLOW,
+            )
+            race_report = check_changeset(
+                self.program, new_program, changes, two_phase=two_phase
+            )
+            if race_report.errors:
+                if strict_analysis:
+                    from repro.errors import AnalysisError
+
+                    detail = "; ".join(f.message for f in race_report.errors)
+                    raise AnalysisError(
+                        f"transition to {new_program.name!r} v{new_program.version} "
+                        f"rejected by FlexCheck race analysis: {detail}"
+                    )
+                # Escalate onto the two-phase consistent path.
+                consistency = ConsistencyLevel.PER_PACKET_PATH
+                forced_two_phase = True
+                race_report = check_changeset(
+                    self.program, new_program, changes, two_phase=True
+                )
+            race_findings = race_report.findings
+            protected_maps = {
+                finding.element
+                for finding in race_findings
+                if finding.element is not None
+                and finding.code in ("RACE-MAP-RESIZE", "RACE-MAP-REMOVED")
+            }
 
         survivors = {
             element: device
@@ -245,6 +296,7 @@ class FlexNetController:
             stagger=schedule.stagger,
             window_override=schedule.window_s,
             flow_affine=consistency is ConsistencyLevel.PER_FLOW,
+            protected_maps=protected_maps or None,
         )
 
         self._program = new_program
@@ -257,6 +309,8 @@ class FlexNetController:
             report=report,
             compile_iterations=new_plan.iterations,
             gc_evicted=list(self._last_gc_evicted),
+            race_findings=race_findings,
+            forced_two_phase=forced_two_phase,
         )
 
     # -- app-level API (URI handles) ---------------------------------------------------

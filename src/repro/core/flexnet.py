@@ -121,14 +121,43 @@ class FlexNet:
 
     # -- admission + programming -----------------------------------------------
 
-    def admit(self, program: Program) -> Certificate:
+    def admit(self, program: Program, check_placement: bool = False) -> Certificate:
         """Certify a program for admission (raises AnalysisError if it
-        cannot be certified)."""
-        return certify(program.validate())
+        cannot be certified or FlexCheck finds blocking issues).
+
+        The analyzer proves the *bounds* (ops, state); FlexCheck proves
+        *behaviour* (data flow, lints, and — with ``check_placement`` —
+        that the slice can physically host the program at all).
+        """
+        from repro import analysis
+        from repro.errors import AnalysisError
+
+        certificate = certify(program.validate())
+        target = self.controller.slice() if check_placement else None
+        report = analysis.check(program, target=target, certificate=certificate)
+        if not report.ok:
+            detail = "; ".join(f"{f.code}: {f.message}" for f in report.errors)
+            raise AnalysisError(
+                f"program {program.name!r} rejected by FlexCheck: {detail}"
+            )
+        return certificate
+
+    def check(self, program: Program | None = None, delta: Delta | None = None):
+        """Run FlexCheck against a program (default: the live one) and
+        return the full :class:`~repro.analysis.report.Report` without
+        raising — the introspection counterpart of :meth:`admit`."""
+        from repro import analysis
+
+        subject = program if program is not None else self.controller.program
+        try:
+            target = self.controller.slice()
+        except ControlPlaneError:
+            target = None
+        return analysis.check(subject, delta=delta, target=target)
 
     def install(self, program: Program) -> CompilationPlan:
         """Admit and cold-install the infrastructure program."""
-        self.admit(program)
+        self.admit(program, check_placement=True)
         plan = self.controller.install_infrastructure(program)
         self.datapath.program = self.controller.program
         self.datapath.plan = plan
@@ -139,11 +168,19 @@ class FlexNet:
         self,
         delta: Delta,
         consistency: ConsistencyLevel = ConsistencyLevel.PER_PACKET_PER_DEVICE,
+        strict: bool = False,
     ) -> TransitionOutcome:
-        """Apply a runtime delta hitlessly."""
+        """Apply a runtime delta hitlessly.
+
+        FlexCheck's race pass runs on every update: hazardous deltas are
+        forced through the two-phase consistent path (the outcome reports
+        ``forced_two_phase``), or rejected outright with ``strict=True``.
+        """
         new_program, changes = apply_delta(self.controller.program, delta)
         self.admit(new_program)
-        outcome = self.controller.transition_to(new_program, changes, consistency)
+        outcome = self.controller.transition_to(
+            new_program, changes, consistency, strict_analysis=strict
+        )
         self._refresh()
         return outcome
 

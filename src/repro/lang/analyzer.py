@@ -28,6 +28,10 @@ from dataclasses import dataclass, field
 from repro.errors import AnalysisError
 from repro.lang import ir
 
+# Certification limits live in repro.limits so the runtime interpreter
+# imports the exact same values; re-exported here for compatibility.
+from repro.limits import MAX_MAP_ENTRIES, MAX_PACKET_OPS, RECIRCULATION_CAP
+
 #: Per-statement/expression base costs in abstract "ops". These are
 #: deliberately coarse — they exist so relative costs order correctly
 #: (a sketch update is pricier than a header rewrite), not to model
@@ -41,17 +45,15 @@ _EXPR_COST = {
     ir.HashExpr: 3,
 }
 
-#: Hard ceiling on certified per-packet ops. Programs over this bound
-#: would not pass a line-rate admission check on any modelled target.
-MAX_PACKET_OPS = 100_000
-
-#: Ceiling on total declared map entries per program (admission check
-#: against pathological state footprints).
-MAX_MAP_ENTRIES = 16_000_000
-
-#: How many times one packet may recirculate. Shared with the runtime
-#: interpreter so the certified per-packet bound stays sound.
-RECIRCULATION_CAP = 4
+__all__ = [
+    "Analyzer",
+    "Certificate",
+    "ElementProfile",
+    "MAX_MAP_ENTRIES",
+    "MAX_PACKET_OPS",
+    "RECIRCULATION_CAP",
+    "certify",
+]
 
 
 @dataclass(frozen=True)

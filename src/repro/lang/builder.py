@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from repro.errors import TypeCheckError
 from repro.lang import ir
-from repro.lang.types import BitsType, parse_type
+from repro.lang.types import parse_type
 
 
 def expr(value) -> ir.Expr:

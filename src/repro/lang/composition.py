@@ -48,6 +48,10 @@ class Permission:
     max_table_entries: int = 100_000
     #: May the extension parse new header types?
     may_extend_parser: bool = False
+    #: Glob patterns of shared header fields (``"ipv4.ttl"``-style) the
+    #: tenant may write. ``None`` means legacy-unrestricted (any field);
+    #: an empty tuple means the tenant may write no base field at all.
+    writable_fields: tuple[str, ...] | None = None
 
 
 @dataclass(frozen=True)
@@ -257,9 +261,26 @@ def validate_extension(extension: ir.Program, tenant: TenantSpec, base: ir.Progr
 
     local_maps = {m.name for m in extension.maps}
     base_maps = {m.name for m in base.maps}
+    base_headers = {h.name for h in base.headers}
+
+    def check_field_write(target: ir.FieldRef, context: str) -> None:
+        if permission.writable_fields is None:
+            return  # legacy unrestricted
+        if target.header not in base_headers:
+            return  # tenant-local header: always writable
+        if not any(
+            fnmatch.fnmatchcase(str(target), pattern)
+            for pattern in permission.writable_fields
+        ):
+            raise AccessControlError(
+                f"tenant {tenant.name!r} {context} writes base field {target} "
+                f"without a writable_fields grant"
+            )
 
     def check_body(body: tuple[ir.Stmt, ...], context: str) -> None:
         for statement in body:
+            if isinstance(statement, ir.Assign) and isinstance(statement.target, ir.FieldRef):
+                check_field_write(statement.target, context)
             if isinstance(statement, ir.PrimitiveCall):
                 if statement.name not in permission.allowed_primitives:
                     raise AccessControlError(
@@ -377,13 +398,16 @@ class Composer:
         del self._extensions[tenant_name]
 
     def _check_header_compatibility(self, extension: ir.Program, tenant: TenantSpec) -> None:
-        base_headers = {h.name: h for h in self._base.headers}
+        known = {h.name: (h, "the base program") for h in self._base.headers}
+        for other_name, (_, other_ext) in self._extensions.items():
+            for header in other_ext.headers:
+                known.setdefault(header.name, (header, f"tenant {other_name!r}"))
         for header in extension.headers:
-            existing = base_headers.get(header.name)
-            if existing is not None and existing.fields != header.fields:
+            existing = known.get(header.name)
+            if existing is not None and existing[0].fields != header.fields:
                 raise CompositionError(
-                    f"tenant {tenant.name!r} redefines header {header.name!r} with a "
-                    "different layout"
+                    f"tenant {tenant.name!r} redefines header {header.name!r} "
+                    f"(declared by {existing[1]}) with a different layout"
                 )
 
     def compose(self, dedupe_shared_code: bool = False) -> CompositionReport:

@@ -25,7 +25,7 @@ against.
 from __future__ import annotations
 
 import fnmatch
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.errors import CompositionError, ParseError, TypeCheckError
 from repro.lang import ir

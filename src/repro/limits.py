@@ -1,0 +1,23 @@
+"""Shared certification limits for the analyzer and the runtime.
+
+These constants bound what a certified FlexBPF program may do *and*
+what the interpreter will actually execute. They live in one module —
+imported by both :mod:`repro.lang.analyzer` (which proves the bound)
+and :mod:`repro.simulator.pipeline_exec` (which enforces it) — so the
+certified bound can never silently diverge from the runtime cap.
+"""
+
+from __future__ import annotations
+
+#: Hard ceiling on certified per-packet ops. Programs over this bound
+#: would not pass a line-rate admission check on any modelled target.
+MAX_PACKET_OPS = 100_000
+
+#: Ceiling on total declared map entries per program (admission check
+#: against pathological state footprints).
+MAX_MAP_ENTRIES = 16_000_000
+
+#: How many times one packet may recirculate. The analyzer multiplies
+#: the per-pass bound by ``1 + RECIRCULATION_CAP`` for recirculating
+#: programs; the interpreter stops recirculating at exactly this depth.
+RECIRCULATION_CAP = 4

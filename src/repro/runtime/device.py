@@ -270,6 +270,13 @@ class DeviceRuntime:
     def in_transition(self) -> bool:
         return self._transition is not None
 
+    @property
+    def staged_instance(self) -> ProgramInstance | None:
+        """The incoming program version while a transition window is open
+        (None otherwise). The reconfiguration orchestrator uses this to
+        swing-migrate state into maps that could not be physically shared."""
+        return self._transition.new if self._transition is not None else None
+
     def busy_until(self, now: float) -> float:
         """Earliest time a new transition may start on this device."""
         busy = max(self._unavailable_until, now)

@@ -18,7 +18,7 @@ delay per hop).
 from __future__ import annotations
 
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import RpcError
 

@@ -92,6 +92,7 @@ class ReconfigOrchestrator:
         stagger: dict[str, float] | None = None,
         window_override: dict[str, float] | None = None,
         flow_affine: bool = False,
+        protected_maps: set[str] | None = None,
     ) -> TransitionReport:
         """Schedule the transition starting now; returns a report that
         fills in as the event loop advances (read it after run_until
@@ -99,7 +100,11 @@ class ReconfigOrchestrator:
 
         ``stagger`` and ``window_override`` come from the controller's
         consistency scheduler; ``flow_affine`` keys the per-packet draw
-        by flow for PER_FLOW consistency.
+        by flow for PER_FLOW consistency. ``protected_maps`` names maps
+        FlexCheck's race pass flagged: at each window start their state is
+        swing-migrated into the staged version whenever physical sharing
+        was impossible (re-keyed/re-declared maps), so old-version
+        in-flight updates are not lost.
         """
         now = self._loop.now
         report = TransitionReport(started_at=now)
@@ -145,7 +150,13 @@ class ReconfigOrchestrator:
                 self._loop.schedule_at(
                     start,
                     self._hitless_starter(
-                        device, new_plan.program, duration, hosted, flow_affine
+                        device,
+                        new_plan.program,
+                        duration,
+                        hosted,
+                        flow_affine,
+                        protected_maps=protected_maps,
+                        report=report,
                     ),
                 )
                 end = start + duration
@@ -181,15 +192,33 @@ class ReconfigOrchestrator:
         duration: float,
         hosted: set[str],
         flow_affine: bool = False,
+        protected_maps: set[str] | None = None,
+        report: TransitionReport | None = None,
     ):
         def start() -> None:
-            device.begin_hitless_update(
+            old = device.active_instance
+            staged = device.begin_hitless_update(
                 program,
                 now=self._loop.now,
                 duration_s=duration,
                 hosted_elements=hosted,
                 flow_affine=flow_affine,
             )
+            if not protected_maps or old is None:
+                return
+            # Swing-state migration for race-flagged maps whose physical
+            # state could not be shared across versions (re-keyed or
+            # re-declared): warm the staged copy so no update is lost.
+            for map_name in sorted(protected_maps):
+                if map_name not in old.maps or map_name not in staged.maps:
+                    continue
+                old_state = old.maps.state(map_name)
+                new_state = staged.maps.state(map_name)
+                if new_state is old_state:
+                    continue  # physically shared — already consistent
+                migration = data_plane_migration(old_state, new_state)
+                if report is not None:
+                    report.migrations.append(migration)
 
         return start
 

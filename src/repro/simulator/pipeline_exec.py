@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 from repro.errors import SimulationError
 from repro.lang import ir
-from repro.lang.analyzer import RECIRCULATION_CAP
+from repro.limits import RECIRCULATION_CAP
 from repro.lang.maps import MapSet
 from repro.simulator.packet import Packet, Verdict
 from repro.simulator.tables import TableRules

@@ -1,0 +1,213 @@
+"""Unit tests for the individual FlexCheck passes."""
+
+from repro.analysis import check
+from repro.analysis.dataflow import analyze
+from repro.analysis.interference import check_tenants
+from repro.analysis.lints import check_lints
+from repro.analysis.overcommit import check_overcommit
+from repro.analysis.races import check_reconfig
+from repro.analysis.report import Severity
+from repro.apps.base import STANDARD_HEADERS, base_infrastructure, standard_builder
+from repro.lang import builder as b
+from repro.lang.analyzer import certify
+from repro.lang.composition import Permission, TenantSpec
+from repro.lang.delta import (
+    ChangeSet,
+    Delta,
+    RemoveElements,
+    SetMapEntries,
+    apply_delta,
+)
+from repro.targets import drmt_switch
+
+
+def codes(findings) -> set[str]:
+    return {f.code for f in findings}
+
+
+def tenant_ext(body, name="ext", validate=True):
+    program = b.ProgramBuilder(name, owner="tenant")
+    for header, fields in STANDARD_HEADERS.items():
+        program.header(header, **fields)
+    program.function("f", body)
+    program.apply("f")
+    # Extensions referencing base maps defer validation to admission.
+    return program.build(validate=validate)
+
+
+class TestLints:
+    def test_clean_base_has_no_findings(self):
+        base = base_infrastructure()
+        assert check_lints(base, analyze(base)) == []
+
+    def test_unused_map(self):
+        program = standard_builder("p")
+        program.map("orphan", keys=["ipv4.src"], value_type="u64", max_entries=8)
+        program.function("f", [b.call("no_op")])
+        program.apply("f")
+        built = program.build()
+        findings = check_lints(built, analyze(built))
+        assert "LINT-UNUSED-MAP" in codes(findings)
+        assert all(f.severity is Severity.WARNING for f in findings)
+
+    def test_dead_element_and_write_only_map(self):
+        program = standard_builder("p")
+        program.map("w", keys=["ipv4.src"], value_type="u64", max_entries=8)
+        program.function("writer", [b.map_put("w", "ipv4.src", 1)])
+        program.function("dead", [b.call("no_op")])
+        program.apply("writer")
+        built = program.build()
+        found = codes(check_lints(built, analyze(built)))
+        assert "LINT-WRITE-ONLY-MAP" in found
+        assert "LINT-DEAD-ELEMENT" in found
+
+    def test_oversized_exact_table(self):
+        program = standard_builder("p")
+        program.action("nop", [b.call("no_op")])
+        program.table("t", keys=["ipv4.proto"], actions=["nop"], size=1024,
+                      default="nop")
+        program.apply("t")
+        built = program.build()
+        assert "LINT-OVERSIZED-TABLE" in codes(check_lints(built, analyze(built)))
+
+
+class TestRaces:
+    def shrink(self, entries=256):
+        return Delta(
+            name="shrink", ops=(SetMapEntries(pattern="flow_counts", max_entries=entries),)
+        )
+
+    def test_resize_with_surviving_accessors_is_error(self):
+        base = base_infrastructure()
+        new, changes = apply_delta(base, self.shrink())
+        findings = check_reconfig(base, new, changes)
+        resize = [f for f in findings if f.code == "RACE-MAP-RESIZE"]
+        assert resize and resize[0].severity is Severity.ERROR
+        assert resize[0].element == "flow_counts"
+
+    def test_two_phase_downgrades_to_info(self):
+        base = base_infrastructure()
+        new, changes = apply_delta(base, self.shrink())
+        findings = check_reconfig(base, new, changes, two_phase=True)
+        assert all(f.severity is Severity.INFO for f in findings)
+
+    def test_removing_accessors_in_same_delta_silences(self):
+        base = base_infrastructure()
+        delta = Delta(
+            name="retire",
+            ops=(
+                RemoveElements(pattern="count_flow"),
+                SetMapEntries(pattern="flow_counts", max_entries=256),
+            ),
+        )
+        new, changes = apply_delta(base, delta)
+        assert [f for f in check_reconfig(base, new, changes)
+                if f.code == "RACE-MAP-RESIZE"] == []
+
+    def test_durable_map_removal_with_surviving_writer_warns(self):
+        # apply_delta refuses a program whose surviving writer references
+        # a removed map, so model the hazard directly: the new version
+        # drops the map but the writer survives (deferred validation, as
+        # a composed multi-device rollout would see it).
+        def version(with_map: bool):
+            program = standard_builder("p")
+            if with_map:
+                program.map("m", keys=["ipv4.src"], value_type="u64",
+                            max_entries=64, persistence="durable")
+            program.function("writer", [b.map_put("m", "ipv4.src", 1)])
+            program.apply("writer")
+            return program.build(validate=with_map)
+
+        changes = ChangeSet(removed=frozenset({"m"}))
+        findings = check_reconfig(version(True), version(False), changes)
+        removed = [f for f in findings if f.code == "RACE-MAP-REMOVED"]
+        assert removed and removed[0].severity is Severity.WARNING
+        assert "writer" in removed[0].message
+
+    def test_map_removed_with_its_writers_is_clean(self):
+        base = base_infrastructure()
+        delta = Delta(
+            name="gc",
+            ops=(
+                RemoveElements(pattern="count_flow"),
+                RemoveElements(pattern="flow_counts"),
+            ),
+        )
+        new, changes = apply_delta(base, delta)
+        assert [f for f in check_reconfig(base, new, changes)
+                if f.code == "RACE-MAP-REMOVED"] == []
+
+
+class TestInterference:
+    def test_base_field_write_without_grant_is_error(self):
+        spec = TenantSpec(
+            name="t1", vlan_id=100, permission=Permission(writable_fields=())
+        )
+        ext = tenant_ext([b.assign("ipv4.ttl", 255)])
+        findings = check_tenants(base_infrastructure(), [(spec, ext)])
+        perm = [f for f in findings if f.code == "TENANT-FIELD-PERM"]
+        assert perm and perm[0].severity is Severity.ERROR
+
+    def test_legacy_permission_is_info_only(self):
+        spec = TenantSpec(name="t1", vlan_id=100, permission=Permission())
+        ext = tenant_ext([b.assign("ipv4.ttl", 255)])
+        findings = check_tenants(base_infrastructure(), [(spec, ext)])
+        assert codes(findings) == {"TENANT-BASE-FIELD"}
+        assert all(f.severity is Severity.INFO for f in findings)
+
+    def test_two_tenants_writing_same_field(self):
+        spec1 = TenantSpec(
+            name="t1", vlan_id=100,
+            permission=Permission(writable_fields=("ipv4.ttl",)),
+        )
+        spec2 = TenantSpec(
+            name="t2", vlan_id=200,
+            permission=Permission(writable_fields=("ipv4.ttl",)),
+        )
+        ext1 = tenant_ext([b.assign("ipv4.ttl", 1)], name="e1")
+        ext2 = tenant_ext([b.assign("ipv4.ttl", 2)], name="e2")
+        findings = check_tenants(
+            base_infrastructure(), [(spec1, ext1), (spec2, ext2)]
+        )
+        assert "TENANT-SHARED-FIELD" in codes(findings)
+
+    def test_undeclared_map_read_and_write(self):
+        spec = TenantSpec(name="t1", vlan_id=100, permission=Permission())
+        ext = tenant_ext(
+            [
+                b.let("c", "u64", b.map_get("flow_counts", "ipv4.src", "ipv4.dst")),
+                b.map_put("flow_counts", "ipv4.src", "ipv4.dst", "c"),
+            ],
+            validate=False,
+        )
+        found = codes(check_tenants(base_infrastructure(), [(spec, ext)]))
+        assert {"TENANT-MAP-READ", "TENANT-MAP-WRITE"} <= found
+
+
+class TestOvercommit:
+    def test_base_fits_standard_switch(self):
+        base = base_infrastructure()
+        findings = check_overcommit(certify(base), [drmt_switch("sw1")])
+        assert not [f for f in findings if f.severity is Severity.ERROR]
+
+    def test_unplaceable_element_names_deficit(self):
+        program = standard_builder("hog")
+        program.action("drop", [b.call("mark_drop")])
+        program.table(
+            "mega",
+            keys=[("ipv4.src", "ternary")],
+            actions=["drop"],
+            size=4_000_000,
+            default="drop",
+        )
+        program.apply("mega")
+        findings = check_overcommit(certify(program.build()), [drmt_switch("sw1")])
+        unplaceable = [f for f in findings if f.code == "RES-ELEMENT-UNPLACEABLE"]
+        assert unplaceable and unplaceable[0].severity is Severity.ERROR
+        assert "short" in unplaceable[0].message
+
+    def test_check_wires_overcommit_via_target(self):
+        base = base_infrastructure()
+        report = check(base, target=drmt_switch("sw1"))
+        assert "overcommit" in report.passes_run
+        assert report.ok

@@ -1,6 +1,5 @@
 """Congestion-control customization tests (vertical distribution)."""
 
-import pytest
 
 from repro.apps.cc import dctcp_delta, hpcc_delta, remove_cc_delta, swap_cc_delta
 from repro.compiler.placement import PlacementEngine

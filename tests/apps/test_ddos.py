@@ -1,6 +1,5 @@
 """Elastic DDoS defense tests (E3 foundations)."""
 
-import pytest
 
 from repro.apps.base import base_infrastructure
 from repro.apps.ddos import (

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.apps.base import base_infrastructure
 from repro.apps.ratelimit import RateLimiter, rate_limit_delta
 from repro.control.p4runtime import P4RuntimeClient
 from repro.lang.delta import apply_delta

@@ -8,8 +8,8 @@ from repro.compiler.fungibility import (
     ordered_elements,
 )
 from repro.compiler.plan import StagePlan
-from repro.lang.analyzer import ElementProfile, certify
-from repro.targets import drmt_switch, host, rmt_switch, tiled_switch
+from repro.lang.analyzer import ElementProfile
+from repro.targets import drmt_switch, rmt_switch
 from repro.targets.resources import ResourceVector
 
 

@@ -9,7 +9,6 @@ from repro.compiler.incremental import (
 )
 from repro.compiler.placement import PlacementEngine
 from repro.compiler.plan import StepKind
-from repro.lang.analyzer import certify
 from repro.lang.delta import Delta, RemoveElements, SetTableSize, apply_delta, parse_delta
 
 from tests.conftest import make_standard_slice

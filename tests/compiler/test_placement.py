@@ -12,9 +12,8 @@ from repro.compiler.plan import DeviceSpec
 from repro.errors import PlacementError
 from repro.lang import builder as b
 from repro.lang.analyzer import certify
-from repro.lang.builder import ProgramBuilder
 from repro.apps.base import standard_builder
-from repro.targets import drmt_switch, host, rmt_switch, smartnic
+from repro.targets import drmt_switch, host
 
 from tests.conftest import make_standard_slice
 

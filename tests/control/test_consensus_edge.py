@@ -1,6 +1,5 @@
 """Raft edge cases: log conflicts, stale leaders, term safety."""
 
-import pytest
 
 from repro.control.consensus import ControllerCluster, Role
 from repro.simulator.engine import EventLoop

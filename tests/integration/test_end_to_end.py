@@ -1,13 +1,11 @@
 """End-to-end integration: the Figure-1 pipeline in test form."""
 
-import pytest
 
 from repro.apps.base import base_infrastructure
 from repro.apps.firewall import firewall_delta
 from repro.apps.sketch import count_min_delta
 from repro.core.flexnet import FlexNet
 from repro.runtime.consistency import ConsistencyLevel
-from repro.simulator.flowgen import constant_rate
 
 
 class TestFigureOnePipeline:

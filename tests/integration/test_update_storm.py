@@ -3,7 +3,6 @@ real-time change ... if network requirements change in the next minute,
 reconfigurations across devices will present the network as a new
 infrastructure')."""
 
-import pytest
 
 from repro.apps.base import base_infrastructure
 from repro.core.flexnet import FlexNet

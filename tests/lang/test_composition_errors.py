@@ -1,0 +1,222 @@
+"""Error-path coverage for ``lang/composition.py::validate_extension``.
+
+Complements test_composition.py (which covers quotas, primitives, base
+map reads/writes, and parser permission at the top level) with the
+paths that were previously unexercised: violations nested inside
+control flow, map reads hidden in map-op keys, the new
+``writable_fields`` permission, and namespace-collision behaviour of
+the composed program.
+"""
+
+import pytest
+
+from repro.apps.base import STANDARD_HEADERS
+from repro.errors import AccessControlError, CompositionError, TypeCheckError
+from repro.lang import builder as b
+from repro.lang.builder import ProgramBuilder
+from repro.lang.composition import (
+    Composer,
+    Permission,
+    TenantSpec,
+    validate_extension,
+)
+
+
+def ext_builder(name="ext"):
+    program = ProgramBuilder(name, owner="tenant")
+    for header, fields in STANDARD_HEADERS.items():
+        program.header(header, **fields)
+    return program
+
+
+def spec(name="t1", vlan=100, **permission_kwargs):
+    return TenantSpec(name=name, vlan_id=vlan, permission=Permission(**permission_kwargs))
+
+
+class TestNestedViolations:
+    def test_map_write_inside_if_rejected(self, base_program):
+        program = ext_builder()
+        program.function(
+            "f",
+            [
+                b.if_(
+                    b.binop("==", "ipv4.proto", 6),
+                    [b.map_put("flow_counts", "ipv4.src", "ipv4.dst", 0)],
+                )
+            ],
+        )
+        program.apply("f")
+        with pytest.raises(AccessControlError, match="non-local map"):
+            validate_extension(program.build(validate=False), spec(), base_program)
+
+    def test_map_write_inside_repeat_rejected(self, base_program):
+        program = ext_builder()
+        program.function(
+            "f", [b.repeat(2, [b.map_put("flow_counts", "ipv4.src", "ipv4.dst", 0)])]
+        )
+        program.apply("f")
+        with pytest.raises(AccessControlError, match="non-local map"):
+            validate_extension(program.build(validate=False), spec(), base_program)
+
+    def test_forbidden_primitive_inside_else_rejected(self, base_program):
+        program = ext_builder()
+        program.function(
+            "f",
+            [
+                b.if_(
+                    b.binop("==", "ipv4.proto", 6),
+                    [b.call("no_op")],
+                    [b.call("recirculate")],
+                )
+            ],
+        )
+        program.apply("f")
+        with pytest.raises(AccessControlError, match="forbidden primitive"):
+            validate_extension(program.build(), spec(), base_program)
+
+    def test_base_map_read_in_map_key_rejected(self, base_program):
+        # The unpermitted read is buried in the key expression of a write
+        # to the tenant's own (legal) map.
+        program = ext_builder()
+        program.map("mine", keys=["ipv4.src"], value_type="u32", max_entries=16)
+        program.function(
+            "f",
+            [
+                b.map_put(
+                    "mine",
+                    b.map_get("flow_counts", "ipv4.src", "ipv4.dst"),
+                    1,
+                )
+            ],
+        )
+        program.apply("f")
+        with pytest.raises(AccessControlError, match="without permission"):
+            validate_extension(program.build(validate=False), spec(), base_program)
+
+    def test_action_bodies_checked_too(self, base_program):
+        program = ext_builder()
+        program.action("evil", [b.map_put("flow_counts", "ipv4.src", "ipv4.dst", 0)])
+        program.table("t", keys=["ipv4.src"], actions=["evil"], size=8)
+        program.apply("t")
+        with pytest.raises(AccessControlError, match="non-local map"):
+            validate_extension(program.build(validate=False), spec(), base_program)
+
+
+class TestWritableFields:
+    def _ttl_writer(self):
+        program = ext_builder()
+        program.function("bump", [b.assign("ipv4.ttl", b.binop("-", "ipv4.ttl", 1))])
+        program.apply("bump")
+        return program.build()
+
+    def test_base_field_write_rejected_with_empty_grant(self, base_program):
+        with pytest.raises(AccessControlError, match="writable_fields"):
+            validate_extension(
+                self._ttl_writer(), spec(writable_fields=()), base_program
+            )
+
+    def test_base_field_write_allowed_by_exact_grant(self, base_program):
+        validate_extension(
+            self._ttl_writer(), spec(writable_fields=("ipv4.ttl",)), base_program
+        )
+
+    def test_base_field_write_allowed_by_glob_grant(self, base_program):
+        validate_extension(
+            self._ttl_writer(), spec(writable_fields=("ipv4.*",)), base_program
+        )
+
+    def test_glob_grant_does_not_leak_to_other_headers(self, base_program):
+        program = ext_builder()
+        program.function("rewrite", [b.assign("ethernet.dst", 42)])
+        program.apply("rewrite")
+        with pytest.raises(AccessControlError, match="ethernet.dst"):
+            validate_extension(
+                program.build(), spec(writable_fields=("ipv4.*",)), base_program
+            )
+
+    def test_legacy_none_permission_is_unrestricted(self, base_program):
+        validate_extension(self._ttl_writer(), spec(), base_program)
+
+    def test_tenant_local_header_always_writable(self, base_program):
+        program = ext_builder()
+        program.header("probe", marker=8)
+        program.function("stamp", [b.assign("probe.marker", 1)])
+        program.apply("stamp")
+        validate_extension(program.build(), spec(writable_fields=()), base_program)
+
+    def test_write_inside_if_checked(self, base_program):
+        program = ext_builder()
+        program.function(
+            "bump",
+            [
+                b.if_(
+                    b.binop("==", "ipv4.proto", 6),
+                    [b.assign("ipv4.ttl", 1)],
+                )
+            ],
+        )
+        program.apply("bump")
+        with pytest.raises(AccessControlError, match="writable_fields"):
+            validate_extension(program.build(), spec(writable_fields=()), base_program)
+
+    def test_admit_enforces_writable_fields(self, base_program):
+        composer = Composer(base_program)
+        with pytest.raises(AccessControlError, match="writable_fields"):
+            composer.admit(spec(writable_fields=()), self._ttl_writer())
+
+
+class TestNamespaceCollisions:
+    def test_extension_colliding_with_base_element_is_namespaced(self, base_program):
+        # A tenant may reuse a base element name; namespacing keeps them
+        # distinct in the composed program.
+        program = ext_builder()
+        program.map("flow_counts", keys=["ipv4.src"], value_type="u32", max_entries=8)
+        program.function(
+            "f",
+            [
+                b.let("n", "u32", b.map_get("flow_counts", "ipv4.src")),
+                b.map_put("flow_counts", "ipv4.src", b.binop("+", "n", 1)),
+            ],
+        )
+        program.apply("f")
+        composer = Composer(base_program)
+        composer.admit(spec(), program.build())
+        composed = composer.compose().composed
+        assert composed.has_map("flow_counts")  # base copy untouched
+        assert composed.has_map("t1__flow_counts")
+        assert composed.map("flow_counts").max_entries != 8
+
+    def test_two_tenants_same_element_names_coexist(self, base_program):
+        def make():
+            program = ext_builder()
+            program.map("hits", keys=["ipv4.src"], value_type="u32", max_entries=8)
+            program.function(
+                "f",
+                [
+                    b.let("n", "u32", b.map_get("hits", "ipv4.src")),
+                    b.map_put("hits", "ipv4.src", b.binop("+", "n", 1)),
+                ],
+            )
+            program.apply("f")
+            return program.build()
+
+        composer = Composer(base_program)
+        composer.admit(spec("t1", vlan=100), make())
+        composer.admit(spec("t2", vlan=200), make())
+        composed = composer.compose().composed
+        assert composed.has_map("t1__hits") and composed.has_map("t2__hits")
+
+    def test_duplicate_headers_must_agree(self, base_program):
+        program = ext_builder()
+        program.header("extra", x=8)
+        composer = Composer(base_program)
+        composer.admit(spec(may_extend_parser=True), program.build())
+        # identical layouts are fine; a second tenant redefining "extra"
+        # differently is caught at admission or joint validation.
+        bad = ext_builder("ext2")
+        bad.header("extra", x=16)
+        with pytest.raises((AccessControlError, CompositionError, TypeCheckError)):
+            composer.admit(
+                spec("t2", vlan=200, may_extend_parser=True), bad.build()
+            )
+            composer.compose()

@@ -7,8 +7,6 @@ from repro.lang import builder as b
 from repro.lang import ir
 from repro.lang.delta import (
     AddAction,
-    AddFunction,
-    AddMap,
     AddParserTransition,
     AddTable,
     AddTableActions,
@@ -23,7 +21,6 @@ from repro.lang.delta import (
     match_elements,
     parse_delta,
 )
-from repro.lang.types import BitsType
 
 
 class TestPatternMatching:

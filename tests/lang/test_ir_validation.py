@@ -6,7 +6,6 @@ from repro.errors import TypeCheckError
 from repro.lang import builder as b
 from repro.lang import ir
 from repro.lang.builder import ProgramBuilder
-from repro.lang.types import BitsType
 
 
 def simple_builder():

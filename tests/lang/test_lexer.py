@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ParseError
-from repro.lang.lexer import Token, TokenKind, parse_int, tokenize
+from repro.lang.lexer import TokenKind, parse_int, tokenize
 
 
 def kinds(source):

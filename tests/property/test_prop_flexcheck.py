@@ -1,0 +1,236 @@
+"""Soundness properties of the FlexCheck data-flow analysis.
+
+FlexCheck's access sets are an over-approximation, so for *any* program
+the dynamic behaviour observed while executing a packet through the
+interpreter must be contained in the static sets:
+
+* every header field whose value changed is in ``field_writes``;
+* every metadata key that changed or appeared is in ``meta_writes``;
+* every map whose contents changed is in ``map_writes``;
+* the interpreter's op count never exceeds the certificate bound.
+
+Programs (and deltas) are generated randomly via ``lang/builder.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro import analysis  # noqa: E402
+from repro.analysis.dataflow import analyze  # noqa: E402
+from repro.analysis.report import Severity  # noqa: E402
+from repro.apps.base import standard_builder  # noqa: E402
+from repro.lang import builder as b  # noqa: E402
+from repro.lang import delta as d  # noqa: E402
+from repro.lang import ir  # noqa: E402
+from repro.lang.analyzer import certify  # noqa: E402
+from repro.simulator.packet import make_packet  # noqa: E402
+from repro.simulator.pipeline_exec import ProgramInstance  # noqa: E402
+
+FIELDS = [
+    "ethernet.dst",
+    "ethernet.src",
+    "ipv4.src",
+    "ipv4.dst",
+    "ipv4.ttl",
+    "tcp.sport",
+    "tcp.dport",
+    "tcp.flags",
+]
+META_KEYS = ["color", "bucket"]
+#: (map name, key fields) — declared on every generated program.
+MAPS = [("m0", ("ipv4.src",)), ("m1", ("ipv4.src", "ipv4.dst"))]
+
+# -- strategies -------------------------------------------------------------
+
+fields = st.sampled_from(FIELDS)
+meta_keys = st.sampled_from(META_KEYS)
+consts = st.integers(min_value=0, max_value=255)
+
+
+def value_exprs(depth: int = 2, allow_var: bool = True) -> st.SearchStrategy:
+    leaves = [
+        consts.map(lambda v: ir.Const(value=v)),
+        fields.map(b.field),
+        meta_keys.map(lambda k: ir.MetaRef(key=k)),
+        st.sampled_from(MAPS).map(lambda m: b.map_get(m[0], *m[1])),
+    ]
+    if allow_var:
+        leaves.append(st.just(ir.VarRef(name="v")))
+    leaf = st.one_of(*leaves)
+    if depth == 0:
+        return leaf
+    sub = value_exprs(depth - 1, allow_var)
+    composite = st.builds(
+        lambda op, left, right: b.binop(op, left, right),
+        st.sampled_from(["+", "-", "&", "|", "^"]),
+        sub,
+        sub,
+    )
+    return st.one_of(leaf, composite)
+
+
+conditions = st.builds(
+    lambda op, left, right: b.binop(op, left, right),
+    st.sampled_from(["==", "!=", "<", ">="]),
+    value_exprs(1),
+    value_exprs(1),
+)
+
+
+def flat_stmts(allow_var: bool = True) -> st.SearchStrategy:
+    """Statements legal inside actions (no control flow) and functions.
+
+    Actions type-check each statement in a fresh scope, so their bodies
+    must not reference ``let``-bound variables (``allow_var=False``).
+    """
+    values = value_exprs(allow_var=allow_var)
+    return st.one_of(
+        st.builds(lambda f, v: b.assign(f, v), fields, values),
+        st.builds(lambda k, v: b.assign(f"meta.{k}", v), meta_keys, values),
+        st.builds(
+            lambda m, v: b.map_put(m[0], *m[1], v), st.sampled_from(MAPS), values
+        ),
+        st.builds(lambda m: b.map_delete(m[0], *m[1]), st.sampled_from(MAPS)),
+        st.builds(
+            lambda name, arg: (
+                b.call(name, arg) if name in ("set_port", "set_queue") else b.call(name)
+            ),
+            st.sampled_from(["mark_drop", "set_port", "set_queue", "clone", "no_op"]),
+            consts,
+        ),
+    )
+
+
+def stmts(depth: int = 1) -> st.SearchStrategy:
+    if depth == 0:
+        return flat_stmts()
+    sub = st.lists(stmts(depth - 1), min_size=1, max_size=3)
+    return st.one_of(
+        flat_stmts(),
+        st.builds(lambda c, t, e: b.if_(c, t, e), conditions, sub, sub),
+        st.builds(lambda body: b.repeat(2, body), sub),
+    )
+
+
+bodies = st.lists(stmts(), min_size=1, max_size=4).map(
+    # Every body opens with `let v`, so VarRef("v") is always bound.
+    lambda body: [b.let("v", "u32", 7)] + body
+)
+
+
+@st.composite
+def programs(draw) -> ir.Program:
+    program = standard_builder("prop")
+    for name, keys in MAPS:
+        program.map(name, keys=list(keys), value_type="u64", max_entries=256)
+    n_functions = draw(st.integers(min_value=1, max_value=3))
+    applied = []
+    for i in range(n_functions):
+        program.function(f"f{i}", draw(bodies))
+        applied.append(f"f{i}")
+    if draw(st.booleans()):
+        program.action(
+            "act", draw(st.lists(flat_stmts(allow_var=False), min_size=1, max_size=3))
+        )
+        program.table("t", keys=["ipv4.dst"], actions=["act"], size=64, default="act")
+        applied.append("t")
+    program.apply(*applied)
+    return program.build()
+
+
+packets = st.builds(
+    make_packet,
+    src_ip=st.integers(min_value=0, max_value=2**32 - 1),
+    dst_ip=st.integers(min_value=0, max_value=2**32 - 1),
+    proto=st.sampled_from([6, 17]),
+    ttl=st.integers(min_value=0, max_value=255),
+    tcp_flags=st.integers(min_value=0, max_value=255),
+)
+
+
+def observed_writes(program: ir.Program, packet):
+    """Execute ``packet`` and report (changed fields, changed meta keys,
+    changed maps, ops)."""
+    instance = ProgramInstance(program)
+    fields_before = dict(packet.fields)
+    meta_before = dict(packet.meta)
+    maps_before = {
+        name: dict(instance.maps.state(name).items()) for name, _ in MAPS
+    }
+    result = instance.process(packet)
+    changed_fields = {
+        ir.FieldRef(header=h, field=f)
+        for (h, f), value in packet.fields.items()
+        if fields_before.get((h, f)) != value
+    }
+    changed_meta = {
+        key for key, value in packet.meta.items() if meta_before.get(key) != value
+    }
+    changed_maps = {
+        name
+        for name, _ in MAPS
+        if dict(instance.maps.state(name).items()) != maps_before[name]
+    }
+    return changed_fields, changed_meta, changed_maps, result.ops
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=programs(), packet=packets)
+def test_dynamic_writes_within_static_sets(program, packet):
+    access = analyze(program).program_access
+    changed_fields, changed_meta, changed_maps, _ = observed_writes(program, packet)
+    assert changed_fields <= set(access.field_writes)
+    assert changed_meta <= set(access.meta_writes)
+    assert changed_maps <= set(access.map_writes)
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=programs(), packet=packets)
+def test_ops_within_certificate_bound(program, packet):
+    certificate = certify(program)
+    *_, ops = observed_writes(program, packet)
+    assert ops <= certificate.max_packet_ops
+
+
+@st.composite
+def deltas(draw) -> d.Delta:
+    """A delta adding one function that writes a random field/map, spliced
+    into the apply block."""
+    target = draw(fields)
+    body = [b.assign(target, draw(consts))]
+    if draw(st.booleans()):
+        which = draw(st.sampled_from(MAPS))
+        body.append(b.map_put(which[0], *which[1], draw(consts)))
+    return d.Delta(
+        name="prop_patch",
+        ops=(
+            d.AddFunction(ir.FunctionDef(name="patched", body=tuple(body))),
+            d.InsertApply(element="patched"),
+        ),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(program=programs(), delta=deltas())
+def test_race_findings_anchor_to_delta_and_downgrade(program, delta):
+    new_program, changes = d.apply_delta(program, delta)
+
+    report = analysis.check(program, delta=delta)
+    race = [f for f in report.findings if f.pass_name == "race"]
+    # Race findings always blame an element the delta actually touched.
+    for finding in race:
+        assert finding.element in changes.touched
+
+    # Committing to the two-phase consistent path mitigates every
+    # ERROR-severity race: nothing from the race pass blocks admission.
+    mitigated = analysis.check(program, delta=delta, two_phase=True)
+    assert not any(
+        f.severity is Severity.ERROR
+        for f in mitigated.findings
+        if f.pass_name == "race"
+    )

@@ -5,8 +5,8 @@ import pytest
 from repro.errors import ReconfigError
 from repro.lang.delta import apply_delta, parse_delta
 from repro.runtime.device import DeviceRuntime
-from repro.simulator.packet import Verdict, make_packet
-from repro.targets import drmt_switch, host, rmt_switch
+from repro.simulator.packet import make_packet
+from repro.targets import drmt_switch, rmt_switch
 
 ADD_GUARD = """
 delta add_guard {

@@ -2,14 +2,12 @@
 
 import pytest
 
-from repro.apps.base import base_infrastructure
 from repro.apps.cc import dctcp_delta
 from repro.lang.delta import apply_delta
 from repro.runtime.device import DeviceRuntime
 from repro.simulator.packet import Verdict, make_packet
-from repro.targets import drmt_switch, host
+from repro.targets import drmt_switch
 from repro.targets.base import PerformanceModel, Target
-from repro.targets.resources import ResourceVector
 
 
 def slow_target(pps: float = 1000.0) -> Target:

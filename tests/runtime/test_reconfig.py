@@ -6,10 +6,9 @@ from repro.compiler.incremental import IncrementalCompiler
 from repro.compiler.placement import PlacementEngine
 from repro.lang.delta import apply_delta, parse_delta
 from repro.runtime.device import DeviceRuntime
-from repro.runtime.reconfig import DEFAULT_REFRESH_S, ReconfigOrchestrator
+from repro.runtime.reconfig import ReconfigOrchestrator
 from repro.simulator.engine import EventLoop
 from repro.simulator.packet import make_packet
-from repro.targets import drmt_switch, host, smartnic
 
 from tests.conftest import make_standard_slice
 

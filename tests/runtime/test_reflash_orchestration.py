@@ -2,7 +2,6 @@
 in mixed deployments (§3.4: 'mixed deployments of runtime programmable,
 compile-time programmable, and non-programmable devices')."""
 
-import pytest
 
 from repro.apps.base import base_infrastructure
 from repro.apps.firewall import firewall_delta

@@ -1,6 +1,5 @@
 """FlexBPF interpreter tests."""
 
-import pytest
 
 from repro.lang import builder as b
 from repro.lang.ir import ActionCall
