@@ -9,9 +9,14 @@ Usage (also ``python -m repro.cli``)::
     flexnet delta    program.fbpf patch.delta     # apply a patch, show changes
     flexnet simulate program.fbpf [--rate 1000] [--duration 1.0]
                                   [--patch patch.delta --at 0.5]
+    flexnet chaos    [program.fbpf] [--patch patch.delta]
+                     [--crash sw1@5.2] [--drop 0.01] [--no-recovery] [--json]
 
 Programs are FlexBPF source files; patches use the delta DSL (§3.2).
 Everything runs against the standard host-NIC-switch-NIC-host slice.
+``chaos`` runs a seeded FlexFault scenario (defaults: bundled base
+infrastructure + firewall delta) and reports consistency, convergence,
+and the write-ahead journal.
 """
 
 from __future__ import annotations
@@ -177,6 +182,105 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a seeded FlexFault chaos scenario; exit 0 iff the network
+    converged with zero consistency violations."""
+    import json as json_module
+
+    from repro.faults import ChannelFault, DeviceCrash, FaultPlan, run_chaos
+
+    if args.program:
+        program = parse_program(_read(args.program))
+    else:
+        from repro.apps import base_infrastructure
+
+        program = base_infrastructure()
+    if args.patch:
+        delta = parse_delta(_read(args.patch))
+    else:
+        from repro.apps import firewall_delta
+
+        delta = firewall_delta()
+
+    crash_specs = args.crash if args.crash is not None else ["sw1@5.2"]
+    crashes = []
+    for spec in crash_specs:
+        if spec == "none":
+            continue
+        device, _, at_s = spec.partition("@")
+        if not device or not at_s:
+            print(f"error: --crash expects DEVICE@TIME, got {spec!r}", file=sys.stderr)
+            return 2
+        crashes.append(
+            DeviceCrash(device=device, at_s=float(at_s), restart_after_s=args.restart_after)
+        )
+    channel = None
+    if args.drop or args.delay_probability:
+        channel = ChannelFault(
+            drop_probability=args.drop,
+            delay_probability=args.delay_probability,
+            delay_s=args.delay,
+        )
+    plan = FaultPlan(seed=args.seed, crashes=tuple(crashes), channel=channel)
+
+    setup = None
+    if args.spread:
+        from repro.apps.nat import nat_delta
+
+        def setup(net) -> None:
+            net.controller.deploy_app("flexnet://infra/nat", nat_delta(size=512))
+            net.controller.migrate_app("flexnet://infra/nat", "nic1")
+
+    report = run_chaos(
+        program,
+        delta,
+        plan,
+        recovery=not args.no_recovery,
+        resume=not args.rollback,
+        monitor=args.monitor,
+        rate_pps=args.rate,
+        duration_s=args.duration,
+        update_at_s=args.at,
+        setup=setup,
+    )
+    ok = report.converged and report.violations == 0
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2))
+        return 0 if ok else 1
+
+    print("fault plan:")
+    for line in plan.describe():
+        print(f"  {line}")
+    mode = "recovery " + ("(rollback)" if args.rollback else "(resume)")
+    print(f"mode        : {'no recovery (baseline)' if args.no_recovery else mode}")
+    print(f"sent        : {report.sent}")
+    print(f"delivered   : {report.delivered}")
+    print(f"lost        : {report.lost}")
+    print(f"inconsistent: {report.violations} packet(s) saw mixed program versions")
+    print(f"crashes     : {report.crashes} (restarts {report.restarts}, "
+          f"resumed {report.resumed}, rolled back {report.rolled_back})")
+    print(f"control     : {report.transition['commands_dropped']} command(s) dropped, "
+          f"{report.transition['command_retries']} retried; "
+          f"reads {report.control_reads_ok} ok / {report.control_reads_failed} failed")
+    print(f"stranded    : {', '.join(report.stranded) or 'none'}")
+    print(f"converged   : {'yes' if report.converged else 'NO'} "
+          f"(target v{report.target_version})")
+    if report.convergence_time_s is not None:
+        print(f"convergence : {report.convergence_time_s:.2f}s after the update")
+    if report.journal:
+        print("journal:")
+        for entry in report.journal:
+            print(f"  txn {entry['txn']}: {entry['device']} "
+                  f"v{entry['old_version']}->v{entry['new_version']} "
+                  f"[{entry['state']}{', ' + entry['resolution'] if entry['resolution'] else ''}]")
+    if report.events:
+        print("events:")
+        for event in report.events:
+            detail = f" ({event['detail']})" if event["detail"] else ""
+            print(f"  t={event['time']:<8g} {event['kind']:10s} {event['device']}{detail}")
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="flexnet", description="FlexNet runtime programmable network toolchain"
@@ -233,6 +337,44 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--at", type=float, default=0.5,
                                  help="virtual time to apply the patch")
     simulate_parser.set_defaults(func=cmd_simulate)
+
+    chaos_parser = subparsers.add_parser(
+        "chaos", help="run a seeded fault-injection scenario (FlexFault)"
+    )
+    chaos_parser.add_argument("program", nargs="?", default=None,
+                              help="FlexBPF program (default: bundled base infrastructure)")
+    chaos_parser.add_argument("--patch", default=None,
+                              help="delta applied mid-run (default: bundled firewall)")
+    chaos_parser.add_argument("--seed", type=int, default=11,
+                              help="fault plan seed (reports are reproducible per seed)")
+    chaos_parser.add_argument("--crash", action="append", default=None,
+                              metavar="DEVICE@TIME",
+                              help="crash DEVICE at virtual TIME (repeatable; "
+                                   "default sw1@5.2, 'none' to disable)")
+    chaos_parser.add_argument("--restart-after", type=float, default=1.0,
+                              help="seconds until a crashed device restarts")
+    chaos_parser.add_argument("--drop", type=float, default=0.01,
+                              help="control-channel drop probability")
+    chaos_parser.add_argument("--delay-probability", type=float, default=0.0,
+                              help="control-channel delay probability")
+    chaos_parser.add_argument("--delay", type=float, default=0.005,
+                              help="control-channel delay seconds (with --delay-probability)")
+    chaos_parser.add_argument("--rate", type=float, default=1000.0)
+    chaos_parser.add_argument("--duration", type=float, default=10.0)
+    chaos_parser.add_argument("--at", type=float, default=5.0,
+                              help="virtual time to apply the patch")
+    chaos_parser.add_argument("--no-recovery", action="store_true",
+                              help="baseline: no retries, no journal resolution")
+    chaos_parser.add_argument("--rollback", action="store_true",
+                              help="resolve interrupted transitions by rollback, not resume")
+    chaos_parser.add_argument("--monitor", action="store_true",
+                              help="arm the health monitor (quarantine + detour)")
+    chaos_parser.add_argument("--spread", action="store_true",
+                              help="host elements on nic1 too (migrated NAT app), so "
+                                   "path-level inconsistency is observable")
+    chaos_parser.add_argument("--json", action="store_true",
+                              help="emit the full machine-readable chaos report")
+    chaos_parser.set_defaults(func=cmd_chaos)
     return parser
 
 

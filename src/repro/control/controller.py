@@ -93,6 +93,12 @@ class FlexNetController:
         self.devices: dict[str, DeviceRuntime] = {}
         self.orchestrator = ReconfigOrchestrator(self.loop, self.devices)
 
+        #: FlexFault wiring (populated by :meth:`attach_faults`).
+        self.fault_injector = None
+        self.journal = None
+        self.recovery = None
+        self.health = None
+
         self._composer: Composer | None = None
         self._base_program: Program | None = None
         self._program: Program | None = None
@@ -584,6 +590,84 @@ class FlexNetController:
             self._set_path(path)
             return True
         return False
+
+    # -- FlexFault: fault injection + recovery wiring ----------------------------------
+
+    def attach_faults(
+        self,
+        injector,
+        recovery: bool = True,
+        policy=None,
+        monitor: bool = False,
+        resume: bool = True,
+    ):
+        """Wire a FlexFault injector through every hook point: the
+        reconfiguration orchestrator (lost start commands, journaled
+        windows), the P4Runtime hub (lossy control channel), and the
+        dRPC fabric (flaky handlers).
+
+        With ``recovery=True`` (the default) the full recovery stack is
+        armed: retry-with-backoff on control and dRPC calls, a
+        write-ahead journal making delta application transactional, and
+        a :class:`~repro.faults.recovery.RecoveryManager` that resolves
+        crash-interrupted transitions on restart (``resume=True`` rolls
+        forward to the new version, ``False`` rolls back).
+        ``recovery=False`` is the no-recovery baseline experiment E16
+        contrasts against. ``monitor=True`` additionally starts the
+        health monitor, which quarantines unresponsive devices and
+        detours the datapath around them when an alternate route exists.
+        Returns the recovery manager (or None for the baseline).
+        """
+        from repro.control.p4runtime import ControlChannel
+        from repro.faults.journal import ReconfigJournal
+        from repro.faults.recovery import HealthMonitor, RecoveryManager, RetryPolicy
+
+        policy = policy or RetryPolicy()
+        self.fault_injector = injector
+        self.journal = ReconfigJournal()
+        self.orchestrator.injector = injector
+        self.orchestrator.journal = self.journal
+        self.drpc.injector = injector
+        self.hub.set_channel(ControlChannel(injector, retry=policy if recovery else None))
+        self.recovery = None
+        self.health = None
+        if recovery:
+            self.recovery = RecoveryManager(
+                self.loop,
+                self.devices,
+                self.journal,
+                policy,
+                telemetry=self.telemetry,
+                resume=resume,
+            )
+            self.orchestrator.recovery = self.recovery
+        if monitor:
+            self.health = HealthMonitor(
+                self.loop,
+                self.devices,
+                telemetry=self.telemetry,
+                on_quarantine=self._on_quarantine,
+            )
+            self.health.start()
+        return self.recovery
+
+    def _on_quarantine(self, device_name: str) -> None:
+        """Health-monitor callback: detour the datapath around a
+        quarantined device when the topology offers a route."""
+        try:
+            self.reroute_datapath(avoid={device_name})
+        except ControlPlaneError:
+            pass  # no alternate route — the datapath stays degraded
+
+    def reroute_datapath(self, avoid: set[str]) -> list[str]:
+        """Re-route the datapath between its endpoints, skipping the
+        ``avoid`` devices; returns the new path."""
+        if self._endpoints is None:
+            raise ControlPlaneError("datapath endpoints not set")
+        source, destination = self._endpoints
+        path = self.topology.path_avoiding(source, destination, set(avoid))
+        self._set_path(path)
+        return path
 
     # -- GC hook (the compiler's fungibility loop) --------------------------------------
 

@@ -19,14 +19,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ControlPlaneError
+from repro.errors import ChannelError, ControlPlaneError
 from repro.lang.ir import ActionCall
+from repro.limits import READ_RTT_S, WRITE_RTT_S
 from repro.runtime.device import DeviceRuntime
 from repro.simulator.tables import MatchSpec, Rule
 
-#: One control-channel round trip (switch gRPC, in seconds).
-WRITE_RTT_S = 1e-3
-READ_RTT_S = 1e-3
+__all__ = [
+    "READ_RTT_S",
+    "WRITE_RTT_S",
+    "ControlChannel",
+    "P4RuntimeClient",
+    "P4RuntimeHub",
+    "P4RuntimeStats",
+    "TableEntry",
+]
 
 
 @dataclass
@@ -34,6 +41,54 @@ class P4RuntimeStats:
     writes: int = 0
     reads: int = 0
     control_time_s: float = 0.0
+
+
+class ControlChannel:
+    """A lossy/slow controller<->device channel (FlexFault hook).
+
+    Each P4Runtime operation transits the channel once. A
+    :class:`~repro.faults.plan.FaultInjector` decides per message
+    whether it is dropped or delayed; with a
+    :class:`~repro.faults.recovery.RetryPolicy` attached, dropped
+    messages are retried with exponential backoff (the time spent is
+    charged to the caller's control-time budget). Without a retry
+    policy a drop raises :class:`~repro.errors.ChannelError`
+    immediately — the no-recovery baseline.
+    """
+
+    def __init__(self, injector=None, retry=None):
+        self.injector = injector
+        self.retry = retry
+        self.drops = 0
+        self.retries = 0
+        self.delays = 0
+        self.failures = 0
+
+    def transmit(self, device: str, base_rtt_s: float) -> float:
+        """Cost one message exchange; returns the channel time spent.
+        Raises :class:`ChannelError` when the message is lost and the
+        retry budget (if any) is exhausted."""
+        if self.injector is None:
+            return base_rtt_s
+        attempts = self.retry.max_attempts if self.retry is not None else 1
+        spent = 0.0
+        for attempt in range(1, attempts + 1):
+            dropped, delay = self.injector.channel_outcome(device)
+            spent += base_rtt_s + delay
+            if delay:
+                self.delays += 1
+            if not dropped:
+                return spent
+            self.drops += 1
+            if attempt < attempts:
+                backoff = self.retry.backoff_s(attempt)
+                self.retries += 1
+                spent += backoff
+        self.failures += 1
+        raise ChannelError(
+            f"control message to {device!r} lost "
+            f"({attempts} attempt{'s' if attempts != 1 else ''})"
+        )
 
 
 @dataclass
@@ -57,13 +112,32 @@ class TableEntry:
 class P4RuntimeClient:
     """Element-level client bound to one device."""
 
-    def __init__(self, device: DeviceRuntime):
+    def __init__(self, device: DeviceRuntime, channel: ControlChannel | None = None):
         self._device = device
         self.stats = P4RuntimeStats()
+        #: optional lossy-channel model (FlexFault); None == ideal channel.
+        self.channel = channel
 
     @property
     def device_name(self) -> str:
         return self._device.name
+
+    # -- channel accounting ------------------------------------------------
+
+    def _transmit(self, base_rtt_s: float) -> float:
+        if self.channel is None:
+            return base_rtt_s
+        return self.channel.transmit(self._device.name, base_rtt_s)
+
+    def _write(self) -> None:
+        """Cost one write round trip (before mutating device state, so a
+        lost write leaves the device untouched)."""
+        self.stats.control_time_s += self._transmit(WRITE_RTT_S)
+        self.stats.writes += 1
+
+    def _read(self) -> None:
+        self.stats.control_time_s += self._transmit(READ_RTT_S)
+        self.stats.reads += 1
 
     def _instance(self):
         instance = self._device.active_instance
@@ -79,9 +153,8 @@ class P4RuntimeClient:
             raise ControlPlaneError(
                 f"device {self._device.name!r} has no table {entry.table!r}"
             )
+        self._write()
         instance.rules[entry.table].insert(entry.to_rule())
-        self.stats.writes += 1
-        self.stats.control_time_s += WRITE_RTT_S
 
     def delete_entry(self, entry: TableEntry) -> bool:
         instance = self._instance()
@@ -89,17 +162,15 @@ class P4RuntimeClient:
             raise ControlPlaneError(
                 f"device {self._device.name!r} has no table {entry.table!r}"
             )
+        self._write()
         removed = instance.rules[entry.table].remove(entry.to_rule())
-        self.stats.writes += 1
-        self.stats.control_time_s += WRITE_RTT_S
         return removed
 
     def table_size(self, table: str) -> int:
         instance = self._instance()
         if table not in instance.rules:
             raise ControlPlaneError(f"no table {table!r}")
-        self.stats.reads += 1
-        self.stats.control_time_s += READ_RTT_S
+        self._read()
         return len(instance.rules[table])
 
     # -- counters ---------------------------------------------------------------
@@ -110,8 +181,7 @@ class P4RuntimeClient:
         if table not in instance.rules:
             raise ControlPlaneError(f"no table {table!r}")
         rules = instance.rules[table]
-        self.stats.reads += 1
-        self.stats.control_time_s += READ_RTT_S
+        self._read()
         return list(rules.hit_counts), rules.miss_count
 
     # -- meters -------------------------------------------------------------------
@@ -123,19 +193,17 @@ class P4RuntimeClient:
         instance = self._instance()
         if table not in instance.rules:
             raise ControlPlaneError(f"no table {table!r}")
+        self._write()
         instance.rules[table].meter = Meter(
             MeterConfig(rate_pps=rate_pps, burst_packets=burst_packets)
         )
-        self.stats.writes += 1
-        self.stats.control_time_s += WRITE_RTT_S
 
     def clear_meter(self, table: str) -> None:
         instance = self._instance()
         if table not in instance.rules:
             raise ControlPlaneError(f"no table {table!r}")
+        self._write()
         instance.rules[table].meter = None
-        self.stats.writes += 1
-        self.stats.control_time_s += WRITE_RTT_S
 
     def read_meter(self, table: str) -> tuple[int, int]:
         """(green_count, red_count) for a table's meter."""
@@ -143,8 +211,7 @@ class P4RuntimeClient:
         if table not in instance.rules:
             raise ControlPlaneError(f"no table {table!r}")
         meter = instance.rules[table].meter
-        self.stats.reads += 1
-        self.stats.control_time_s += READ_RTT_S
+        self._read()
         if meter is None:
             return (0, 0)
         return (meter.green_count, meter.red_count)
@@ -155,25 +222,22 @@ class P4RuntimeClient:
         instance = self._instance()
         if map_name not in instance.maps:
             raise ControlPlaneError(f"no map {map_name!r}")
-        self.stats.reads += 1
-        self.stats.control_time_s += READ_RTT_S
+        self._read()
         return dict(instance.maps.state(map_name).items())
 
     def read_map_entry(self, map_name: str, key: tuple[int, ...]) -> int:
         instance = self._instance()
         if map_name not in instance.maps:
             raise ControlPlaneError(f"no map {map_name!r}")
-        self.stats.reads += 1
-        self.stats.control_time_s += READ_RTT_S
+        self._read()
         return instance.maps.state(map_name).get(key)
 
     def write_map_entry(self, map_name: str, key: tuple[int, ...], value: int) -> None:
         instance = self._instance()
         if map_name not in instance.maps:
             raise ControlPlaneError(f"no map {map_name!r}")
+        self._write()
         instance.maps.state(map_name).put(key, value)
-        self.stats.writes += 1
-        self.stats.control_time_s += WRITE_RTT_S
 
 
 @dataclass
@@ -181,13 +245,21 @@ class P4RuntimeHub:
     """Client pool: one binding per device, created on demand."""
 
     clients: dict[str, P4RuntimeClient] = field(default_factory=dict)
+    #: shared channel model applied to all bindings (None == ideal).
+    channel: ControlChannel | None = None
 
     def bind(self, device: DeviceRuntime) -> P4RuntimeClient:
         client = self.clients.get(device.name)
         if client is None:
-            client = P4RuntimeClient(device)
+            client = P4RuntimeClient(device, channel=self.channel)
             self.clients[device.name] = client
         return client
+
+    def set_channel(self, channel: ControlChannel | None) -> None:
+        """Install a channel model on every current and future binding."""
+        self.channel = channel
+        for client in self.clients.values():
+            client.channel = channel
 
     def client(self, device_name: str) -> P4RuntimeClient:
         if device_name not in self.clients:

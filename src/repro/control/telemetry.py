@@ -27,13 +27,35 @@ class DigestRecord:
     values: tuple[int, ...]
 
 
-class TelemetryCollector:
-    """Sliding-window digest aggregation."""
+@dataclass(frozen=True)
+class HealthEvent:
+    """A degraded-mode control event (crash, restart, quarantine, ...)
+    fed by FlexFault's recovery layer."""
 
-    def __init__(self, window_s: float = 0.5):
+    time: float
+    kind: str
+    device: str
+    detail: str = ""
+
+
+class TelemetryCollector:
+    """Sliding-window digest aggregation.
+
+    Memory is bounded on the *ingest* path: records older than the
+    window are evicted as new ones arrive (not only when a read method
+    happens to run), and ``max_records`` hard-caps the buffer for
+    bursts that out-pace the window. ``total_digests`` counts every
+    digest ever ingested regardless of eviction.
+    """
+
+    def __init__(self, window_s: float = 0.5, max_records: int = 100_000):
         self.window_s = window_s
+        self.max_records = max_records
         self._digests: deque[DigestRecord] = deque()
         self.total_digests = 0
+        #: degraded-mode events (bounded like the digest buffer).
+        self.events: deque[HealthEvent] = deque(maxlen=4096)
+        self.total_events = 0
 
     def ingest_packet(self, packet: Packet, now: float) -> None:
         for program, values in packet.digests:
@@ -42,6 +64,17 @@ class TelemetryCollector:
     def ingest(self, record: DigestRecord) -> None:
         self._digests.append(record)
         self.total_digests += 1
+        # Evict on ingest so a collector that is never queried cannot
+        # grow without bound; digest times are monotone in practice
+        # (they come from the event loop's clock).
+        self._evict(record.time)
+        while len(self._digests) > self.max_records:
+            self._digests.popleft()
+
+    def ingest_event(self, kind: str, device: str, now: float, detail: str = "") -> None:
+        """Record a degraded-mode event (FlexFault recovery feed)."""
+        self.events.append(HealthEvent(time=now, kind=kind, device=device, detail=detail))
+        self.total_events += 1
 
     def _evict(self, now: float) -> None:
         horizon = now - self.window_s

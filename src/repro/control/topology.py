@@ -103,6 +103,24 @@ class TopologyView:
         except nx.NetworkXNoPath as exc:
             raise UnknownDeviceError(f"no path {source!r} -> {destination!r}") from exc
 
+    def path_avoiding(self, source: str, destination: str, avoid: set[str]) -> list[str]:
+        """Shortest path that skips the ``avoid`` devices entirely —
+        the health monitor's quarantine detour. Raises when no such
+        route exists (the network stays degraded instead)."""
+        self.device(source)
+        self.device(destination)
+        if source in avoid or destination in avoid:
+            raise UnknownDeviceError(
+                f"cannot route around an endpoint ({sorted(avoid & {source, destination})})"
+            )
+        view = nx.restricted_view(self._graph, avoid & set(self._graph.nodes), set())
+        try:
+            return nx.shortest_path(view, source, destination, weight="latency_s")
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise UnknownDeviceError(
+                f"no path {source!r} -> {destination!r} avoiding {sorted(avoid)}"
+            ) from exc
+
     def detour_path(self, source: str, destination: str, via: str) -> list[str]:
         """Shortest path forced through ``via`` (§3.3: "routing detours
         to a program component"). Raises if the two legs would revisit a

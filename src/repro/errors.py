@@ -89,6 +89,11 @@ class ConsensusError(ControlPlaneError):
     """Raised when a distributed-controller operation cannot commit."""
 
 
+class ChannelError(ControlPlaneError):
+    """Raised when a control-channel operation is lost and retries (if
+    any) are exhausted."""
+
+
 class RpcError(FlexNetError):
     """Raised when a dRPC invocation fails (no service, timeout)."""
 

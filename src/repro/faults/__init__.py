@@ -1,0 +1,55 @@
+"""FlexFault: fault injection and recovery for runtime reconfiguration.
+
+The paper's promise — hitless, packet-consistent reconfiguration piloted
+by distributed controllers — must survive the unhappy path: devices
+crashing mid-delta, lossy control channels, failed dRPC calls, stalled
+migrations. This package provides both halves:
+
+* **Injection** — :class:`FaultPlan` (seeded, declarative) +
+  :class:`FaultInjector`, consulted by hooks woven through
+  ``runtime.device``, ``control.p4runtime``, ``runtime.drpc``,
+  ``runtime.migration`` and ``runtime.reconfig``.
+* **Recovery** — :class:`RetryPolicy` (exponential backoff),
+  :class:`ReconfigJournal` (write-ahead, transactional delta
+  application with resume/rollback), :class:`RecoveryManager` and
+  :class:`HealthMonitor` (quarantine + detour).
+* **Scenarios** — :func:`run_chaos`, the seeded scenario runner behind
+  experiment E16 and the ``flexnet chaos`` CLI.
+"""
+
+from repro.faults.chaos import ChaosReport, run_chaos
+from repro.faults.journal import JournalEntry, ReconfigJournal, TxnState
+from repro.faults.plan import (
+    ChannelFault,
+    DeviceCrash,
+    DrpcFault,
+    FaultInjector,
+    FaultPlan,
+    MigrationFault,
+)
+from repro.faults.recovery import (
+    CrashSchedule,
+    DegradedEvent,
+    HealthMonitor,
+    RecoveryManager,
+    RetryPolicy,
+)
+
+__all__ = [
+    "ChannelFault",
+    "ChaosReport",
+    "CrashSchedule",
+    "DegradedEvent",
+    "DeviceCrash",
+    "DrpcFault",
+    "FaultInjector",
+    "FaultPlan",
+    "HealthMonitor",
+    "JournalEntry",
+    "MigrationFault",
+    "RecoveryManager",
+    "ReconfigJournal",
+    "RetryPolicy",
+    "TxnState",
+    "run_chaos",
+]

@@ -1,0 +1,284 @@
+"""Seeded chaos scenarios: one fault plan, one live update, one report.
+
+:func:`run_chaos` is the scenario runner behind experiment E16 and the
+``flexnet chaos`` CLI. It stands up the canonical 5-hop FlexNet slice,
+installs a program, arms a :class:`~repro.faults.plan.FaultPlan`
+(device crashes, lossy control channel, flaky dRPC, stalled
+migrations), applies a delta mid-traffic, and reports what survived:
+delivery, consistency, per-device convergence, the write-ahead journal,
+and every degraded-mode event.
+
+Everything is keyed by the plan's seed — two runs of the same scenario
+produce byte-identical reports (``ChaosReport.to_dict``), which is what
+makes fault campaigns regression-testable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.flexnet import FlexNet
+from repro.errors import ChannelError, FlexNetError
+from repro.faults.plan import FaultInjector, FaultPlan
+from repro.faults.recovery import CrashSchedule
+from repro.lang.delta import Delta
+from repro.lang.ir import Program
+from repro.runtime.consistency import ConsistencyLevel
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos scenario (see :func:`run_chaos`)."""
+
+    seed: int
+    recovery: bool
+    resume: bool
+    sent: int
+    delivered: int
+    lost: int
+    violations: int
+    packets_checked: int
+    target_version: int
+    #: active program version per device after the run settles.
+    device_versions: dict[str, int | None]
+    #: devices left mid-delta (mixed old/new state) at the end.
+    stranded: list[str]
+    #: every device converged on the target version, nothing stranded,
+    #: no reconfiguration command permanently lost.
+    converged: bool
+    #: update start -> last journal commit (None if nothing committed).
+    convergence_time_s: float | None
+    crashes: int
+    restarts: int
+    resumed: int
+    rolled_back: int
+    quarantined: list[str]
+    #: background telemetry pulls over the lossy channel (ok / failed).
+    control_reads_ok: int
+    control_reads_failed: int
+    #: raised error if the scheduled update itself failed, else None.
+    update_error: str | None
+    transition: dict = field(default_factory=dict)
+    channel: dict = field(default_factory=dict)
+    injection: dict = field(default_factory=dict)
+    journal: list[dict] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "recovery": self.recovery,
+            "resume": self.resume,
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "lost": self.lost,
+            "violations": self.violations,
+            "packets_checked": self.packets_checked,
+            "target_version": self.target_version,
+            "device_versions": dict(sorted(self.device_versions.items())),
+            "stranded": sorted(self.stranded),
+            "converged": self.converged,
+            "convergence_time_s": (
+                None if self.convergence_time_s is None else round(self.convergence_time_s, 6)
+            ),
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "resumed": self.resumed,
+            "rolled_back": self.rolled_back,
+            "quarantined": sorted(self.quarantined),
+            "control_reads_ok": self.control_reads_ok,
+            "control_reads_failed": self.control_reads_failed,
+            "update_error": self.update_error,
+            "transition": self.transition,
+            "channel": self.channel,
+            "injection": self.injection,
+            "journal": self.journal,
+            "events": self.events,
+        }
+
+
+def run_chaos(
+    program: Program,
+    delta: Delta,
+    plan: FaultPlan,
+    recovery: bool = True,
+    resume: bool = True,
+    monitor: bool = False,
+    rate_pps: float = 1000.0,
+    duration_s: float = 10.0,
+    update_at_s: float = 5.0,
+    extra_time_s: float = 5.0,
+    consistency: ConsistencyLevel = ConsistencyLevel.PER_PACKET_PATH,
+    switch_arch: str = "drmt",
+    setup: Callable[[FlexNet], None] | None = None,
+    control_ops: int = 50,
+) -> ChaosReport:
+    """Run one seeded chaos scenario and collect the evidence.
+
+    ``recovery=False`` is the no-recovery baseline: dropped control
+    messages raise instead of retrying, and crash-interrupted
+    transitions stay frozen in mixed old/new state (stranded) after the
+    device restarts.
+
+    ``setup`` runs after the install but before faults are armed —
+    scenarios use it to shape the deployment (e.g. migrate an app onto
+    a NIC so the update spans several hosting devices).
+    """
+    net = FlexNet.standard(switch_arch)
+    net.install(program)
+    controller = net.controller
+    if setup is not None:
+        setup(net)
+        # Drain the setup's transition windows before faults arm: the
+        # scenario's seeded draws and the consistency verdict must cover
+        # only the update under test, not deployment churn.
+        horizon = controller.orchestrator.quiesce_at
+        if horizon > controller.loop.now:
+            controller.loop.run_until(horizon + 1e-6)
+        for device in controller.devices.values():
+            device.settle(controller.loop.now)
+
+    injector = FaultInjector(plan)
+    manager = controller.attach_faults(
+        injector, recovery=recovery, monitor=monitor, resume=resume
+    )
+    schedule = CrashSchedule(
+        loop=controller.loop,
+        devices=controller.devices,
+        recovery=manager,
+        telemetry=controller.telemetry,
+    )
+    schedule.arm(plan)
+
+    update_error: list[str] = []
+    outcome: list = []
+
+    def do_update() -> None:
+        try:
+            outcome.append(net.update(delta, consistency=consistency))
+        except FlexNetError as exc:
+            update_error.append(f"{type(exc).__name__}: {exc}")
+
+    net.schedule(update_at_s, do_update)
+
+    # Background control-plane load: periodic telemetry pulls over the
+    # (possibly lossy) channel, so ChannelFault drop/delay probabilities
+    # are actually exercised. Reads retry under recovery and raise
+    # ChannelError in the baseline; both outcomes are tallied.
+    control_reads = {"ok": 0, "failed": 0}
+    if control_ops > 0:
+        probe_table = next(
+            (t.name for t in controller.program.tables if t.name in controller.plan.placement),
+            None,
+        )
+        if probe_table is not None:
+            probe_device = controller.plan.placement[probe_table]
+
+            def control_probe() -> None:
+                try:
+                    controller.hub.client(probe_device).table_size(probe_table)
+                except ChannelError:
+                    control_reads["failed"] += 1
+                else:
+                    control_reads["ok"] += 1
+
+            start = controller.loop.now
+            for op in range(control_ops):
+                net.schedule(
+                    start + (op + 1) * duration_s / (control_ops + 1), control_probe
+                )
+
+    traffic = net.run_traffic(
+        rate_pps=rate_pps,
+        duration_s=duration_s,
+        consistency_level=consistency,
+        extra_time_s=extra_time_s,
+    )
+
+    # Settle any window that elapsed after the last packet observed it.
+    now = controller.loop.now
+    for device in controller.devices.values():
+        device.settle(now)
+
+    report = outcome[0].report if outcome else None
+    consistency_report = traffic.consistency.report()
+    target_version = controller.program.version
+    device_versions = {
+        name: (device.active_program.version if device.active_program else None)
+        for name, device in controller.devices.items()
+    }
+    stranded = sorted(
+        name for name, device in controller.devices.items() if device.stranded
+    )
+    stranded_commands = sorted(report.stranded_commands) if report is not None else []
+    # Convergence is judged over the devices the update actually touched
+    # (those with a transition window); pass-through devices legitimately
+    # keep serving whatever was installed.
+    updated = sorted(report.device_windows) if report is not None else []
+    converged = (
+        not update_error
+        and report is not None
+        and not stranded
+        and not stranded_commands
+        and all(
+            device_versions[name] == target_version
+            and not controller.devices[name].in_transition
+            for name in updated
+        )
+    )
+    committed = controller.journal.committed_by() if controller.journal else None
+    convergence_time_s = (
+        committed - update_at_s
+        if converged and committed is not None and committed >= update_at_s
+        else None
+    )
+    channel = controller.hub.channel
+    return ChaosReport(
+        seed=plan.seed,
+        recovery=recovery,
+        resume=resume,
+        sent=traffic.metrics.sent,
+        delivered=traffic.metrics.delivered,
+        lost=traffic.metrics.lost_by_infrastructure,
+        violations=consistency_report.violations,
+        packets_checked=consistency_report.packets_checked,
+        target_version=target_version,
+        device_versions=device_versions,
+        stranded=stranded,
+        converged=converged,
+        convergence_time_s=convergence_time_s,
+        crashes=schedule.crashes,
+        restarts=schedule.restarts,
+        resumed=manager.resumed if manager is not None else 0,
+        rolled_back=manager.rolled_back if manager is not None else 0,
+        quarantined=sorted(controller.health.quarantined) if controller.health else [],
+        control_reads_ok=control_reads["ok"],
+        control_reads_failed=control_reads["failed"],
+        update_error=update_error[0] if update_error else None,
+        transition={
+            "commands_dropped": report.commands_dropped if report else 0,
+            "command_retries": report.command_retries if report else 0,
+            "stranded_commands": stranded_commands,
+            "deferred_starts": sorted(report.deferred_starts) if report else [],
+            "migration_retries": report.migration_retries if report else 0,
+            "failed_migrations": report.failed_migrations if report else 0,
+        },
+        channel={
+            "drops": channel.drops if channel else 0,
+            "retries": channel.retries if channel else 0,
+            "delays": channel.delays if channel else 0,
+            "failures": channel.failures if channel else 0,
+        },
+        injection=injector.stats.to_dict(),
+        journal=controller.journal.to_dict() if controller.journal else [],
+        events=[
+            {
+                "time": round(event.time, 6),
+                "kind": event.kind,
+                "device": event.device,
+                "detail": event.detail,
+            }
+            for event in controller.telemetry.events
+        ],
+    )

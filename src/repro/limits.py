@@ -1,10 +1,15 @@
-"""Shared certification limits for the analyzer and the runtime.
+"""Shared certification limits and control-plane cost constants.
 
-These constants bound what a certified FlexBPF program may do *and*
-what the interpreter will actually execute. They live in one module —
-imported by both :mod:`repro.lang.analyzer` (which proves the bound)
-and :mod:`repro.simulator.pipeline_exec` (which enforces it) — so the
-certified bound can never silently diverge from the runtime cap.
+The certification constants bound what a certified FlexBPF program may
+do *and* what the interpreter will actually execute. They live in one
+module — imported by both :mod:`repro.lang.analyzer` (which proves the
+bound) and :mod:`repro.simulator.pipeline_exec` (which enforces it) —
+so the certified bound can never silently diverge from the runtime cap.
+
+The control-channel constants cost the software (controller-mediated)
+path; they are shared by :mod:`repro.control.p4runtime` and
+:mod:`repro.runtime.drpc` so the two layers can never disagree about
+what a control round trip costs.
 """
 
 from __future__ import annotations
@@ -21,3 +26,13 @@ MAX_MAP_ENTRIES = 16_000_000
 #: the per-pass bound by ``1 + RECIRCULATION_CAP`` for recirculating
 #: programs; the interpreter stops recirculating at exactly this depth.
 RECIRCULATION_CAP = 4
+
+#: One control-channel round trip for a dRPC-equivalent operation done
+#: in software (device -> controller -> device), and the controller's
+#: per-operation software handling time.
+CONTROL_RTT_S = 2e-3
+CONTROL_PROCESSING_S = 5e-4
+
+#: One P4Runtime (switch gRPC) round trip, write and read.
+WRITE_RTT_S = 1e-3
+READ_RTT_S = 1e-3

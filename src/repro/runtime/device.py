@@ -46,6 +46,9 @@ class DeviceStats:
     queue_drops: int = 0
     #: maximum queue depth observed (packets).
     max_queue_depth: int = 0
+    #: injected crashes (FlexFault) and the restarts that followed.
+    crashes: int = 0
+    restarts: int = 0
 
 
 @dataclass
@@ -60,6 +63,10 @@ class _Transition:
     #: sticky per-flow decisions: a flow commits to the version chosen at
     #: its first packet inside the window and never flaps back.
     flow_epochs: dict = field(default_factory=dict)
+    #: set when a crash interrupted the window mid-cut-over: the delta
+    #: was partially applied, the version-select state is corrupt, and
+    #: the split freezes at this progress until recovery resolves it.
+    frozen_progress: float | None = None
 
 
 class DeviceRuntime:
@@ -75,6 +82,7 @@ class DeviceRuntime:
         self._active: ProgramInstance | None = None
         self._transition: _Transition | None = None
         self._unavailable_until = 0.0
+        self._crashed = False
         #: single-server queue state: when the "pipeline" frees up.
         self._busy_until_s = 0.0
 
@@ -113,6 +121,11 @@ class DeviceRuntime:
         if self._active is None:
             raise ReconfigError(f"device {self.name!r} has no active program to update")
         if self._transition is not None:
+            if self._transition.frozen_progress is not None:
+                raise ReconfigError(
+                    f"device {self.name!r} is stranded mid-delta (crashed during its "
+                    f"transition window); recovery must resolve it first"
+                )
             if now >= self._transition.end:
                 # The previous window elapsed without traffic observing its
                 # completion; finalize it now.
@@ -170,10 +183,70 @@ class DeviceRuntime:
                 if set(old_rules.definition.actions) <= set(table.actions):
                     new.rules[table.name] = old_rules
 
+    # -- crash / restart (FlexFault) --------------------------------------------
+
+    def crash(self, now: float) -> None:
+        """Hard-stop the device (fault injection). A crash that lands
+        inside a transition window interrupts the cut-over mid-delta:
+        the version-select state is left half-programmed, so the split
+        between old and new freezes at the progress reached — the
+        partial-delta fault the reconfiguration journal repairs."""
+        self._crashed = True
+        self.stats.crashes += 1
+        transition = self._transition
+        if transition is not None and transition.frozen_progress is None:
+            if now >= transition.end:
+                # The window had actually closed; finalize instead of freezing.
+                self._active = transition.new
+                self._transition = None
+            else:
+                span = transition.end - transition.start
+                transition.frozen_progress = (
+                    (now - transition.start) / span if span > 0 else 0.0
+                )
+
+    def restart(self, now: float) -> None:
+        """Power the device back on. Without recovery, an interrupted
+        transition stays frozen — the device keeps serving a mixed
+        old/new split until :meth:`resolve_interrupted` is called."""
+        self._crashed = False
+        self._unavailable_until = max(self._unavailable_until, now)
+        self.stats.restarts += 1
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    @property
+    def stranded(self) -> bool:
+        """True while an interrupted (crash-frozen) transition is live."""
+        return self._transition is not None and self._transition.frozen_progress is not None
+
+    def resolve_interrupted(self, to_new: bool) -> None:
+        """Recovery resolution of a crash-interrupted transition: replay
+        the journal forward (``to_new=True``, resume) or backward
+        (rollback). Applied as one atomic transaction on restart."""
+        if self._transition is None:
+            raise ReconfigError(f"device {self.name!r} has no transition to resolve")
+        self._active = self._transition.new if to_new else self._transition.old
+        self._transition = None
+
+    def settle(self, now: float) -> None:
+        """Finalize an elapsed (non-frozen) transition window without
+        waiting for the next packet to observe it."""
+        transition = self._transition
+        if (
+            transition is not None
+            and transition.frozen_progress is None
+            and now >= transition.end
+        ):
+            self._active = transition.new
+            self._transition = None
+
     # -- PacketProcessor protocol ---------------------------------------------------
 
     def available(self, now: float) -> bool:
-        return now >= self._unavailable_until
+        return not self._crashed and now >= self._unavailable_until
 
     def process(self, packet: Packet, now: float) -> float:
         instance = self._choose_instance(packet, now)
@@ -221,6 +294,16 @@ class DeviceRuntime:
         transition = self._transition
         if transition is None:
             return self._active
+        if transition.frozen_progress is not None:
+            # Stranded mid-delta: the cut-over pointer table is half
+            # written, so the split is frozen and upstream epoch stamps
+            # are NOT honoured (the stamp-matching rules were part of
+            # the partially applied delta). This is the mixed old/new
+            # state recovery exists to prevent.
+            draw = stable_hash((packet.packet_id,)) % 1_000_000 / 1_000_000
+            chosen = transition.new if draw < transition.frozen_progress else transition.old
+            packet.meta["_epoch"] = chosen.version
+            return chosen
         if now >= transition.end:
             # Transition complete: retire the old version.
             self._active = transition.new

@@ -21,12 +21,21 @@ from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.errors import RpcError
+from repro.limits import CONTROL_PROCESSING_S, CONTROL_RTT_S
+
+__all__ = [
+    "CONTROL_PROCESSING_S",
+    "CONTROL_RTT_S",
+    "DrpcFabric",
+    "RpcRegistry",
+    "RpcStats",
+    "ServiceSpec",
+    "make_migrate_service",
+    "make_state_read_service",
+    "make_state_write_service",
+]
 
 Handler = Callable[[tuple[int, ...]], tuple[int, ...]]
-
-#: Control-channel characteristics used to cost the software alternative.
-CONTROL_RTT_S = 2e-3
-CONTROL_PROCESSING_S = 5e-4
 
 
 @dataclass(frozen=True)
@@ -45,6 +54,9 @@ class RpcStats:
     calls: int = 0
     total_latency_s: float = 0.0
     failures: int = 0
+    #: failed attempts that were retried (and the backoff they cost).
+    retries: int = 0
+    backoff_s: float = 0.0
 
     @property
     def mean_latency_s(self) -> float:
@@ -106,6 +118,9 @@ class DrpcFabric:
         #: per-op handler speed per device (ns); callers set this from
         #: their targets when wiring the fabric.
         self.device_per_op_ns: dict[str, float] = {}
+        #: optional FlexFault injector: when set, calls may fail at the
+        #: handler (modelling a flaky in-band service).
+        self.injector = None
 
     def set_device_speed(self, device: str, per_op_ns: float) -> None:
         self.device_per_op_ns[device] = per_op_ns
@@ -128,6 +143,9 @@ class DrpcFabric:
         per_op_ns = self.device_per_op_ns.get(service.device, 2.0)
         handler_s = service.ops * per_op_ns * 1e-9
         latency = 2 * hops * self._link_latency_s + handler_s
+        if self.injector is not None and self.injector.drpc_failure(service_name):
+            stats.failures += 1
+            raise RpcError(f"service {service_name!r} handler failed: injected fault")
         try:
             result = service.handler(args)
         except Exception as exc:
@@ -136,6 +154,42 @@ class DrpcFabric:
         stats.calls += 1
         stats.total_latency_s += latency
         return result, latency
+
+    def call_with_retry(
+        self,
+        service_name: str,
+        args: tuple[int, ...],
+        caller_device: str,
+        now: float = 0.0,
+        hops: int = 1,
+        policy=None,
+    ) -> tuple[tuple[int, ...], float]:
+        """In-band invocation with FlexFault's recovery semantics:
+        failed calls are retried under an exponential-backoff
+        :class:`~repro.faults.recovery.RetryPolicy`; the backoff spent
+        is added to the reported latency. Raises the final
+        :class:`~repro.errors.RpcError` once attempts are exhausted."""
+        if policy is None:
+            from repro.faults.recovery import RetryPolicy
+
+            policy = RetryPolicy()
+        stats = self.stats.setdefault(service_name, RpcStats())
+        waited = 0.0
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                result, latency = self.call(
+                    service_name, args, caller_device, now=now + waited, hops=hops
+                )
+            except RpcError:
+                if attempt >= policy.max_attempts:
+                    raise
+                backoff = policy.backoff_s(attempt)
+                stats.retries += 1
+                stats.backoff_s += backoff
+                waited += backoff
+                continue
+            return result, latency + waited
+        raise RpcError(f"service {service_name!r}: retry budget exhausted")  # unreachable
 
     def call_via_controller(
         self,

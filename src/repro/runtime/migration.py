@@ -113,6 +113,7 @@ def data_plane_migration(
     source_encoding: StateEncoding = StateEncoding.STATEFUL_TABLE,
     destination_encoding: StateEncoding = StateEncoding.STATEFUL_TABLE,
     register_slots: int = 4096,
+    injector=None,
 ) -> MigrationReport:
     """Swing-State-style in-band migration.
 
@@ -121,11 +122,23 @@ def data_plane_migration(
     lost and convergence is guaranteed in one round. If the encodings
     differ, state is converted through the logical representation and
     any aliasing loss is reported.
+
+    ``injector`` is FlexFault's hook: an injected failure aborts the
+    transfer before any entry lands (raising :class:`MigrationError`,
+    which the orchestrator's recovery path retries); an injected stall
+    stretches the transfer duration (the cloned-packet stream was
+    throttled) without affecting correctness.
     """
     if line_rate_entries_per_s <= 0:
         raise MigrationError("line rate must be positive")
+    if injector is not None and injector.migration_fails(source.name):
+        raise MigrationError(
+            f"in-band migration of map {source.name!r} failed: injected fault"
+        )
     total_entries = len(source)
     duration = total_entries / line_rate_entries_per_s
+    if injector is not None:
+        duration += injector.migration_stall_s(source.name)
 
     snapshot = source.snapshot()
     conversion_loss = 0

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.compiler.plan import CompilationPlan, ReconfigPlan, StepKind
-from repro.errors import ReconfigError
+from repro.errors import MigrationError, ReconfigError
 from repro.lang.ir import Program
 from repro.runtime.device import DeviceRuntime
 from repro.runtime.migration import MigrationReport, data_plane_migration
@@ -55,6 +55,17 @@ class TransitionReport:
     steps_applied: int = 0
     migrations: list[MigrationReport] = field(default_factory=list)
     reflashed_devices: list[str] = field(default_factory=list)
+    #: FlexFault accounting: reconfiguration commands lost on the control
+    #: channel, the retries that re-sent them, and devices whose start
+    #: command was never delivered (stranded on the old program).
+    commands_dropped: int = 0
+    command_retries: int = 0
+    stranded_commands: list[str] = field(default_factory=list)
+    #: starts deferred to a device restart (crash before the window).
+    deferred_starts: list[str] = field(default_factory=list)
+    #: in-band migrations retried / abandoned after injected failures.
+    migration_retries: int = 0
+    failed_migrations: int = 0
 
     @property
     def duration_s(self) -> float:
@@ -72,11 +83,25 @@ class ReconfigOrchestrator:
         #: orchestrator keeps its own reservation ledger to serialize
         #: back-to-back updates planned within the same instant.
         self._reserved_until: dict[str, float] = {}
+        #: FlexFault wiring (all optional; attached by
+        #: :meth:`~repro.control.controller.FlexNetController.attach_faults`):
+        #: the fault injector consulted per command/migration, the
+        #: write-ahead journal that makes delta application transactional,
+        #: and the recovery manager whose policy drives retries.
+        self.injector = None
+        self.journal = None
+        self.recovery = None
 
     def device(self, name: str) -> DeviceRuntime:
         if name not in self._devices:
             raise ReconfigError(f"unknown device {name!r}")
         return self._devices[name]
+
+    @property
+    def quiesce_at(self) -> float:
+        """Time by which every scheduled transition window has closed —
+        run the loop past this to observe a settled fleet."""
+        return max(self._reserved_until.values(), default=0.0)
 
     def install_plan(self, plan: CompilationPlan) -> None:
         """Cold-install a compiled plan on every device (provisioning)."""
@@ -195,15 +220,27 @@ class ReconfigOrchestrator:
         protected_maps: set[str] | None = None,
         report: TransitionReport | None = None,
     ):
-        def start() -> None:
+        def deliver() -> None:
+            """The start command arrived: open the transition window,
+            journal the intent, and warm protected maps."""
+            now = self._loop.now
             old = device.active_instance
             staged = device.begin_hitless_update(
                 program,
-                now=self._loop.now,
+                now=now,
                 duration_s=duration,
                 hosted_elements=hosted,
                 flow_affine=flow_affine,
             )
+            if self.journal is not None and old is not None:
+                entry = self.journal.begin(
+                    device.name,
+                    old.program.version,
+                    program.version,
+                    started_at=now,
+                    window_end=now + duration,
+                )
+                self._loop.schedule(duration, self._committer(device, entry))
             if not protected_maps or old is None:
                 return
             # Swing-state migration for race-flagged maps whose physical
@@ -216,11 +253,74 @@ class ReconfigOrchestrator:
                 new_state = staged.maps.state(map_name)
                 if new_state is old_state:
                     continue  # physically shared — already consistent
-                migration = data_plane_migration(old_state, new_state)
-                if report is not None:
-                    report.migrations.append(migration)
+                self._run_migration(old_state, new_state, report)
 
-        return start
+        def attempt(attempt_no: int = 1) -> None:
+            # FlexFault: the start command crosses the control channel;
+            # a lost command is retried with backoff (recovery) or
+            # strands the device on the old program (baseline).
+            if self.injector is not None and self.injector.command_dropped(device.name):
+                if report is not None:
+                    report.commands_dropped += 1
+                policy = self.recovery.policy if self.recovery is not None else None
+                if policy is not None and attempt_no < policy.max_attempts:
+                    if report is not None:
+                        report.command_retries += 1
+                    self._loop.schedule(
+                        policy.backoff_s(attempt_no), lambda: attempt(attempt_no + 1)
+                    )
+                elif report is not None:
+                    report.stranded_commands.append(device.name)
+                return
+            # Device down (crashed before its window opened): defer the
+            # start to the restart path, or strand without recovery.
+            if device.crashed or device.stranded:
+                if self.recovery is not None:
+                    self.recovery.defer_until_restart(device.name, deliver)
+                    if report is not None:
+                        report.deferred_starts.append(device.name)
+                elif report is not None:
+                    report.stranded_commands.append(device.name)
+                return
+            deliver()
+
+        return attempt
+
+    def _committer(self, device: DeviceRuntime, entry):
+        """Commit the journal entry when the window closes cleanly; a
+        crashed/stranded device leaves it PENDING for recovery."""
+
+        def commit() -> None:
+            if device.crashed or device.stranded:
+                return
+            device.settle(self._loop.now)
+            self.journal.commit(entry, self._loop.now)
+
+        return commit
+
+    def _run_migration(self, source_state, destination_state, report):
+        """One in-band migration under fault injection: injected failures
+        are retried immediately (the stream is re-cloned) up to the
+        recovery policy's budget; without recovery a failure is final."""
+        attempts = 0
+        policy = self.recovery.policy if self.recovery is not None else None
+        while True:
+            attempts += 1
+            try:
+                migration = data_plane_migration(
+                    source_state, destination_state, injector=self.injector
+                )
+            except MigrationError:
+                if policy is not None and attempts < policy.max_attempts:
+                    if report is not None:
+                        report.migration_retries += 1
+                    continue
+                if report is not None:
+                    report.failed_migrations += 1
+                return None
+            if report is not None:
+                report.migrations.append(migration)
+            return migration
 
     def _reflash_starter(self, device: DeviceRuntime, program: Program, hosted: set[str]):
         def start() -> None:
@@ -252,10 +352,9 @@ class ReconfigOrchestrator:
                 continue
             if not self._element_touches_map(source.program, element, map_name):
                 continue
-            migration = data_plane_migration(
-                source.maps.state(map_name), destination.maps.state(map_name)
+            self._run_migration(
+                source.maps.state(map_name), destination.maps.state(map_name), report
             )
-            report.migrations.append(migration)
 
     @staticmethod
     def _element_touches_map(program: Program, element: str, map_name: str) -> bool:

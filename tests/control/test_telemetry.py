@@ -53,3 +53,38 @@ class TestDigestWindow:
         collector.ingest(DigestRecord(time=0.0, program="p", values=()))
         assert collector.rate_by_key(0.0) == {}
         assert collector.total_rate(0.0) > 0
+
+
+class TestBoundedMemory:
+    def test_eviction_happens_on_ingest(self):
+        """A collector that is never queried must not grow without
+        bound: stale records are evicted as new ones arrive."""
+        collector = TelemetryCollector(window_s=0.5)
+        for i in range(10_000):
+            collector.ingest(DigestRecord(time=i * 0.01, program="p", values=(7,)))
+        # Only the last window's worth (0.5 s / 0.01 s = ~50) survives.
+        assert len(collector._digests) <= 51
+        assert collector.total_digests == 10_000
+
+    def test_max_records_caps_bursts(self):
+        """A burst faster than the window can evict is hard-capped."""
+        collector = TelemetryCollector(window_s=10.0, max_records=100)
+        for _ in range(500):
+            collector.ingest(DigestRecord(time=1.0, program="p", values=(7,)))
+        assert len(collector._digests) == 100
+        assert collector.total_digests == 500
+
+    def test_rates_survive_capping(self):
+        collector = TelemetryCollector(window_s=1.0, max_records=10)
+        for _ in range(50):
+            collector.ingest(DigestRecord(time=0.5, program="p", values=(3,)))
+        assert collector.rate_by_key(now=0.5)[3] == pytest.approx(10.0)
+
+    def test_event_feed_bounded_and_counted(self):
+        collector = TelemetryCollector()
+        for i in range(5000):
+            collector.ingest_event("crash", "sw1", now=float(i))
+        assert collector.total_events == 5000
+        assert len(collector.events) == 4096
+        assert collector.events[-1].kind == "crash"
+        assert collector.events[-1].device == "sw1"

@@ -1,0 +1,145 @@
+"""Device crash / stranded-transition semantics (FlexFault)."""
+
+import pytest
+
+from repro.errors import ReconfigError
+from repro.lang.delta import apply_delta, parse_delta
+from repro.runtime.device import DeviceRuntime
+from repro.simulator.packet import make_packet
+from repro.targets import drmt_switch
+
+ADD_GUARD = """
+delta add_guard {
+  add action g_drop() { mark_drop(); }
+  add table guard { key: ipv4.src; actions: g_drop; size: 16; default: g_drop; }
+  insert guard before acl;
+}
+"""
+
+
+def make_device(base_program):
+    device = DeviceRuntime("d", drmt_switch("d"))
+    device.install(base_program)
+    return device
+
+
+def begin_update(device, base_program, now=0.0, duration=1.0):
+    new_program, _ = apply_delta(base_program, parse_delta(ADD_GUARD))
+    device.begin_hitless_update(new_program, now=now, duration_s=duration)
+    return new_program
+
+
+class TestCrash:
+    def test_crash_makes_device_unavailable(self, base_program):
+        device = make_device(base_program)
+        device.crash(1.0)
+        assert device.crashed
+        assert not device.available(1.5)
+        assert device.stats.crashes == 1
+
+    def test_restart_restores_availability(self, base_program):
+        device = make_device(base_program)
+        device.crash(1.0)
+        device.restart(2.0)
+        assert not device.crashed
+        assert device.available(2.0)
+        assert device.stats.restarts == 1
+
+    def test_idle_crash_does_not_strand(self, base_program):
+        device = make_device(base_program)
+        device.crash(1.0)
+        assert not device.stranded
+
+    def test_crash_mid_window_freezes_progress(self, base_program):
+        device = make_device(base_program)
+        begin_update(device, base_program, now=0.0, duration=1.0)
+        device.crash(0.4)
+        assert device.stranded
+        assert device._transition.frozen_progress == pytest.approx(0.4)
+
+    def test_crash_after_window_end_finalizes(self, base_program):
+        device = make_device(base_program)
+        new_program = begin_update(device, base_program, now=0.0, duration=1.0)
+        device.crash(1.5)  # window already elapsed: clean cut-over
+        assert not device.stranded
+        assert device.active_program.version == new_program.version
+
+    def test_stranded_survives_restart_without_recovery(self, base_program):
+        device = make_device(base_program)
+        begin_update(device, base_program, now=0.0, duration=1.0)
+        device.crash(0.4)
+        device.restart(1.4)
+        assert device.stranded  # mixed state persists until resolved
+
+    def test_stranded_device_serves_mixed_versions(self, base_program):
+        """The frozen split keeps routing packets to BOTH versions —
+        the packet-inconsistent behaviour recovery exists to prevent."""
+        device = make_device(base_program)
+        begin_update(device, base_program, now=0.0, duration=1.0)
+        device.crash(0.5)
+        device.restart(1.5)
+        seen = set()
+        for i in range(200):
+            packet = make_packet(i, 2)
+            device.process(packet, 2.0 + i * 1e-3)
+            seen.add(packet.versions_seen["d"])
+        assert len(seen) == 2
+
+    def test_stranded_ignores_upstream_epoch(self, base_program):
+        device = make_device(base_program)
+        begin_update(device, base_program, now=0.0, duration=1.0)
+        device.crash(0.999)  # frozen at ~progress 1: all packets -> new
+        packet = make_packet(1, 2)
+        packet.meta["_epoch"] = base_program.version  # upstream says old
+        device.restart(1.5)
+        device.process(packet, 2.0)
+        assert packet.versions_seen["d"] != base_program.version
+
+
+class TestResolution:
+    def test_resume_finishes_cutover(self, base_program):
+        device = make_device(base_program)
+        new_program = begin_update(device, base_program, now=0.0, duration=1.0)
+        device.crash(0.4)
+        device.restart(1.4)
+        device.resolve_interrupted(to_new=True)
+        assert not device.stranded
+        assert device.active_program.version == new_program.version
+
+    def test_rollback_retires_staged_version(self, base_program):
+        device = make_device(base_program)
+        begin_update(device, base_program, now=0.0, duration=1.0)
+        device.crash(0.4)
+        device.restart(1.4)
+        device.resolve_interrupted(to_new=False)
+        assert not device.stranded
+        assert device.active_program.version == base_program.version
+
+    def test_resolve_without_transition_raises(self, base_program):
+        device = make_device(base_program)
+        with pytest.raises(ReconfigError, match="no transition"):
+            device.resolve_interrupted(to_new=True)
+
+    def test_new_update_rejected_while_stranded(self, base_program):
+        device = make_device(base_program)
+        begin_update(device, base_program, now=0.0, duration=1.0)
+        device.crash(0.4)
+        device.restart(1.4)
+        with pytest.raises(ReconfigError, match="stranded mid-delta"):
+            begin_update(device, base_program, now=2.0)
+
+    def test_settle_finalizes_elapsed_window_only(self, base_program):
+        device = make_device(base_program)
+        new_program = begin_update(device, base_program, now=0.0, duration=1.0)
+        device.settle(0.5)
+        assert device.in_transition  # window still open: no-op
+        device.settle(1.5)
+        assert not device.in_transition
+        assert device.active_program.version == new_program.version
+
+    def test_settle_never_finalizes_frozen_window(self, base_program):
+        device = make_device(base_program)
+        begin_update(device, base_program, now=0.0, duration=1.0)
+        device.crash(0.4)
+        device.settle(99.0)
+        assert device.stranded

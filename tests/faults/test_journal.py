@@ -1,0 +1,73 @@
+"""Write-ahead reconfiguration journal semantics."""
+
+from repro.faults import ReconfigJournal, TxnState
+
+
+def test_begin_is_pending():
+    journal = ReconfigJournal()
+    entry = journal.begin("sw1", 1, 2, started_at=5.0, window_end=5.5)
+    assert entry.state is TxnState.PENDING
+    assert journal.pending == [entry]
+    assert journal.pending_for("sw1") is entry
+    assert journal.pending_for("nic1") is None
+
+
+def test_commit_resolves_once():
+    journal = ReconfigJournal()
+    entry = journal.begin("sw1", 1, 2, started_at=5.0, window_end=5.5)
+    journal.commit(entry, now=5.5)
+    assert entry.state is TxnState.COMMITTED
+    assert entry.resolution == "window_closed"
+    assert entry.resolved_at == 5.5
+    # resolving again (any direction) is a no-op
+    journal.rollback(entry, now=9.0)
+    journal.commit(entry, now=9.0, resolution="resume")
+    assert entry.state is TxnState.COMMITTED
+    assert entry.resolved_at == 5.5
+
+
+def test_rollback_resolves():
+    journal = ReconfigJournal()
+    entry = journal.begin("sw1", 1, 2, started_at=5.0, window_end=5.5)
+    journal.rollback(entry, now=6.2)
+    assert entry.state is TxnState.ROLLED_BACK
+    assert entry.resolution == "rollback"
+    assert journal.pending == []
+
+
+def test_pending_for_returns_latest():
+    journal = ReconfigJournal()
+    first = journal.begin("sw1", 1, 2, started_at=1.0, window_end=1.5)
+    journal.commit(first, now=1.5)
+    second = journal.begin("sw1", 2, 3, started_at=2.0, window_end=2.5)
+    assert journal.pending_for("sw1") is second
+
+
+def test_committed_by_tracks_latest_commit():
+    journal = ReconfigJournal()
+    assert journal.committed_by() is None
+    a = journal.begin("sw1", 1, 2, started_at=1.0, window_end=1.5)
+    b = journal.begin("nic1", 1, 2, started_at=1.0, window_end=1.2)
+    journal.commit(b, now=1.2)
+    journal.commit(a, now=6.2, resolution="resume")
+    assert journal.committed_by() == 6.2
+
+
+def test_to_dict_is_serializable():
+    journal = ReconfigJournal()
+    entry = journal.begin("sw1", 1, 2, started_at=5.0, window_end=5.5)
+    journal.commit(entry, now=6.2, resolution="resume")
+    payload = journal.to_dict()
+    assert payload == [
+        {
+            "txn": 0,
+            "device": "sw1",
+            "old_version": 1,
+            "new_version": 2,
+            "started_at": 5.0,
+            "window_end": 5.5,
+            "state": "committed",
+            "resolved_at": 6.2,
+            "resolution": "resume",
+        }
+    ]

@@ -1,0 +1,221 @@
+"""RetryPolicy, RecoveryManager, HealthMonitor and CrashSchedule."""
+
+import pytest
+
+from repro.faults import (
+    CrashSchedule,
+    DeviceCrash,
+    FaultPlan,
+    HealthMonitor,
+    ReconfigJournal,
+    RecoveryManager,
+    RetryPolicy,
+    TxnState,
+)
+from repro.lang.delta import apply_delta, parse_delta
+from repro.runtime.device import DeviceRuntime
+from repro.simulator.engine import EventLoop
+from repro.targets import drmt_switch
+
+from tests.faults.test_device_faults import ADD_GUARD
+
+
+def make_device(base_program, name="sw1"):
+    device = DeviceRuntime(name, drmt_switch(name))
+    device.install(base_program)
+    return device
+
+
+def strand(device, base_program, crash_at=0.4):
+    new_program, _ = apply_delta(base_program, parse_delta(ADD_GUARD))
+    device.begin_hitless_update(new_program, now=0.0, duration_s=1.0)
+    device.crash(crash_at)
+    return new_program
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_from_base(self):
+        policy = RetryPolicy(base_backoff_s=0.01, multiplier=2.0, max_backoff_s=1.0)
+        assert policy.backoff_s(1) == pytest.approx(0.01)
+        assert policy.backoff_s(2) == pytest.approx(0.02)
+        assert policy.backoff_s(3) == pytest.approx(0.04)
+
+    def test_backoff_is_capped(self):
+        policy = RetryPolicy(base_backoff_s=0.5, multiplier=10.0, max_backoff_s=1.0)
+        assert policy.backoff_s(5) == 1.0
+
+    def test_total_backoff_sums_retries_only(self):
+        policy = RetryPolicy(max_attempts=4, base_backoff_s=0.01, multiplier=2.0)
+        # 3 retries: 0.01 + 0.02 + 0.04
+        assert policy.total_backoff_s() == pytest.approx(0.07)
+
+
+class TestRecoveryManager:
+    def make_manager(self, device, resume=True):
+        loop = EventLoop()
+        journal = ReconfigJournal()
+        manager = RecoveryManager(
+            loop, {device.name: device}, journal, resume=resume
+        )
+        return loop, journal, manager
+
+    def test_restart_resumes_stranded_device(self, base_program):
+        device = make_device(base_program)
+        loop, journal, manager = self.make_manager(device)
+        new_program = strand(device, base_program)
+        entry = journal.begin(device.name, base_program.version, new_program.version,
+                              started_at=0.0, window_end=1.0)
+        manager.on_crash(device.name)
+        device.restart(1.4)
+        manager.on_restart(device.name)
+        assert not device.stranded
+        assert device.active_program.version == new_program.version
+        assert manager.resumed == 1
+        assert entry.state is TxnState.COMMITTED
+        assert entry.resolution == "resume"
+
+    def test_restart_rolls_back_when_configured(self, base_program):
+        device = make_device(base_program)
+        loop, journal, manager = self.make_manager(device, resume=False)
+        new_program = strand(device, base_program)
+        entry = journal.begin(device.name, base_program.version, new_program.version,
+                              started_at=0.0, window_end=1.0)
+        device.restart(1.4)
+        manager.on_restart(device.name)
+        assert not device.stranded
+        assert device.active_program.version == base_program.version
+        assert manager.rolled_back == 1
+        assert entry.state is TxnState.ROLLED_BACK
+
+    def test_crash_event_carries_mid_delta_detail(self, base_program):
+        device = make_device(base_program)
+        loop, journal, manager = self.make_manager(device)
+        new_program = strand(device, base_program)
+        journal.begin(device.name, base_program.version, new_program.version,
+                      started_at=0.0, window_end=1.0)
+        manager.on_crash(device.name)
+        assert "mid-delta" in manager.events[-1].detail
+
+    def test_idle_crash_restart_is_clean(self, base_program):
+        device = make_device(base_program)
+        loop, journal, manager = self.make_manager(device)
+        device.crash(1.0)
+        manager.on_crash(device.name)
+        device.restart(2.0)
+        manager.on_restart(device.name)
+        assert manager.events[-1].kind == "restart"
+        assert manager.resumed == 0 and manager.rolled_back == 0
+
+    def test_deferred_actions_run_after_restart(self, base_program):
+        device = make_device(base_program)
+        loop, journal, manager = self.make_manager(device)
+        fired = []
+        manager.defer_until_restart(device.name, lambda: fired.append(True))
+        assert fired == []
+        device.crash(1.0)
+        device.restart(2.0)
+        manager.on_restart(device.name)
+        assert fired == [True]
+
+
+class TestCrashSchedule:
+    def test_arm_crashes_and_restarts_on_schedule(self, base_program):
+        loop = EventLoop()
+        device = make_device(base_program)
+        schedule = CrashSchedule(loop, {device.name: device})
+        plan = FaultPlan(
+            seed=1,
+            crashes=(DeviceCrash(device="sw1", at_s=1.0, restart_after_s=0.5),),
+        )
+        schedule.arm(plan)
+        loop.run_until(1.2)
+        assert device.crashed
+        loop.run_until(2.0)
+        assert not device.crashed
+        assert schedule.crashes == 1 and schedule.restarts == 1
+
+    def test_unknown_device_is_skipped(self, base_program):
+        loop = EventLoop()
+        schedule = CrashSchedule(loop, {})
+        plan = FaultPlan(
+            seed=1, crashes=(DeviceCrash(device="ghost", at_s=1.0, restart_after_s=0.5),)
+        )
+        schedule.arm(plan)
+        loop.run_until(3.0)
+        assert schedule.crashes == 0
+
+
+class TestHealthMonitor:
+    def test_quarantine_after_threshold_and_release(self, base_program):
+        loop = EventLoop()
+        device = make_device(base_program)
+        quarantined, released = [], []
+        monitor = HealthMonitor(
+            loop,
+            {device.name: device},
+            probe_interval_s=0.1,
+            failure_threshold=3,
+            on_quarantine=quarantined.append,
+            on_release=released.append,
+        )
+        monitor.start()
+        device.crash(0.05)
+        loop.run_until(0.25)
+        assert quarantined == []  # only 2 misses so far
+        loop.run_until(0.35)
+        assert quarantined == ["sw1"]
+        assert "sw1" in monitor.quarantined
+        device.restart(0.5)
+        loop.run_until(0.7)
+        assert released == ["sw1"]
+        assert monitor.quarantined == set()
+
+    def test_quarantine_detours_datapath(self, base_program):
+        """On a diamond h1-{sw1,sw2}-h2, quarantining sw1 must yield a
+        route through sw2."""
+        from repro.control.topology import TopologyView
+
+        topology = TopologyView()
+        for name in ("h1", "sw1", "sw2", "h2"):
+            topology.add_device(name, drmt_switch(name))
+        topology.add_link("h1", "sw1")
+        topology.add_link("h1", "sw2")
+        topology.add_link("sw1", "h2")
+        topology.add_link("sw2", "h2")
+        assert topology.shortest_path("h1", "h2") in (
+            ["h1", "sw1", "h2"], ["h1", "sw2", "h2"],
+        )
+
+        loop = EventLoop()
+        device = make_device(base_program)
+        detours = []
+        monitor = HealthMonitor(
+            loop,
+            {device.name: device},
+            probe_interval_s=0.1,
+            failure_threshold=3,
+            on_quarantine=lambda name: detours.append(
+                topology.path_avoiding("h1", "h2", {name})
+            ),
+        )
+        monitor.start()
+        device.crash(0.0)
+        loop.run_until(1.0)
+        assert detours == [["h1", "sw2", "h2"]]
+
+    def test_stop_halts_probing(self, base_program):
+        loop = EventLoop()
+        device = make_device(base_program)
+        quarantined = []
+        monitor = HealthMonitor(
+            loop,
+            {device.name: device},
+            probe_interval_s=0.1,
+            failure_threshold=1,
+            on_quarantine=quarantined.append,
+        )
+        monitor.start()
+        monitor.stop()
+        device.crash(0.0)
+        loop.run_until(1.0)
+        assert quarantined == []
