@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.analysis.cacheability import CacheabilityDecision, decide as decide_cacheability
 from repro.analysis.dataflow import AccessSet, DataflowInfo, analyze
 from repro.analysis.interference import check_tenants
 from repro.analysis.lints import check_lints
@@ -37,7 +38,9 @@ from repro.targets.base import Target
 
 __all__ = [
     "AccessSet",
+    "CacheabilityDecision",
     "DataflowInfo",
+    "decide_cacheability",
     "Finding",
     "Report",
     "Severity",

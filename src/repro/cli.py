@@ -9,6 +9,7 @@ Usage (also ``python -m repro.cli``)::
     flexnet delta    program.fbpf patch.delta     # apply a patch, show changes
     flexnet simulate program.fbpf [--rate 1000] [--duration 1.0]
                                   [--patch patch.delta --at 0.5]
+    flexnet bench    [program.fbpf] [--fastpath] [--packets 2000] [--json]
     flexnet chaos    [program.fbpf] [--patch patch.delta]
                      [--crash sw1@5.2] [--drop 0.01] [--no-recovery] [--json]
 
@@ -182,6 +183,69 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Benchmark the data-plane executor on one program: interpreted
+    packets/second, and with ``--fastpath`` the FlexPath compiled rate
+    plus a differential check that compiled outcomes are byte-identical.
+    Exits 1 if the differential check finds any divergence."""
+    import copy
+    import json as json_module
+    import time
+
+    from repro.simulator import fastpath
+    from repro.simulator.pipeline_exec import ProgramInstance
+
+    if args.program:
+        program = parse_program(_read(args.program))
+    else:
+        from repro.apps import base_infrastructure, firewall_delta
+
+        base, _ = apply_delta(base_infrastructure(), firewall_delta())
+        program = base
+
+    packets = fastpath.seeded_corpus(args.packets, seed=args.seed)
+
+    def setup(instance: ProgramInstance) -> None:
+        fastpath.seeded_rules(program, instance, seed=args.seed)
+
+    def measure(enable: bool) -> float:
+        instance = ProgramInstance(program)
+        setup(instance)
+        if enable:
+            instance.enable_fastpath()
+        work = [copy.deepcopy(p) for p in packets]
+        instance.process(copy.deepcopy(packets[0]), 0.0)  # warm up
+        start = time.perf_counter()
+        for i, packet in enumerate(work):
+            instance.process(packet, i * 1e-4)
+        return len(work) / (time.perf_counter() - start)
+
+    interp_pps = measure(False)
+    results = {"program": program.name, "packets": len(packets),
+               "interpreted_pps": interp_pps}
+    divergences = []
+    if args.fastpath:
+        report = fastpath.differential_check(program, packets, setup=setup)
+        divergences = report.divergences
+        compiled_pps = measure(True)
+        results["compiled_pps"] = compiled_pps
+        results["speedup"] = compiled_pps / interp_pps
+        results["divergences"] = len(divergences)
+
+    if args.json:
+        print(json_module.dumps(results, indent=2))
+    else:
+        print(f"program     : {program.name!r} ({len(packets)} packets)")
+        print(f"interpreted : {interp_pps:,.0f} pps")
+        if args.fastpath:
+            print(f"compiled    : {results['compiled_pps']:,.0f} pps "
+                  f"({results['speedup']:.2f}x)")
+            print(f"divergences : {len(divergences)}")
+            for divergence in divergences:
+                print(f"  {divergence}")
+    return 1 if divergences else 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Run a seeded FlexFault chaos scenario; exit 0 iff the network
     converged with zero consistency violations."""
@@ -337,6 +401,18 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--at", type=float, default=0.5,
                                  help="virtual time to apply the patch")
     simulate_parser.set_defaults(func=cmd_simulate)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="benchmark the data-plane executor (FlexPath)"
+    )
+    bench_parser.add_argument("program", nargs="?", default=None,
+                              help="FlexBPF program (default: base + firewall delta)")
+    bench_parser.add_argument("--fastpath", action="store_true",
+                              help="also run FlexPath compiled and diff the outcomes")
+    bench_parser.add_argument("--packets", type=int, default=2000)
+    bench_parser.add_argument("--seed", type=int, default=2024)
+    bench_parser.add_argument("--json", action="store_true")
+    bench_parser.set_defaults(func=cmd_bench)
 
     chaos_parser = subparsers.add_parser(
         "chaos", help="run a seeded fault-injection scenario (FlexFault)"

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import ResourceError
 from repro.targets.resources import ResourceVector
 
 
@@ -34,7 +35,10 @@ class Bin:
     def free(self) -> ResourceVector:
         try:
             return self.capacity - self.used
-        except Exception:
+        except ResourceError:
+            # An over-packed bin has no free capacity in some kind;
+            # report zero headroom rather than a negative vector. Other
+            # exception types indicate real bugs and must propagate.
             return ResourceVector()
 
     def fits(self, demand: ResourceVector) -> bool:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.errors import CompilationError
+from repro.errors import CompilationError, PlacementError
 from repro.lang import ir
 from repro.lang.analyzer import Certificate, certify
 from repro.targets.base import Target
@@ -293,7 +293,10 @@ def refine(
                 candidate = engine.compile(
                     best.program, certificate, network_slice, pinned=pins, max_iterations=1
                 )
-            except Exception:
+            except PlacementError:
+                # Relaxing this element made placement infeasible; keep
+                # the pin and move on. Anything else (a genuine engine
+                # bug) must propagate, not be eaten by the search loop.
                 continue
             score = plan_score(candidate, objective)
             if score < best_score - 1e-9:

@@ -263,5 +263,11 @@ class FlexNet:
     def device(self, name: str):
         return self.controller.devices[name]
 
+    def enable_fastpath(self, flow_cache: bool = True, cache_capacity: int = 4096) -> None:
+        """Turn on FlexPath compiled execution (and optionally the flow
+        micro-cache) on every device in the network."""
+        for device in self.controller.devices.values():
+            device.enable_fastpath(flow_cache=flow_cache, cache_capacity=cache_capacity)
+
     def schedule(self, at_s: float, callback) -> None:
         self.controller.loop.schedule_at(at_s, callback)

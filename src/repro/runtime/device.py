@@ -85,6 +85,48 @@ class DeviceRuntime:
         self._crashed = False
         #: single-server queue state: when the "pipeline" frees up.
         self._busy_until_s = 0.0
+        #: FlexPath: compile installed programs to closures instead of
+        #: interpreting them, and optionally serve repeat flows of
+        #: provably cacheable programs from a flow micro-cache.
+        self._fastpath = False
+        self._flow_cache = None
+
+    # -- FlexPath ----------------------------------------------------------------
+
+    def enable_fastpath(self, flow_cache: bool = True, cache_capacity: int = 4096) -> None:
+        """Turn on FlexPath compiled execution for every current and
+        future program version on this device; with ``flow_cache``, also
+        attach a flow micro-cache (used only for program versions the
+        cacheability analysis admits, and bypassed mid-transition)."""
+        self._fastpath = True
+        if flow_cache and self._flow_cache is None:
+            from repro.simulator.fastpath import FlowCache
+
+            self._flow_cache = FlowCache(cache_capacity)
+        for instance in self._instances():
+            instance.enable_fastpath()
+
+    @property
+    def flow_cache(self):
+        return self._flow_cache
+
+    def _instances(self):
+        if self._active is not None:
+            yield self._active
+        if self._transition is not None:
+            yield self._transition.old
+            yield self._transition.new
+
+    def _on_program_change(self, *instances: ProgramInstance) -> None:
+        """Hook run on every install/update/resolve: propagate fastpath
+        to the new version(s) and drop all cached flow outcomes (the
+        validity token would catch rule-level drift, but a program swap
+        can legitimately reset epochs, so invalidate wholesale)."""
+        if self._fastpath:
+            for instance in instances:
+                instance.enable_fastpath()
+        if self._flow_cache is not None:
+            self._flow_cache.clear()
 
     # -- install / update -------------------------------------------------------
 
@@ -100,6 +142,7 @@ class DeviceRuntime:
         """Cold install (device provisioning, before traffic)."""
         self._active = ProgramInstance(program, hosted_elements)
         self._transition = None
+        self._on_program_change(self._active)
 
     def begin_hitless_update(
         self,
@@ -146,6 +189,7 @@ class DeviceRuntime:
             flow_affine=flow_affine,
         )
         self.stats.reconfigurations += 1
+        self._on_program_change(new_instance)
         return new_instance
 
     def begin_reflash(
@@ -166,6 +210,7 @@ class DeviceRuntime:
         self._transition = None
         self.stats.reconfigurations += 1
         self.stats.drain_windows += 1
+        self._on_program_change(self._active)
         return self._unavailable_until
 
     @staticmethod
@@ -179,9 +224,16 @@ class DeviceRuntime:
                     new.maps._states[map_def.name] = old_state  # noqa: SLF001 - deliberate sharing
         for table in new.program.tables:
             old_rules = old.rules.get(table.name)
-            if old_rules is not None and old_rules.definition.keys == table.keys:
-                if set(old_rules.definition.actions) <= set(table.actions):
-                    new.rules[table.name] = old_rules
+            if old_rules is None or old_rules.definition.keys != table.keys:
+                continue
+            if set(old_rules.definition.actions) <= set(table.actions):
+                new.rules[table.name] = old_rules
+            else:
+                # The table's action set shrank, so the physical table
+                # cannot simply be aliased — adopt the compatible rules
+                # plus their runtime artifacts (hit counters, miss count,
+                # meter) instead of restarting the table cold.
+                new.rules[table.name].adopt_from(old_rules)
 
     # -- crash / restart (FlexFault) --------------------------------------------
 
@@ -230,6 +282,7 @@ class DeviceRuntime:
             raise ReconfigError(f"device {self.name!r} has no transition to resolve")
         self._active = self._transition.new if to_new else self._transition.old
         self._transition = None
+        self._on_program_change(self._active)
 
     def settle(self, now: float) -> None:
         """Finalize an elapsed (non-frozen) transition window without
@@ -270,7 +323,16 @@ class DeviceRuntime:
         self._busy_until_s = start + service_s
         queueing_delay_s = start - now
 
-        result = instance.process(packet, now)
+        # FlexPath flow cache: only consulted for the settled active
+        # version (never mid-transition, where the old/new split must
+        # stay per-packet exact); falls through to normal execution for
+        # uncacheable programs or on miss-with-record.
+        result = None
+        cache = self._flow_cache
+        if cache is not None and self._transition is None and instance is self._active:
+            result = cache.process(instance, packet, now)
+        if result is None:
+            result = instance.process(packet, now)
         # Pass-through devices (hosting no element of the program) do not
         # participate in version consistency — a packet's "version" is
         # defined by the elements that processed it. Hosting devices also

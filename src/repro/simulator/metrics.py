@@ -3,27 +3,53 @@
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass, field
+
 
 from repro.simulator.packet import Packet, Verdict
 
 
 @dataclass
 class LatencyStats:
-    """Streaming latency statistics (seconds)."""
+    """Streaming latency statistics (seconds).
+
+    Count, total, min, max, and mean are exact regardless of run length.
+    Percentiles come from a bounded reservoir (Vitter's algorithm R)
+    seeded deterministically, so memory stays O(``reservoir_size``) on
+    multi-million-packet runs and repeated runs reproduce the same
+    percentile estimates. Below the cap the reservoir holds every sample
+    and percentiles are exact.
+    """
 
     count: int = 0
     total: float = 0.0
     minimum: float = math.inf
     maximum: float = 0.0
+    reservoir_size: int = 4096
+    seed: int = 2024
     samples: list[float] = field(default_factory=list)
+    _rng: random.Random = field(init=False, repr=False, compare=False)
+    _sorted: list[float] | None = field(
+        init=False, repr=False, compare=False, default=None
+    )
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
 
     def record(self, value: float) -> None:
         self.count += 1
         self.total += value
         self.minimum = min(self.minimum, value)
         self.maximum = max(self.maximum, value)
-        self.samples.append(value)
+        if len(self.samples) < self.reservoir_size:
+            self.samples.append(value)
+            self._sorted = None
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.reservoir_size:
+                self.samples[slot] = value
+                self._sorted = None
 
     @property
     def mean(self) -> float:
@@ -32,7 +58,9 @@ class LatencyStats:
     def percentile(self, fraction: float) -> float:
         if not self.samples:
             return 0.0
-        ordered = sorted(self.samples)
+        ordered = self._sorted
+        if ordered is None:
+            ordered = self._sorted = sorted(self.samples)
         index = min(int(fraction * len(ordered)), len(ordered) - 1)
         return ordered[index]
 

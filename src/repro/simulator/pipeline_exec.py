@@ -51,6 +51,12 @@ class ProgramInstance:
             table.name: TableRules(table) for table in program.tables
         }
         self.maps = MapSet(program.maps)
+        #: FlexPath: when enabled, packets execute through the compiled
+        #: closure tree instead of the tree-walking interpreter. The
+        #: compiled artifact is built lazily on the first packet (after
+        #: any state sharing/adoption has re-bound rules and maps).
+        self.fastpath_enabled = False
+        self._compiled = None
 
     @property
     def version(self) -> int:
@@ -62,24 +68,32 @@ class ProgramInstance:
     def adopt_state(self, previous: "ProgramInstance") -> None:
         """Carry map state and table rules over from the prior version
         (same-name, same-shape elements keep their contents across a
-        hitless reconfiguration)."""
+        hitless reconfiguration). Runtime artifacts configured through
+        P4Runtime — the table meter, per-rule hit counters, and the miss
+        count — travel with the rules, so e.g. an active rate limiter is
+        not silently disabled by an unrelated delta."""
         self.maps.adopt(previous.maps)
         for name, old_rules in previous.rules.items():
             if name not in self.rules:
                 continue
-            new_rules = self.rules[name]
-            if new_rules.definition.keys != old_rules.definition.keys:
-                continue
-            for rule in old_rules.rules:
-                if rule.action.action not in new_rules.definition.actions:
-                    continue
-                if len(new_rules) >= new_rules.definition.size:
-                    break
-                new_rules.insert(rule)
+            self.rules[name].adopt_from(old_rules)
 
     # -- execution ------------------------------------------------------------
 
+    def enable_fastpath(self, enabled: bool = True) -> None:
+        """Toggle FlexPath compiled execution for this instance."""
+        self.fastpath_enabled = enabled
+        if not enabled:
+            self._compiled = None
+
     def process(self, packet: Packet, now: float = 0.0) -> ExecutionResult:
+        if self.fastpath_enabled:
+            compiled = self._compiled
+            if compiled is None:
+                from repro.simulator.fastpath import compile_instance
+
+                compiled = self._compiled = compile_instance(self)
+            return compiled.process(packet, now)
         interpreter = _Interpreter(self, packet, now)
         return interpreter.run()
 

@@ -26,6 +26,10 @@ class ExactMatch:
     def matches(self, value: int) -> bool:
         return value == self.value
 
+    def compile(self):
+        expected = self.value
+        return lambda value: value == expected
+
     @property
     def specificity(self) -> int:
         return 1 << 20
@@ -43,6 +47,13 @@ class LpmMatch:
         shift = self.width - self.prefix_len
         return (value >> shift) == (self.prefix >> shift)
 
+    def compile(self):
+        if self.prefix_len == 0:
+            return lambda value: True
+        shift = self.width - self.prefix_len
+        target = self.prefix >> shift
+        return lambda value: (value >> shift) == target
+
     @property
     def specificity(self) -> int:
         return self.prefix_len
@@ -56,6 +67,11 @@ class TernaryMatch:
     def matches(self, value: int) -> bool:
         return (value & self.mask) == (self.value & self.mask)
 
+    def compile(self):
+        mask = self.mask
+        target = self.value & mask
+        return lambda value: (value & mask) == target
+
     @property
     def specificity(self) -> int:
         return bin(self.mask).count("1")
@@ -68,6 +84,10 @@ class RangeMatch:
 
     def matches(self, value: int) -> bool:
         return self.low <= value <= self.high
+
+    def compile(self):
+        low, high = self.low, self.high
+        return lambda value: low <= value <= high
 
     @property
     def specificity(self) -> int:
@@ -86,11 +106,45 @@ class Rule:
     priority: int = 0
 
     def matches_key(self, key_values: tuple[int, ...]) -> bool:
+        if len(key_values) != len(self.matches):
+            raise TableError(
+                f"rule has {len(self.matches)} match specs; "
+                f"matched against {len(key_values)} key values"
+            )
         return all(spec.matches(value) for spec, value in zip(self.matches, key_values))
+
+    def compile_predicate(self):
+        """A dispatch-free predicate over a full key tuple, for the
+        indexed lookup path (semantically identical to matches_key)."""
+        compiled = tuple(spec.compile() for spec in self.matches)
+        if len(compiled) == 1:
+            only = compiled[0]
+            return lambda key_values: only(key_values[0])
+
+        def predicate(key_values):
+            for spec, value in zip(compiled, key_values):
+                if not spec(value):
+                    return False
+            return True
+
+        return predicate
+
+    @property
+    def specificity(self) -> int:
+        return sum(spec.specificity for spec in self.matches)
 
 
 class TableRules:
-    """The installed rules of one table on one device."""
+    """The installed rules of one table on one device.
+
+    Lookup is indexed (FlexPath): tables whose keys are all exact-match
+    resolve through a hash index; LPM/ternary/range tables scan rules
+    pre-sorted by ``(priority, specificity, insertion order)`` and take
+    the first match — both orders reproduce the linear-scan semantics
+    exactly. Indexes are invalidated on any rule mutation, and every
+    mutation (rules or meter) bumps :attr:`epoch`, which the FlexPath
+    flow cache uses to drop stale verdicts.
+    """
 
     def __init__(self, definition: TableDef):
         self.definition = definition
@@ -101,7 +155,18 @@ class TableRules:
         self.miss_count = 0
         #: optional table meter (configured via P4Runtime); every rule
         #: hit is coloured through it.
-        self.meter = None
+        self._meter = None
+        #: monotonic mutation counter (rules inserted/removed/cleared,
+        #: meter attached/detached) — the flow-cache invalidation epoch.
+        self.epoch = 0
+        self._all_exact = bool(definition.keys) and all(
+            key.match_kind is MatchKind.EXACT for key in definition.keys
+        )
+        #: exact-key hash index: key tuple -> (action, rule index).
+        self._exact_index: dict[tuple[int, ...], tuple[ActionCall, int]] | None = None
+        #: (compiled predicate, action, rule index) pre-sorted for
+        #: first-match-wins.
+        self._ordered: list | None = None
 
     def __len__(self) -> int:
         return len(self._rules)
@@ -109,6 +174,20 @@ class TableRules:
     @property
     def rules(self) -> list[Rule]:
         return list(self._rules)
+
+    @property
+    def meter(self):
+        return self._meter
+
+    @meter.setter
+    def meter(self, value) -> None:
+        self._meter = value
+        self.epoch += 1
+
+    def _invalidate(self) -> None:
+        self._exact_index = None
+        self._ordered = None
+        self.epoch += 1
 
     def insert(self, rule: Rule) -> None:
         if len(rule.matches) != len(self.definition.keys):
@@ -138,6 +217,7 @@ class TableRules:
             )
         self._rules.append(rule)
         self.hit_counts.append(0)
+        self._invalidate()
 
     def remove(self, rule: Rule) -> bool:
         try:
@@ -146,28 +226,88 @@ class TableRules:
             return False
         del self._rules[index]
         del self.hit_counts[index]
+        self._invalidate()
         return True
 
     def clear(self) -> None:
         self._rules.clear()
         self.hit_counts.clear()
+        self._invalidate()
+
+    def adopt_from(self, previous: "TableRules") -> None:
+        """Carry runtime state over from a same-shape predecessor across
+        a hitless reconfiguration: compatible rules keep their per-rule
+        hit counters, and the table keeps its miss count and meter (a
+        rate limiter configured via P4Runtime must survive unrelated
+        deltas)."""
+        if previous.definition.keys != self.definition.keys:
+            return
+        for rule, hits in zip(previous._rules, previous.hit_counts):
+            if rule.action.action not in self.definition.actions:
+                continue
+            if len(self._rules) >= self.definition.size:
+                break
+            self.insert(rule)
+            self.hit_counts[-1] = hits
+        self.miss_count += previous.miss_count
+        if previous._meter is not None:
+            self.meter = previous._meter
+
+    # -- lookup ------------------------------------------------------------
+
+    def _build_exact_index(self) -> dict[tuple[int, ...], tuple[ActionCall, int]]:
+        """Hash index for all-exact tables: per key, keep the winner the
+        linear scan would pick (highest priority, earliest insertion)."""
+        index: dict[tuple[int, ...], tuple[ActionCall, int]] = {}
+        priorities: dict[tuple[int, ...], int] = {}
+        for position, rule in enumerate(self._rules):
+            key = tuple(spec.value for spec in rule.matches)
+            if key not in index or rule.priority > priorities[key]:
+                index[key] = (rule.action, position)
+                priorities[key] = rule.priority
+        self._exact_index = index
+        return index
+
+    def _build_ordered(self) -> list:
+        """Rules sorted so the first match wins: descending (priority,
+        specificity), ascending insertion order — the same winner the
+        max-rank linear scan selects. Each entry carries a compiled,
+        dispatch-free predicate."""
+        ranked = sorted(
+            ((rule, position) for position, rule in enumerate(self._rules)),
+            key=lambda pair: (-pair[0].priority, -pair[0].specificity, pair[1]),
+        )
+        ordered = [
+            (rule.compile_predicate(), rule.action, position) for rule, position in ranked
+        ]
+        self._ordered = ordered
+        return ordered
 
     def lookup(self, key_values: tuple[int, ...]) -> ActionCall | None:
         """Find the matching rule with highest (priority, specificity);
         returns the table's default action on miss (None if absent)."""
-        best: Rule | None = None
-        best_index = -1
-        best_rank: tuple[int, int] = (-1, -1)
-        for index, rule in enumerate(self._rules):
-            if not rule.matches_key(key_values):
-                continue
-            specificity = sum(spec.specificity for spec in rule.matches)
-            rank = (rule.priority, specificity)
-            if rank > best_rank:
-                best, best_index, best_rank = rule, index, rank
-        if best is not None:
-            self.hit_counts[best_index] += 1
-            return best.action
+        if len(key_values) != len(self.definition.keys):
+            raise TableError(
+                f"table {self.definition.name!r} has {len(self.definition.keys)} keys; "
+                f"lookup provides {len(key_values)} values"
+            )
+        if self._all_exact:
+            index = self._exact_index
+            if index is None:
+                index = self._build_exact_index()
+            hit = index.get(key_values)
+            if hit is not None:
+                action, position = hit
+                self.hit_counts[position] += 1
+                return action
+        else:
+            ordered = self._ordered
+            if ordered is None:
+                ordered = self._build_ordered()
+            for predicate, action, position in ordered:
+                if predicate(key_values):
+                    self.hit_counts[position] += 1
+                    return action
         self.miss_count += 1
         return self.definition.default_action
 

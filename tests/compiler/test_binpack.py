@@ -82,3 +82,19 @@ class TestBestFitDecreasing:
         ]
         assignment = best_fit_decreasing(items, bins, weight_kind="alus")
         assert assignment is not None
+
+
+class TestFreeHeadroom:
+    def test_overpacked_bin_reports_zero_free(self):
+        bin_ = Bin(name="b0", capacity=ResourceVector(sram_kb=10))
+        bin_.add("x", ResourceVector(sram_kb=25))  # over-packed
+        assert dict(bin_.free) == {}
+
+    def test_unexpected_failure_propagates(self):
+        """Only ResourceError (negative headroom) is absorbed; a broken
+        capacity object must surface, not read as an empty vector."""
+        import pytest
+
+        bin_ = Bin(name="b0", capacity=None)  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            bin_.free

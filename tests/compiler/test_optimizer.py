@@ -119,3 +119,39 @@ class TestRefine:
         )
         assert plan_score(refined, objective) <= plan_score(plan, objective)
         assert plan_score(refined, objective) <= plan_score(optimum, objective) * 1.5
+
+
+class TestRefineErrorDiscipline:
+    """refine() absorbs *placement infeasibility* when relaxing a pin —
+    nothing else. A genuine engine fault must propagate, not be eaten by
+    the local-search loop (the bug: a bare ``except Exception``)."""
+
+    def test_engine_fault_propagates(
+        self, base_program, base_certificate, monkeypatch
+    ):
+        slice_ = make_standard_slice()
+        objective = Objective(ObjectiveKind.ENERGY)
+        plan = PlacementEngine().compile(base_program, base_certificate, slice_)
+
+        def broken_compile(self, *args, **kwargs):
+            raise RuntimeError("injected engine fault")
+
+        monkeypatch.setattr(PlacementEngine, "compile", broken_compile)
+        with pytest.raises(RuntimeError, match="injected engine fault"):
+            refine(plan, slice_, objective)
+
+    def test_placement_infeasibility_is_absorbed(
+        self, base_program, base_certificate, monkeypatch
+    ):
+        from repro.errors import PlacementError
+
+        slice_ = make_standard_slice()
+        objective = Objective(ObjectiveKind.ENERGY)
+        plan = PlacementEngine().compile(base_program, base_certificate, slice_)
+
+        def infeasible_compile(self, *args, **kwargs):
+            raise PlacementError("no feasible placement under pins")
+
+        monkeypatch.setattr(PlacementEngine, "compile", infeasible_compile)
+        refined = refine(plan, slice_, objective)
+        assert refined is plan  # every relaxation infeasible: keep the plan

@@ -155,3 +155,46 @@ class TestMetrics:
         assert stats.percentile(0.99) == 5.0
         assert stats.minimum == 1.0
         assert stats.maximum == 5.0
+
+
+class TestLatencyReservoir:
+    """The percentile reservoir is bounded and seeded: long runs stay
+    O(reservoir_size) in memory, exact stats stay exact, and repeated
+    runs reproduce the same percentile estimates."""
+
+    def test_memory_bounded_exact_stats_intact(self):
+        from repro.simulator.metrics import LatencyStats
+
+        stats = LatencyStats(reservoir_size=256)
+        n = 50_000
+        for i in range(n):
+            stats.record(float(i))
+        assert len(stats.samples) == 256
+        assert stats.count == n
+        assert stats.minimum == 0.0
+        assert stats.maximum == float(n - 1)
+        assert stats.mean == pytest.approx((n - 1) / 2)
+        # The estimate comes from a uniform sample of the stream.
+        assert stats.percentile(0.5) == pytest.approx(n / 2, rel=0.15)
+
+    def test_deterministic_across_runs(self):
+        from repro.simulator.metrics import LatencyStats
+
+        def run():
+            stats = LatencyStats(reservoir_size=64)
+            for i in range(5000):
+                stats.record(float((i * 7919) % 1000))
+            return stats
+
+        first, second = run(), run()
+        assert first.samples == second.samples
+        assert first.percentile(0.9) == second.percentile(0.9)
+
+    def test_below_cap_percentiles_exact(self):
+        from repro.simulator.metrics import LatencyStats
+
+        stats = LatencyStats(reservoir_size=4096)
+        for value in range(100):
+            stats.record(float(value))
+        assert stats.percentile(0.5) == 50.0
+        assert stats.percentile(0.99) == 99.0

@@ -124,3 +124,52 @@ class TestLookup:
         assert rules.lookup((1, 0x1F)) == ActionCall("deny")
         assert rules.lookup((2, 0x1F)) == ActionCall("allow")
         assert rules.lookup((1, 0x2F)) == ActionCall("allow")
+
+
+class TestMatchesKeyArity:
+    def test_length_mismatch_raises(self):
+        """Regression: a key-arity mismatch used to zip-truncate and
+        silently 'match' on the shorter side; it is a caller bug and
+        must raise."""
+        rule = Rule(matches=(exact(1), exact(2)), action=ActionCall(action="allow"))
+        with pytest.raises(TableError, match="match specs"):
+            rule.matches_key((1,))
+        with pytest.raises(TableError, match="match specs"):
+            rule.matches_key((1, 2, 3))
+        assert rule.matches_key((1, 2))
+
+    def test_lookup_arity_mismatch_raises(self):
+        rules = TableRules(table_def(kinds=("exact", "exact")))
+        with pytest.raises(TableError, match="keys"):
+            rules.lookup((1,))
+
+
+class TestEpoch:
+    def test_mutations_bump_epoch(self):
+        rules = TableRules(table_def())
+        start = rules.epoch
+        rule = Rule(matches=(exact(1),), action=ActionCall(action="deny"))
+        rules.insert(rule)
+        assert rules.epoch == start + 1
+        rules.remove(rule)
+        assert rules.epoch == start + 2
+        rules.clear()
+        assert rules.epoch == start + 3
+
+    def test_meter_attach_detach_bumps_epoch(self):
+        from repro.simulator.meters import Meter, MeterConfig
+
+        rules = TableRules(table_def())
+        start = rules.epoch
+        rules.meter = Meter(MeterConfig(rate_pps=10.0, burst_packets=5.0))
+        assert rules.epoch == start + 1
+        rules.meter = None
+        assert rules.epoch == start + 2
+
+    def test_lookup_does_not_bump_epoch(self):
+        rules = TableRules(table_def())
+        rules.insert(Rule(matches=(exact(1),), action=ActionCall(action="deny")))
+        start = rules.epoch
+        rules.lookup((1,))
+        rules.lookup((9,))
+        assert rules.epoch == start

@@ -121,3 +121,25 @@ class TestSimulate:
         out = capsys.readouterr().out
         assert "scheduled delta" in out
         assert "versions on sw1" in out
+
+
+class TestBench:
+    def test_bench_interpreted_only(self, capsys):
+        assert main(["bench", "--packets", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "interpreted" in out
+        assert "compiled" not in out
+
+    def test_bench_fastpath_diffs_clean(self, program_file, capsys):
+        assert main(["bench", program_file, "--fastpath", "--packets", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "compiled" in out
+        assert "divergences : 0" in out
+
+    def test_bench_fastpath_json(self, capsys):
+        import json
+
+        assert main(["bench", "--fastpath", "--packets", "60", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["divergences"] == 0
+        assert payload["compiled_pps"] > 0
