@@ -115,6 +115,11 @@ class Report:
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
 
+    def summary(self) -> str:
+        """FlexScope :class:`~repro.observe.report.Reportable` alias of
+        :meth:`render`."""
+        return self.render()
+
     def render(self) -> str:
         """Human-readable multi-line summary (what the CLI prints)."""
         status = "OK" if self.ok else "REJECTED"

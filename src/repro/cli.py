@@ -8,16 +8,23 @@ Usage (also ``python -m repro.cli``)::
     flexnet compile  program.fbpf [--arch drmt] [--objective latency|energy]
     flexnet delta    program.fbpf patch.delta     # apply a patch, show changes
     flexnet simulate program.fbpf [--rate 1000] [--duration 1.0]
-                                  [--patch patch.delta --at 0.5]
+                                  [--patch patch.delta --at 0.5] [--json]
     flexnet bench    [program.fbpf] [--fastpath] [--packets 2000] [--json]
-    flexnet chaos    [program.fbpf] [--patch patch.delta]
+    flexnet chaos    [program.fbpf] [--patch patch.delta] [--trace]
                      [--crash sw1@5.2] [--drop 0.01] [--no-recovery] [--json]
+    flexnet trace    program.fbpf [--patch patch.delta --at 0.5]
+                     [--sample-every 64] [--events] [--sink spans.jsonl] [--json]
+    flexnet metrics  program.fbpf [--patch patch.delta --at 0.5] [--json]
+    flexnet profile  program.fbpf [--patch patch.delta --at 0.5] [--json]
 
 Programs are FlexBPF source files; patches use the delta DSL (§3.2).
 Everything runs against the standard host-NIC-switch-NIC-host slice.
 ``chaos`` runs a seeded FlexFault scenario (defaults: bundled base
 infrastructure + firewall delta) and reports consistency, convergence,
-and the write-ahead journal.
+and the write-ahead journal. ``trace``/``metrics``/``profile`` run the
+same scenario as ``simulate`` with FlexScope enabled and render the
+span tree, the Prometheus-text metric export, or the per-phase profile
+table.
 """
 
 from __future__ import annotations
@@ -168,6 +175,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print(f"scheduled delta {delta.name!r} at t={args.at}s")
     report = net.run_traffic(rate_pps=args.rate, duration_s=args.duration,
                              extra_time_s=2.0)
+    if args.json:
+        from repro.observe.report import emit
+
+        emit(report, as_json=True)
+        return 0
     metrics = report.metrics
     print(f"sent      : {metrics.sent}")
     print(f"delivered : {metrics.delivered}")
@@ -306,6 +318,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         duration_s=args.duration,
         update_at_s=args.at,
         setup=setup,
+        observe=args.trace,
+        observe_sample_every=args.sample_every,
     )
     ok = report.converged and report.violations == 0
     if args.json:
@@ -313,24 +327,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         return 0 if ok else 1
 
     print("fault plan:")
-    for line in plan.describe():
+    for line in report.fault_plan:
         print(f"  {line}")
-    mode = "recovery " + ("(rollback)" if args.rollback else "(resume)")
-    print(f"mode        : {'no recovery (baseline)' if args.no_recovery else mode}")
-    print(f"sent        : {report.sent}")
-    print(f"delivered   : {report.delivered}")
-    print(f"lost        : {report.lost}")
-    print(f"inconsistent: {report.violations} packet(s) saw mixed program versions")
-    print(f"crashes     : {report.crashes} (restarts {report.restarts}, "
-          f"resumed {report.resumed}, rolled back {report.rolled_back})")
-    print(f"control     : {report.transition['commands_dropped']} command(s) dropped, "
-          f"{report.transition['command_retries']} retried; "
-          f"reads {report.control_reads_ok} ok / {report.control_reads_failed} failed")
-    print(f"stranded    : {', '.join(report.stranded) or 'none'}")
-    print(f"converged   : {'yes' if report.converged else 'NO'} "
-          f"(target v{report.target_version})")
-    if report.convergence_time_s is not None:
-        print(f"convergence : {report.convergence_time_s:.2f}s after the update")
+    print(report.summary())
+    print(f"  control: {report.transition['commands_dropped']} command(s) dropped, "
+          f"{report.transition['command_retries']} retried")
     if report.journal:
         print("journal:")
         for entry in report.journal:
@@ -342,7 +343,82 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         for event in report.events:
             detail = f" ({event['detail']})" if event["detail"] else ""
             print(f"  t={event['time']:<8g} {event['kind']:10s} {event['device']}{detail}")
+    if args.trace and report.spans:
+        from repro.observe.trace import render_span_tree
+
+        print("trace:")
+        print(render_span_tree(report.spans))
     return 0 if ok else 1
+
+
+def _observed_run(args: argparse.Namespace, sink=None) -> FlexNet:
+    """Run the ``simulate`` scenario with FlexScope enabled; shared by
+    the ``trace``/``metrics``/``profile`` verbs."""
+    program = parse_program(_read(args.program))
+    net = FlexNet.standard(switch_arch=args.arch)
+    net.observe.enable(sample_every=args.sample_every, sink=sink)
+    net.install(program)
+    if args.patch:
+        delta = parse_delta(_read(args.patch))
+        net.schedule(args.at, lambda: net.update(delta))
+    net.run_traffic(rate_pps=args.rate, duration_s=args.duration, extra_time_s=2.0)
+    return net
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run the scenario with tracing on and render the span tree
+    (``--events`` adds the global event feed: faults, journal commits,
+    telemetry events)."""
+    import json as json_module
+
+    sink = open(args.sink, "w", encoding="utf-8") if args.sink else None
+    try:
+        net = _observed_run(args, sink=sink)
+    finally:
+        if sink is not None:
+            sink.close()
+    tracer = net.observe.tracer
+    if args.json:
+        print(json_module.dumps(tracer.to_dict(), indent=2))
+        return 0
+    print(f"{tracer.total_spans} span(s), {tracer.total_events} event(s) "
+          f"(sampling 1/{net.observe.sample_every})")
+    tree = tracer.render_tree()
+    if tree:
+        print(tree)
+    if args.events:
+        print("events:")
+        for event in tracer.events:
+            attrs = " ".join(f"{k}={event.attrs[k]}" for k in sorted(event.attrs))
+            print(f"  t={event.time:<10.6f} {event.name}"
+                  + (f" {attrs}" if attrs else ""))
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Run the scenario with FlexScope on and export the metric registry
+    (Prometheus text format, or JSON with ``--json``)."""
+    net = _observed_run(args)
+    registry = net.observe.metrics
+    if args.json:
+        print(registry.to_json())
+    else:
+        sys.stdout.write(registry.to_prometheus())
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run the scenario with FlexScope on and print the per-phase
+    profile (compile, placement, binpack, install, transition)."""
+    import json as json_module
+
+    net = _observed_run(args)
+    profiler = net.observe.profiler
+    if args.json:
+        print(json_module.dumps(profiler.to_dict(include_wall=False), indent=2))
+    else:
+        print(profiler.render())
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -400,6 +476,8 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="delta file to apply mid-run")
     simulate_parser.add_argument("--at", type=float, default=0.5,
                                  help="virtual time to apply the patch")
+    simulate_parser.add_argument("--json", action="store_true",
+                                 help="emit the machine-readable traffic report")
     simulate_parser.set_defaults(func=cmd_simulate)
 
     bench_parser = subparsers.add_parser(
@@ -448,9 +526,49 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument("--spread", action="store_true",
                               help="host elements on nic1 too (migrated NAT app), so "
                                    "path-level inconsistency is observable")
+    chaos_parser.add_argument("--trace", action="store_true",
+                              help="enable FlexScope and render the span tree "
+                                   "(windows, migrations, faults)")
+    chaos_parser.add_argument("--sample-every", type=int, default=64,
+                              help="with --trace, sample one packet in N")
     chaos_parser.add_argument("--json", action="store_true",
                               help="emit the full machine-readable chaos report")
     chaos_parser.set_defaults(func=cmd_chaos)
+
+    def scenario_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("program")
+        sub.add_argument("--arch", default="drmt",
+                         choices=["drmt", "rmt", "rmt_static", "tiles"])
+        sub.add_argument("--rate", type=float, default=1000.0)
+        sub.add_argument("--duration", type=float, default=1.0)
+        sub.add_argument("--patch", default=None, help="delta file to apply mid-run")
+        sub.add_argument("--at", type=float, default=0.5,
+                         help="virtual time to apply the patch")
+        sub.add_argument("--sample-every", type=int, default=64,
+                         help="sample one packet in N into the tracer")
+        sub.add_argument("--json", action="store_true")
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="run with FlexScope tracing and render the span tree"
+    )
+    scenario_args(trace_parser)
+    trace_parser.add_argument("--events", action="store_true",
+                              help="also print the global event feed")
+    trace_parser.add_argument("--sink", default=None, metavar="FILE",
+                              help="mirror closed spans to FILE as JSONL")
+    trace_parser.set_defaults(func=cmd_trace)
+
+    metrics_parser = subparsers.add_parser(
+        "metrics", help="run with FlexScope and export the metric registry"
+    )
+    scenario_args(metrics_parser)
+    metrics_parser.set_defaults(func=cmd_metrics)
+
+    profile_parser = subparsers.add_parser(
+        "profile", help="run with FlexScope and print the per-phase profile"
+    )
+    scenario_args(profile_parser)
+    profile_parser.set_defaults(func=cmd_profile)
     return parser
 
 

@@ -88,6 +88,9 @@ class PlacementEngine:
 
     def __init__(self, objective: Objective | None = None):
         self.objective = objective or Objective()
+        #: FlexScope: set by :meth:`repro.observe.Observer.enable`;
+        #: compile/placement/binpack phases are charged to it.
+        self.profiler = None
 
     # -- public API ---------------------------------------------------------
 
@@ -112,11 +115,37 @@ class PlacementEngine:
         :class:`~repro.errors.PlacementError` with per-device deficit
         diagnostics when no iteration succeeds.
         """
+        if self.profiler is not None:
+            with self.profiler.phase("compile"):
+                return self._compile(
+                    program, certificate, network_slice, gc_hook, max_iterations, pinned
+                )
+        return self._compile(
+            program, certificate, network_slice, gc_hook, max_iterations, pinned
+        )
+
+    def _compile(
+        self,
+        program: Program,
+        certificate: Certificate,
+        network_slice: NetworkSlice,
+        gc_hook: GcHook | None,
+        max_iterations: int,
+        pinned: dict[str, str] | None,
+    ) -> CompilationPlan:
         notes: list[str] = []
         last_error: PlacementError | None = None
         for iteration in range(1, max_iterations + 1):
             try:
-                plan = self._attempt(program, certificate, network_slice, notes, pinned or {})
+                if self.profiler is not None:
+                    with self.profiler.phase("placement"):
+                        plan = self._attempt(
+                            program, certificate, network_slice, notes, pinned or {}
+                        )
+                else:
+                    plan = self._attempt(
+                        program, certificate, network_slice, notes, pinned or {}
+                    )
                 plan.iterations = iteration
                 self._check_sla(plan)
                 return plan
@@ -359,9 +388,15 @@ class PlacementEngine:
             members = committed[spec.name]
             if not members:
                 continue
-            result = fungibility.device_feasible(
-                spec.target, members, certificate, program, already_used=spec.used
-            )
+            if self.profiler is not None:
+                with self.profiler.phase("binpack"):
+                    result = fungibility.device_feasible(
+                        spec.target, members, certificate, program, already_used=spec.used
+                    )
+            else:
+                result = fungibility.device_feasible(
+                    spec.target, members, certificate, program, already_used=spec.used
+                )
             if isinstance(result, StagePlan):
                 plans[spec.name] = result
         return plans

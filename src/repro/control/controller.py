@@ -57,7 +57,14 @@ from repro.control.topology import TopologyView
 
 @dataclass
 class TransitionOutcome:
-    """What one runtime change produced."""
+    """What one runtime change produced.
+
+    Implements the FlexScope :class:`~repro.observe.report.Reportable`
+    protocol; when observability is enabled the outcome also carries the
+    ids of the trace spans covering this change, so a caller can jump
+    from the outcome straight to its span subtree
+    (``net.observe.tracer.find(outcome.span_id)``).
+    """
 
     result: IncrementalResult
     report: TransitionReport
@@ -69,6 +76,63 @@ class TransitionOutcome:
     #: consistency and the controller escalated the schedule onto the
     #: two-phase consistent path (PER_PACKET_PATH) instead of rejecting.
     forced_two_phase: bool = False
+    #: FlexScope: the "update" span covering this change and the root of
+    #: its trace tree (None when observability is disabled).
+    span_id: int | None = None
+    trace_id: int | None = None
+
+    def summary(self) -> str:
+        report = self.report
+        head = (
+            f"transition to v{self.result.new_plan.program.version}: "
+            f"{report.steps_applied} step(s), {len(report.device_windows)} device window(s), "
+            f"{report.duration_s:.3f}s"
+        )
+        if self.forced_two_phase:
+            head += " [escalated to two-phase]"
+        lines = [head]
+        for device in sorted(report.device_windows):
+            start, end = report.device_windows[device]
+            mode = "reflash" if device in report.reflashed_devices else "hitless"
+            lines.append(f"  {device}: {mode} t={start:.3f}..{end:.3f}")
+        if report.migrations:
+            lines.append(f"  migrations: {len(report.migrations)}")
+        if self.gc_evicted:
+            lines.append(f"  gc evicted: {', '.join(self.gc_evicted)}")
+        if self.race_findings:
+            lines.append(
+                "  race findings: "
+                + ", ".join(sorted({f.code for f in self.race_findings}))
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        report = self.report
+        return {
+            "to_version": self.result.new_plan.program.version,
+            "compile_iterations": self.compile_iterations,
+            "gc_evicted": list(self.gc_evicted),
+            "forced_two_phase": self.forced_two_phase,
+            "race_findings": sorted({f.code for f in self.race_findings}),
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "transition": {
+                "started_at": round(report.started_at, 9),
+                "finished_at": round(report.finished_at, 9),
+                "duration_s": round(report.duration_s, 9),
+                "steps_applied": report.steps_applied,
+                "device_windows": {
+                    device: [round(start, 9), round(end, 9)]
+                    for device, (start, end) in sorted(report.device_windows.items())
+                },
+                "reflashed": sorted(report.reflashed_devices),
+                "migrations": len(report.migrations),
+                "commands_dropped": report.commands_dropped,
+                "command_retries": report.command_retries,
+                "stranded": sorted(report.stranded_commands),
+                "deferred_starts": sorted(report.deferred_starts),
+            },
+        }
 
 
 class FlexNetController:
@@ -99,6 +163,12 @@ class FlexNetController:
         self.recovery = None
         self.health = None
 
+        #: FlexScope wiring (populated by
+        #: :meth:`repro.observe.Observer.enable` only — ``None`` means
+        #: observability is off and no call site pays more than this
+        #: attribute check).
+        self.observer = None
+
         self._composer: Composer | None = None
         self._base_program: Program | None = None
         self._program: Program | None = None
@@ -124,6 +194,8 @@ class FlexNetController:
         self.network.add_node(runtime)
         self.hub.bind(runtime)
         self.drpc.set_device_speed(name, target.performance.per_op_ns)
+        if self.observer is not None:
+            self.observer.attach_device(runtime)
         return runtime
 
     def add_link(self, a: str, b: str, latency_s: float = 1e-6) -> None:
@@ -211,6 +283,70 @@ class FlexNetController:
     # -- the core transition path ------------------------------------------------------
 
     def transition_to(
+        self,
+        new_program: Program,
+        changes: ChangeSet | None = None,
+        consistency: ConsistencyLevel = ConsistencyLevel.PER_PACKET_PER_DEVICE,
+        strict_analysis: bool = False,
+    ) -> TransitionOutcome:
+        """Incrementally recompile to ``new_program`` and orchestrate the
+        hitless runtime transition (see :meth:`_transition_to` for the
+        mechanics). With FlexScope enabled, the whole change runs inside
+        an "update" span (the orchestrator's transition/window spans nest
+        under it) and the outcome carries the span ids."""
+        observer = self.observer
+        if observer is None:
+            return self._transition_to(new_program, changes, consistency, strict_analysis)
+        tracer = observer.tracer
+        span = tracer.start_span(
+            "update",
+            "update",
+            self.loop.now,
+            to_version=new_program.version,
+            consistency=consistency.name,
+        )
+        tracer._stack.append(span)
+        try:
+            with observer.profiler.phase("transition"):
+                outcome = self._transition_to(
+                    new_program, changes, consistency, strict_analysis
+                )
+        except Exception:
+            tracer._stack.pop()
+            tracer.end_span(span, self.loop.now, status="error")
+            raise
+        tracer._stack.pop()
+        report = outcome.report
+        tracer.end_span(
+            span,
+            report.finished_at,
+            steps=report.steps_applied,
+            forced_two_phase=outcome.forced_two_phase,
+        )
+        outcome.span_id = span.span_id
+        outcome.trace_id = span.parent_id if span.parent_id is not None else span.span_id
+        metrics = observer.metrics
+        metrics.counter(
+            "flexnet_transitions_total",
+            help="runtime transitions orchestrated",
+            consistency=consistency.name,
+            forced_two_phase=str(outcome.forced_two_phase).lower(),
+        ).inc()
+        metrics.histogram(
+            "flexnet_schedule_makespan_seconds",
+            help="end-to-end transition makespan",
+        ).observe(report.duration_s)
+        for device_name in sorted(report.device_windows):
+            start, end = report.device_windows[device_name]
+            metrics.histogram(
+                "flexnet_transition_window_seconds",
+                help="per-device transition window",
+                device=device_name,
+            ).observe(end - start)
+        observer.profiler.add_sim("transition_window", report.duration_s)
+        return outcome
+
+    def _transition_to(
         self,
         new_program: Program,
         changes: ChangeSet | None = None,
@@ -537,7 +673,11 @@ class FlexNetController:
         self._apps[str(uri)] = record
         return outcome
 
-    def evict_tenant(self, tenant_name: str) -> TransitionOutcome:
+    def evict_tenant(
+        self,
+        tenant_name: str,
+        consistency: ConsistencyLevel = ConsistencyLevel.PER_PACKET_PER_DEVICE,
+    ) -> TransitionOutcome:
         """Tenant departure: trim its extension and release resources."""
         if self._composer is None or tenant_name not in self._tenants:
             raise ControlPlaneError(f"tenant {tenant_name!r} not admitted")
@@ -547,7 +687,7 @@ class FlexNetController:
         # Compute the trimmed program *before* mutating tenant state so
         # _infrastructure_view still strips the departing tenant.
         composed = self._compose_with_tenants(new_tenants)
-        outcome = self.transition_to(composed)
+        outcome = self.transition_to(composed, consistency=consistency)
         self._tenants = new_tenants
         self._apps.pop(str(AppUri(owner=tenant_name, name="extension")), None)
         return outcome

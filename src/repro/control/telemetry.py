@@ -56,6 +56,11 @@ class TelemetryCollector:
         #: degraded-mode events (bounded like the digest buffer).
         self.events: deque[HealthEvent] = deque(maxlen=4096)
         self.total_events = 0
+        #: FlexScope: set by :meth:`repro.observe.Observer.enable`;
+        #: degraded-mode events are mirrored into the tracer's global
+        #: event feed (``flexnet trace --events``). The per-packet digest
+        #: path never touches this.
+        self.observer = None
 
     def ingest_packet(self, packet: Packet, now: float) -> None:
         for program, values in packet.digests:
@@ -75,6 +80,11 @@ class TelemetryCollector:
         """Record a degraded-mode event (FlexFault recovery feed)."""
         self.events.append(HealthEvent(time=now, kind=kind, device=device, detail=detail))
         self.total_events += 1
+        # Surface the record (the pre-FlexScope collector buffered these
+        # and nothing ever read them back out).
+        observer = self.observer
+        if observer is not None:
+            observer.tracer.event(kind, now, device=device, detail=detail)
 
     def _evict(self, now: float) -> None:
         horizon = now - self.window_s

@@ -1,7 +1,7 @@
 """FlexNet core: the fungible datapath and the network facade."""
 
 from repro.core.datapath import DatapathStatus, FungibleDatapath
-from repro.core.flexnet import FlexNet, TrafficReport
+from repro.core.flexnet import FlexNet, InstallOutcome, TelemetrySnapshot, TrafficReport
 from repro.core.slo import BEST_EFFORT, Slo
 
 __all__ = [
@@ -9,6 +9,8 @@ __all__ = [
     "DatapathStatus",
     "FlexNet",
     "FungibleDatapath",
+    "InstallOutcome",
     "Slo",
+    "TelemetrySnapshot",
     "TrafficReport",
 ]

@@ -23,6 +23,8 @@ composer. Rejections raise before any device is touched.
 
 from __future__ import annotations
 
+import warnings
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.compiler.plan import CompilationPlan
@@ -32,6 +34,7 @@ from repro.lang.analyzer import Certificate, certify
 from repro.lang.composition import TenantSpec
 from repro.lang.delta import Delta, apply_delta
 from repro.lang.ir import Program
+from repro.observe import Observer
 from repro.runtime.consistency import ConsistencyChecker, ConsistencyLevel
 from repro.simulator.metrics import RunMetrics
 from repro.simulator.flowgen import TimedPacket, constant_rate
@@ -42,11 +45,112 @@ from repro.core.datapath import FungibleDatapath
 from repro.core.slo import Slo
 
 
+class InstallOutcome:
+    """Outcome of a cold install (FlexScope-era :meth:`FlexNet.install`).
+
+    Proxies attribute access to the wrapped
+    :class:`~repro.compiler.plan.CompilationPlan`, so existing callers
+    reading ``plan.placement`` / ``plan.estimated_latency_ns`` keep
+    working, while new callers get the unified outcome shape: the
+    :class:`~repro.observe.report.Reportable` protocol plus the trace
+    span ids when observability is enabled.
+    """
+
+    def __init__(
+        self,
+        plan: CompilationPlan,
+        span_id: int | None = None,
+        trace_id: int | None = None,
+    ):
+        self.plan = plan
+        self.span_id = span_id
+        self.trace_id = trace_id
+
+    def __getattr__(self, name: str):
+        return getattr(self.plan, name)
+
+    def summary(self) -> str:
+        plan = self.plan
+        lines = [
+            f"installed {plan.program.name!r} v{plan.program.version}: "
+            f"{len(plan.placement)} element(s) on "
+            f"{len(set(plan.placement.values()))} device(s), "
+            f"~{plan.estimated_latency_ns:.0f} ns/packet"
+        ]
+        for element in sorted(plan.placement):
+            lines.append(f"  {element} -> {plan.placement[element]}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        plan = self.plan
+        return {
+            "program": plan.program.name,
+            "version": plan.program.version,
+            "placement": dict(sorted(plan.placement.items())),
+            "estimated_latency_ns": round(plan.estimated_latency_ns, 3),
+            "estimated_energy_nj": round(plan.estimated_energy_nj, 3),
+            "iterations": plan.iterations,
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+        }
+
+
+@dataclass
+class TelemetrySnapshot:
+    """Telemetry totals at the end of a traffic run (what the deprecated
+    ``TrafficReport.digests`` int grew into)."""
+
+    total_digests: int = 0
+    total_events: int = 0
+
+    def to_dict(self) -> dict:
+        return {"total_digests": self.total_digests, "total_events": self.total_events}
+
+
 @dataclass
 class TrafficReport:
     metrics: RunMetrics
     consistency: ConsistencyChecker | None = None
-    digests: int = 0
+    telemetry: TelemetrySnapshot = field(default_factory=TelemetrySnapshot)
+
+    @property
+    def digests(self) -> int:
+        """Deprecated raw digest count; use ``report.telemetry``."""
+        warnings.warn(
+            "TrafficReport.digests is deprecated; read "
+            "report.telemetry.total_digests instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.telemetry.total_digests
+
+    def summary(self) -> str:
+        lines = [self.metrics.summary()]
+        if self.telemetry.total_digests:
+            lines.append(f"digests: {self.telemetry.total_digests}")
+        if self.consistency is not None:
+            result = self.consistency.report()
+            verdict = "ok" if result.holds else "VIOLATED"
+            lines.append(
+                f"consistency [{result.level.name}]: {verdict} "
+                f"({result.violations} violation(s) / {result.packets_checked} checked)"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        data = {
+            "metrics": self.metrics.to_dict(),
+            "telemetry": self.telemetry.to_dict(),
+        }
+        if self.consistency is not None:
+            result = self.consistency.report()
+            data["consistency"] = {
+                "level": result.level.name,
+                "holds": result.holds,
+                "packets_checked": result.packets_checked,
+                "violations": result.violations,
+            }
+        return data
 
 
 @dataclass
@@ -57,6 +161,13 @@ class FlexNet:
     datapath: FungibleDatapath = field(
         default_factory=lambda: FungibleDatapath(name="datapath")
     )
+    #: FlexScope façade — ``net.observe.enable()`` wires tracing,
+    #: metrics, and profiling through every layer; until then the whole
+    #: observation stack stays detached (zero-cost).
+    observe: Observer = field(default_factory=Observer)
+
+    def __post_init__(self) -> None:
+        self.observe.bind(self.controller)
 
     # -- topology sugar ------------------------------------------------------
 
@@ -155,18 +266,48 @@ class FlexNet:
             target = None
         return analysis.check(subject, delta=delta, target=target)
 
-    def install(self, program: Program) -> CompilationPlan:
-        """Admit and cold-install the infrastructure program."""
-        self.admit(program, check_placement=True)
-        plan = self.controller.install_infrastructure(program)
+    def install(self, program: Program) -> InstallOutcome:
+        """Admit and cold-install the infrastructure program.
+
+        Returns an :class:`InstallOutcome` (which proxies the underlying
+        :class:`~repro.compiler.plan.CompilationPlan`, so plan-reading
+        callers are unaffected)."""
+        span = None
+        tracer = self.observe.tracer if self.observe.enabled else None
+        if tracer is not None:
+            span = tracer.start_span(
+                "install",
+                "install",
+                self.loop.now,
+                program=program.name,
+                version=program.version,
+            )
+            tracer._stack.append(span)
+        try:
+            with self.observe.profiler.phase("install") if self.observe.enabled else nullcontext():
+                self.admit(program, check_placement=True)
+                plan = self.controller.install_infrastructure(program)
+        except Exception:
+            if tracer is not None:
+                tracer._stack.pop()
+                tracer.end_span(span, self.loop.now, status="error")
+            raise
+        if tracer is not None:
+            tracer._stack.pop()
+            tracer.end_span(span, self.loop.now)
         self.datapath.program = self.controller.program
         self.datapath.plan = plan
         self.datapath.certificate = plan.certificate
-        return plan
+        return InstallOutcome(
+            plan,
+            span_id=span.span_id if span is not None else None,
+            trace_id=span.span_id if span is not None else None,
+        )
 
     def update(
         self,
         delta: Delta,
+        *,
         consistency: ConsistencyLevel = ConsistencyLevel.PER_PACKET_PER_DEVICE,
         strict: bool = False,
     ) -> TransitionOutcome:
@@ -175,6 +316,7 @@ class FlexNet:
         FlexCheck's race pass runs on every update: hazardous deltas are
         forced through the two-phase consistent path (the outcome reports
         ``forced_two_phase``), or rejected outright with ``strict=True``.
+        ``consistency`` and ``strict`` are keyword-only.
         """
         new_program, changes = apply_delta(self.controller.program, delta)
         self.admit(new_program)
@@ -184,13 +326,24 @@ class FlexNet:
         self._refresh()
         return outcome
 
-    def admit_tenant(self, tenant: TenantSpec, extension: Program) -> TransitionOutcome:
-        outcome = self.controller.admit_tenant(tenant, extension)
+    def admit_tenant(
+        self,
+        tenant: TenantSpec,
+        extension: Program,
+        *,
+        consistency: ConsistencyLevel = ConsistencyLevel.PER_PACKET_PER_DEVICE,
+    ) -> TransitionOutcome:
+        outcome = self.controller.admit_tenant(tenant, extension, consistency=consistency)
         self._refresh()
         return outcome
 
-    def evict_tenant(self, name: str) -> TransitionOutcome:
-        outcome = self.controller.evict_tenant(name)
+    def evict_tenant(
+        self,
+        name: str,
+        *,
+        consistency: ConsistencyLevel = ConsistencyLevel.PER_PACKET_PER_DEVICE,
+    ) -> TransitionOutcome:
+        outcome = self.controller.evict_tenant(name, consistency=consistency)
         self._refresh()
         return outcome
 
@@ -240,7 +393,10 @@ class FlexNet:
         return TrafficReport(
             metrics=metrics,
             consistency=checker,
-            digests=self.controller.telemetry.total_digests,
+            telemetry=TelemetrySnapshot(
+                total_digests=self.controller.telemetry.total_digests,
+                total_events=self.controller.telemetry.total_events,
+            ),
         )
 
     # -- convenience passthroughs ----------------------------------------------------

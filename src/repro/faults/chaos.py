@@ -25,6 +25,7 @@ from repro.faults.recovery import CrashSchedule
 from repro.lang.delta import Delta
 from repro.lang.ir import Program
 from repro.runtime.consistency import ConsistencyLevel
+from repro.simulator.packet import reset_packet_ids
 
 
 @dataclass
@@ -64,6 +65,11 @@ class ChaosReport:
     injection: dict = field(default_factory=dict)
     journal: list[dict] = field(default_factory=list)
     events: list[dict] = field(default_factory=list)
+    #: the armed fault plan, described (always present).
+    fault_plan: list[str] = field(default_factory=list)
+    #: FlexScope span tree for the run (empty unless ``observe=True``);
+    #: sim-time timestamps only, so seeded runs stay byte-identical.
+    spans: list[dict] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return {
@@ -95,7 +101,40 @@ class ChaosReport:
             "injection": self.injection,
             "journal": self.journal,
             "events": self.events,
+            "fault_plan": list(self.fault_plan),
+            "spans": self.spans,
         }
+
+    def summary(self) -> str:
+        lines = [
+            f"chaos seed={self.seed} recovery={'on' if self.recovery else 'off'} "
+            f"resume={'on' if self.resume else 'off'}",
+            f"  traffic: sent {self.sent}, delivered {self.delivered}, lost {self.lost}",
+            f"  consistency: {self.violations} violation(s) / "
+            f"{self.packets_checked} checked",
+            f"  converged: {'yes' if self.converged else 'NO'} "
+            f"(target v{self.target_version})"
+            + (
+                f", {self.convergence_time_s:.3f}s after update"
+                if self.convergence_time_s is not None
+                else ""
+            ),
+            f"  faults: {self.crashes} crash(es), {self.restarts} restart(s), "
+            f"{self.resumed} resumed, {self.rolled_back} rolled back",
+        ]
+        if self.stranded:
+            lines.append(f"  stranded mid-delta: {', '.join(self.stranded)}")
+        if self.quarantined:
+            lines.append(f"  quarantined: {', '.join(self.quarantined)}")
+        if self.update_error:
+            lines.append(f"  update error: {self.update_error}")
+        lines.append(
+            f"  control reads: {self.control_reads_ok} ok, "
+            f"{self.control_reads_failed} failed"
+        )
+        if self.spans:
+            lines.append(f"  trace: {len(self.spans)} span(s) captured")
+        return "\n".join(lines)
 
 
 def run_chaos(
@@ -113,6 +152,8 @@ def run_chaos(
     switch_arch: str = "drmt",
     setup: Callable[[FlexNet], None] | None = None,
     control_ops: int = 50,
+    observe: bool = False,
+    observe_sample_every: int = 64,
 ) -> ChaosReport:
     """Run one seeded chaos scenario and collect the evidence.
 
@@ -124,8 +165,18 @@ def run_chaos(
     ``setup`` runs after the install but before faults are armed —
     scenarios use it to shape the deployment (e.g. migrate an app onto
     a NIC so the update spans several hosting devices).
+
+    ``observe=True`` enables FlexScope before anything runs: the report
+    then carries the full span tree (install, update, per-device
+    windows, migrations, fault events) in ``ChaosReport.spans``.
     """
+    # Restart the packet id counter so the per-packet cut-over draws —
+    # and therefore the sampled spans and version splits — are identical
+    # across same-seed runs even within one process.
+    reset_packet_ids()
     net = FlexNet.standard(switch_arch)
+    if observe:
+        net.observe.enable(sample_every=observe_sample_every)
     net.install(program)
     controller = net.controller
     if setup is not None:
@@ -281,4 +332,6 @@ def run_chaos(
             }
             for event in controller.telemetry.events
         ],
+        fault_plan=plan.describe(),
+        spans=net.observe.tracer.to_dict()["spans"] if observe else [],
     )

@@ -1,0 +1,56 @@
+"""FlexScope: end-to-end observability for runtime programmable networks.
+
+One façade — :class:`Observer`, exposed as ``net.observe`` — bundles:
+
+* structured tracing (:mod:`repro.observe.trace`): hierarchical spans
+  over sim time covering reconfiguration windows, dRPC calls, fault
+  injections, and sampled per-packet data-plane execution;
+* metrics (:mod:`repro.observe.metrics`): a labelled
+  counter/gauge/histogram registry with deterministic Prometheus-text
+  and JSON exporters;
+* profiling (:mod:`repro.observe.profile`): per-phase wall/sim/op-cost
+  accounting for compile, placement, and transition work;
+* the unified report protocol (:mod:`repro.observe.report`):
+  ``summary()``/``to_dict()`` for every report object the toolchain
+  produces, behind one CLI formatter.
+
+Disabled observability is strictly zero-cost: no component holds an
+observer reference until :meth:`Observer.enable` wires one in.
+"""
+
+from repro.observe.facade import DEFAULT_SAMPLE_EVERY, Observer
+from repro.observe.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observe.profile import PhaseStat, Profiler
+from repro.observe.report import Reportable, emit
+from repro.observe.trace import (
+    PacketTrace,
+    Span,
+    SpanEvent,
+    Tracer,
+    render_span_tree,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "DEFAULT_SAMPLE_EVERY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observer",
+    "PacketTrace",
+    "PhaseStat",
+    "Profiler",
+    "Reportable",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "emit",
+    "render_span_tree",
+]

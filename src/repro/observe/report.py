@@ -1,0 +1,44 @@
+"""The unified report protocol.
+
+Before FlexScope, every subsystem invented its own report shape:
+``TrafficReport``, ``ChaosReport``, ``TransitionOutcome``,
+``RunMetrics``, and the analysis ``Report`` each had a bespoke
+formatter buried in the CLI. :class:`Reportable` is the one contract
+they all implement now — ``summary()`` for humans, ``to_dict()`` for
+machines — and :func:`emit` is the single CLI rendering path behind
+every verb's ``--json`` flag.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Reportable(Protocol):
+    """Anything the toolchain can report on.
+
+    ``summary()`` returns the human-readable multi-line text a CLI verb
+    prints by default; ``to_dict()`` returns the JSON-serializable form
+    behind ``--json``. Implementations must keep ``to_dict()``
+    deterministic for seeded runs (sorted keys, rounded floats).
+    """
+
+    def summary(self) -> str:
+        """Human-readable multi-line rendering."""
+        ...  # pragma: no cover - protocol
+
+    def to_dict(self) -> dict:
+        """Machine-readable (JSON-serializable) rendering."""
+        ...  # pragma: no cover - protocol
+
+
+def emit(report: Reportable, as_json: bool = False, stream=None) -> None:
+    """The shared CLI output path: one report, one flag, one formatter."""
+    stream = stream if stream is not None else sys.stdout
+    if as_json:
+        stream.write(json.dumps(report.to_dict(), indent=2) + "\n")
+    else:
+        stream.write(report.summary() + "\n")

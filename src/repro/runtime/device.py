@@ -90,6 +90,10 @@ class DeviceRuntime:
         #: provably cacheable programs from a flow micro-cache.
         self._fastpath = False
         self._flow_cache = None
+        #: FlexScope: set by :meth:`repro.observe.Observer.enable` only;
+        #: ``None`` keeps the packet path observation-free (one attribute
+        #: load per packet, nothing else).
+        self.observer = None
 
     # -- FlexPath ----------------------------------------------------------------
 
@@ -327,12 +331,27 @@ class DeviceRuntime:
         # version (never mid-transition, where the old/new split must
         # stay per-packet exact); falls through to normal execution for
         # uncacheable programs or on miss-with-record.
+        # FlexScope sampling: a sampled packet skips the flow cache and
+        # runs through the interpreter with a frame collector attached
+        # (FlexPath's differential-identity guarantee makes the outcome
+        # byte-identical to the compiled path, so only this packet's
+        # execution *route* changes — never its verdict or cost model).
+        observer = self.observer
+        trace = observer.begin_packet() if observer is not None else None
         result = None
         cache = self._flow_cache
-        if cache is not None and self._transition is None and instance is self._active:
+        if (
+            cache is not None
+            and trace is None
+            and self._transition is None
+            and instance is self._active
+        ):
             result = cache.process(instance, packet, now)
         if result is None:
-            result = instance.process(packet, now)
+            if trace is None:
+                result = instance.process(packet, now)
+            else:
+                result = instance.process(packet, now, trace=trace)
         # Pass-through devices (hosting no element of the program) do not
         # participate in version consistency — a packet's "version" is
         # defined by the elements that processed it. Hosting devices also
@@ -350,6 +369,8 @@ class DeviceRuntime:
         self.stats.energy_nj += self.target.performance.packet_energy_nj(result.ops)
         if packet.meta.get("drop_flag"):
             self.stats.dropped_by_program += 1
+        if trace is not None:
+            observer.record_packet(self.name, packet, result, trace, now)
         return queueing_delay_s + self.target.performance.packet_latency_ns(result.ops) * 1e-9
 
     def _choose_instance(self, packet: Packet, now: float) -> ProgramInstance | None:

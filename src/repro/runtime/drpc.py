@@ -121,6 +121,9 @@ class DrpcFabric:
         #: optional FlexFault injector: when set, calls may fail at the
         #: handler (modelling a flaky in-band service).
         self.injector = None
+        #: FlexScope: set by :meth:`repro.observe.Observer.enable`; each
+        #: call becomes one span (failures end with status="error").
+        self.observer = None
 
     def set_device_speed(self, device: str, per_op_ns: float) -> None:
         self.device_per_op_ns[device] = per_op_ns
@@ -134,6 +137,33 @@ class DrpcFabric:
         hops: int = 1,
     ) -> tuple[tuple[int, ...], float]:
         """In-band invocation; returns (result, latency_seconds)."""
+        observer = self.observer
+        if observer is None:
+            return self._call(service_name, args, caller_device, now, hops)
+        span = observer.tracer.start_span(
+            f"drpc:{service_name}",
+            "drpc",
+            now,
+            service=service_name,
+            caller=caller_device,
+            hops=hops,
+        )
+        try:
+            result, latency = self._call(service_name, args, caller_device, now, hops)
+        except RpcError as exc:
+            observer.tracer.end_span(span, now, status="error", error=str(exc))
+            raise
+        observer.tracer.end_span(span, now + latency, latency_s=round(latency, 9))
+        return result, latency
+
+    def _call(
+        self,
+        service_name: str,
+        args: tuple[int, ...],
+        caller_device: str,
+        now: float,
+        hops: int,
+    ) -> tuple[tuple[int, ...], float]:
         stats = self.stats.setdefault(service_name, RpcStats())
         try:
             service = self._registry.lookup(service_name, now=now, hops_from_provider=hops)
@@ -187,6 +217,14 @@ class DrpcFabric:
                 stats.retries += 1
                 stats.backoff_s += backoff
                 waited += backoff
+                if self.observer is not None:
+                    self.observer.tracer.event(
+                        "drpc_retry",
+                        now + waited,
+                        service=service_name,
+                        attempt=attempt,
+                        backoff_s=round(backoff, 9),
+                    )
                 continue
             return result, latency + waited
         raise RpcError(f"service {service_name!r}: retry budget exhausted")  # unreachable

@@ -91,6 +91,10 @@ class ReconfigOrchestrator:
         self.injector = None
         self.journal = None
         self.recovery = None
+        #: FlexScope: set by :meth:`repro.observe.Observer.enable`; each
+        #: transition gets a span tree (transition → per-device windows →
+        #: migrations) with lifecycle events (delivery, commit, retries).
+        self.observer = None
 
     def device(self, name: str) -> DeviceRuntime:
         if name not in self._devices:
@@ -135,6 +139,18 @@ class ReconfigOrchestrator:
         report = TransitionReport(started_at=now)
         stagger = stagger or {}
         window_override = window_override or {}
+        observer = self.observer
+        tracer = observer.tracer if observer is not None else None
+        transition_span = None
+        if tracer is not None:
+            transition_span = tracer.start_span(
+                "transition",
+                "transition",
+                now,
+                steps=len(reconfig.steps),
+                to_version=new_plan.program.version,
+                flow_affine=flow_affine,
+            )
 
         per_device_steps: dict[str, list[float]] = {}
         for step in reconfig.steps:
@@ -171,7 +187,19 @@ class ReconfigOrchestrator:
                 device.busy_until(now),
                 self._reserved_until.get(device_name, 0.0),
             )
-            if device.target.reconfig.hitless:
+            hitless = device.target.reconfig.hitless
+            window_span = None
+            if tracer is not None:
+                window_span = tracer.start_span(
+                    f"window@{device_name}",
+                    "window",
+                    start,
+                    parent=transition_span,
+                    device=device_name,
+                    mode="hitless" if hitless else "reflash",
+                    to_version=new_plan.program.version,
+                )
+            if hitless:
                 self._loop.schedule_at(
                     start,
                     self._hitless_starter(
@@ -182,16 +210,23 @@ class ReconfigOrchestrator:
                         flow_affine,
                         protected_maps=protected_maps,
                         report=report,
+                        span=window_span,
                     ),
                 )
                 end = start + duration
             else:
                 self._loop.schedule_at(
-                    start, self._reflash_starter(device, new_plan.program, hosted)
+                    start,
+                    self._reflash_starter(device, new_plan.program, hosted, span=window_span),
                 )
                 model = device.target.reconfig
                 end = start + model.drain_s + model.full_reflash_s + model.redeploy_s
                 report.reflashed_devices.append(device_name)
+            if tracer is not None:
+                # The schedule is deterministic, so the window's close is
+                # known upfront; lifecycle moments (delivery, commit,
+                # retries, stranding) land as events as the loop advances.
+                tracer.end_span(window_span, end)
             report.device_windows[device_name] = (start, end)
             self._reserved_until[device_name] = end
             finish = max(finish, end)
@@ -202,9 +237,14 @@ class ReconfigOrchestrator:
                 continue
             self._loop.schedule_at(
                 now + stagger.get(step.device, 0.0),
-                self._state_mover(step.element, step.source_device, step.device, report),
+                self._state_mover(
+                    step.element, step.source_device, step.device, report,
+                    span=transition_span,
+                ),
             )
 
+        if tracer is not None:
+            tracer.end_span(transition_span, finish, devices=len(affected))
         report.finished_at = finish
         return report
 
@@ -219,11 +259,19 @@ class ReconfigOrchestrator:
         flow_affine: bool = False,
         protected_maps: set[str] | None = None,
         report: TransitionReport | None = None,
+        span=None,
     ):
+        def trace_event(name: str, **attrs) -> None:
+            if self.observer is not None:
+                self.observer.tracer.event(
+                    name, self._loop.now, span=span, device=device.name, **attrs
+                )
+
         def deliver() -> None:
             """The start command arrived: open the transition window,
             journal the intent, and warm protected maps."""
             now = self._loop.now
+            trace_event("window_open")
             old = device.active_instance
             staged = device.begin_hitless_update(
                 program,
@@ -240,7 +288,7 @@ class ReconfigOrchestrator:
                     started_at=now,
                     window_end=now + duration,
                 )
-                self._loop.schedule(duration, self._committer(device, entry))
+                self._loop.schedule(duration, self._committer(device, entry, span=span))
             if not protected_maps or old is None:
                 return
             # Swing-state migration for race-flagged maps whose physical
@@ -253,7 +301,9 @@ class ReconfigOrchestrator:
                 new_state = staged.maps.state(map_name)
                 if new_state is old_state:
                     continue  # physically shared — already consistent
-                self._run_migration(old_state, new_state, report)
+                self._run_migration(
+                    old_state, new_state, report, span=span, label=map_name
+                )
 
         def attempt(attempt_no: int = 1) -> None:
             # FlexFault: the start command crosses the control channel;
@@ -262,15 +312,19 @@ class ReconfigOrchestrator:
             if self.injector is not None and self.injector.command_dropped(device.name):
                 if report is not None:
                     report.commands_dropped += 1
+                trace_event("command_dropped", attempt=attempt_no)
                 policy = self.recovery.policy if self.recovery is not None else None
                 if policy is not None and attempt_no < policy.max_attempts:
                     if report is not None:
                         report.command_retries += 1
+                    trace_event("command_retry", attempt=attempt_no)
                     self._loop.schedule(
                         policy.backoff_s(attempt_no), lambda: attempt(attempt_no + 1)
                     )
-                elif report is not None:
-                    report.stranded_commands.append(device.name)
+                else:
+                    if report is not None:
+                        report.stranded_commands.append(device.name)
+                    trace_event("stranded")
                 return
             # Device down (crashed before its window opened): defer the
             # start to the restart path, or strand without recovery.
@@ -279,14 +333,17 @@ class ReconfigOrchestrator:
                     self.recovery.defer_until_restart(device.name, deliver)
                     if report is not None:
                         report.deferred_starts.append(device.name)
-                elif report is not None:
-                    report.stranded_commands.append(device.name)
+                    trace_event("deferred_start")
+                else:
+                    if report is not None:
+                        report.stranded_commands.append(device.name)
+                    trace_event("stranded")
                 return
             deliver()
 
         return attempt
 
-    def _committer(self, device: DeviceRuntime, entry):
+    def _committer(self, device: DeviceRuntime, entry, span=None):
         """Commit the journal entry when the window closes cleanly; a
         crashed/stranded device leaves it PENDING for recovery."""
 
@@ -295,15 +352,33 @@ class ReconfigOrchestrator:
                 return
             device.settle(self._loop.now)
             self.journal.commit(entry, self._loop.now)
+            if self.observer is not None:
+                self.observer.tracer.event(
+                    "commit",
+                    self._loop.now,
+                    span=span,
+                    device=device.name,
+                    to_version=entry.new_version,
+                )
 
         return commit
 
-    def _run_migration(self, source_state, destination_state, report):
+    def _run_migration(self, source_state, destination_state, report, span=None, label=""):
         """One in-band migration under fault injection: injected failures
         are retried immediately (the stream is re-cloned) up to the
         recovery policy's budget; without recovery a failure is final."""
         attempts = 0
         policy = self.recovery.policy if self.recovery is not None else None
+        observer = self.observer
+        migration_span = None
+        if observer is not None:
+            migration_span = observer.tracer.start_span(
+                f"migrate:{label}" if label else "migrate",
+                "migration",
+                self._loop.now,
+                parent=span,
+                map=label,
+            )
         while True:
             attempts += 1
             try:
@@ -314,32 +389,70 @@ class ReconfigOrchestrator:
                 if policy is not None and attempts < policy.max_attempts:
                     if report is not None:
                         report.migration_retries += 1
+                    if migration_span is not None:
+                        migration_span.add_event(
+                            "migration_retry", self._loop.now, attempt=attempts
+                        )
                     continue
                 if report is not None:
                     report.failed_migrations += 1
+                if observer is not None:
+                    observer.tracer.end_span(
+                        migration_span, self._loop.now, status="error", attempts=attempts
+                    )
                 return None
             if report is not None:
                 report.migrations.append(migration)
+            if observer is not None:
+                observer.tracer.end_span(
+                    migration_span,
+                    self._loop.now,
+                    attempts=attempts,
+                    entries=migration.entries,
+                    strategy=migration.strategy,
+                )
             return migration
 
-    def _reflash_starter(self, device: DeviceRuntime, program: Program, hosted: set[str]):
+    def _reflash_starter(
+        self, device: DeviceRuntime, program: Program, hosted: set[str], span=None
+    ):
         def start() -> None:
-            device.begin_reflash(program, now=self._loop.now, hosted_elements=hosted)
+            available_at = device.begin_reflash(
+                program, now=self._loop.now, hosted_elements=hosted
+            )
+            if self.observer is not None:
+                self.observer.tracer.event(
+                    "reflash",
+                    self._loop.now,
+                    span=span,
+                    device=device.name,
+                    available_at=round(available_at, 9),
+                )
 
         return start
 
     def _state_mover(
-        self, element: str, source: str | None, destination: str, report: TransitionReport
+        self,
+        element: str,
+        source: str | None,
+        destination: str,
+        report: TransitionReport,
+        span=None,
     ):
         def move() -> None:
-            self._migrate_element_state(element, source, destination, report)
+            self._migrate_element_state(element, source, destination, report, span=span)
 
         return move
 
     # -- internals used by scheduled callbacks --------------------------------
 
     def _migrate_element_state(
-        self, element: str, source_name: str | None, dest_name: str, report: TransitionReport
+        self,
+        element: str,
+        source_name: str | None,
+        dest_name: str,
+        report: TransitionReport,
+        span=None,
     ) -> None:
         if source_name is None:
             return
@@ -353,7 +466,11 @@ class ReconfigOrchestrator:
             if not self._element_touches_map(source.program, element, map_name):
                 continue
             self._run_migration(
-                source.maps.state(map_name), destination.maps.state(map_name), report
+                source.maps.state(map_name),
+                destination.maps.state(map_name),
+                report,
+                span=span,
+                label=map_name,
             )
 
     @staticmethod

@@ -111,3 +111,47 @@ class RunMetrics:
             for (dev, version), count in self.version_counts.items()
             if dev == device
         }
+
+    # -- Reportable protocol (FlexScope) ------------------------------------
+
+    def summary(self) -> str:
+        lines = [
+            f"sent {self.sent}, delivered {self.delivered} "
+            f"({self.delivery_rate * 100:.2f}%), "
+            f"program drops {self.dropped_by_program}, "
+            f"infrastructure loss {self.lost_by_infrastructure}"
+        ]
+        if self.latency.count:
+            lines.append(
+                f"latency: mean {self.latency.mean * 1e6:.2f} us, "
+                f"p50 {self.latency.percentile(0.50) * 1e6:.2f} us, "
+                f"p99 {self.latency.percentile(0.99) * 1e6:.2f} us"
+            )
+        if self.version_mixtures:
+            lines.append(f"version mixtures: {self.version_mixtures} (VIOLATION)")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        data: dict = {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped_by_program": self.dropped_by_program,
+            "lost_by_infrastructure": self.lost_by_infrastructure,
+            "delivery_rate": round(self.delivery_rate, 9),
+            "loss_rate": round(self.loss_rate, 9),
+            "version_mixtures": self.version_mixtures,
+            "version_counts": {
+                f"{device}@v{version}": count
+                for (device, version), count in sorted(self.version_counts.items())
+            },
+        }
+        if self.latency.count:
+            data["latency"] = {
+                "count": self.latency.count,
+                "mean_s": round(self.latency.mean, 9),
+                "min_s": round(self.latency.minimum, 9),
+                "max_s": round(self.latency.maximum, 9),
+                "p50_s": round(self.latency.percentile(0.50), 9),
+                "p99_s": round(self.latency.percentile(0.99), 9),
+            }
+        return data

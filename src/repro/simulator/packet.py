@@ -18,6 +18,20 @@ from dataclasses import dataclass, field
 _packet_ids = itertools.count(1)
 
 
+def reset_packet_ids() -> None:
+    """Restart the global packet id counter.
+
+    Packet ids feed the deterministic cut-over hash that splits traffic
+    between program versions inside a transition window, so seeded
+    scenario runners (:func:`repro.faults.chaos.run_chaos`) restart the
+    counter up front — two same-seed runs then draw identical version
+    choices even within one process. Ids stay unique within a run,
+    which is all any consumer relies on.
+    """
+    global _packet_ids
+    _packet_ids = itertools.count(1)
+
+
 class Verdict(enum.Enum):
     FORWARD = "forward"
     DROP = "drop"  # program decision (e.g. ACL deny)

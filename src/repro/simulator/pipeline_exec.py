@@ -86,20 +86,25 @@ class ProgramInstance:
         if not enabled:
             self._compiled = None
 
-    def process(self, packet: Packet, now: float = 0.0) -> ExecutionResult:
-        if self.fastpath_enabled:
+    def process(self, packet: Packet, now: float = 0.0, trace=None) -> ExecutionResult:
+        # FlexScope: a sampled packet (``trace`` is a PacketTrace) always
+        # runs through the interpreter, which narrates its execution into
+        # the trace. FlexPath's differential-identity guarantee makes the
+        # outcome identical to the compiled path, so sampling observes
+        # real behaviour without instrumenting the closures.
+        if self.fastpath_enabled and trace is None:
             compiled = self._compiled
             if compiled is None:
                 from repro.simulator.fastpath import compile_instance
 
                 compiled = self._compiled = compile_instance(self)
             return compiled.process(packet, now)
-        interpreter = _Interpreter(self, packet, now)
+        interpreter = _Interpreter(self, packet, now, trace=trace)
         return interpreter.run()
 
 
 class _Interpreter:
-    def __init__(self, instance: ProgramInstance, packet: Packet, now: float = 0.0):
+    def __init__(self, instance: ProgramInstance, packet: Packet, now: float = 0.0, trace=None):
         self._instance = instance
         self._program = instance.program
         self._packet = packet
@@ -107,12 +112,16 @@ class _Interpreter:
         self._ops = 0
         self._visible_headers: set[str] = set()
         self._recirculations = 0
+        #: FlexScope frame collector for sampled packets (None otherwise).
+        self._trace = trace
 
     def run(self) -> ExecutionResult:
         self._parse()
         self._run_apply()
         while self._packet.meta.pop("_recirculate", 0) and self._recirculations < MAX_RECIRCULATIONS:
             self._recirculations += 1
+            if self._trace is not None:
+                self._trace.recirculate(self._recirculations)
             self._parse()
             self._run_apply()
         if self._packet.meta.get("drop_flag"):
@@ -124,6 +133,11 @@ class _Interpreter:
     # -- parsing -----------------------------------------------------------
 
     def _parse(self) -> None:
+        self._run_parser()
+        if self._trace is not None:
+            self._trace.parse(tuple(sorted(self._visible_headers)))
+
+    def _run_parser(self) -> None:
         self._visible_headers.clear()
         parser = self._program.parser
         if parser is None:
@@ -164,6 +178,8 @@ class _Interpreter:
                     self._apply_table(step.table)
             elif isinstance(step, ir.ApplyFunction):
                 if self._instance.hosts(step.function):
+                    if self._trace is not None:
+                        self._trace.function(step.function)
                     self._exec_body(self._program.function(step.function).body, {})
             else:
                 self._ops += 1
@@ -180,6 +196,12 @@ class _Interpreter:
         )
         self._ops += 1
         action_call = rules.lookup(key_values)
+        if self._trace is not None:
+            self._trace.table(
+                table_name,
+                action_call is not None,
+                action_call.action if action_call is not None else None,
+            )
         if action_call is None:
             return
         if rules.meter is not None:
@@ -247,12 +269,16 @@ class _Interpreter:
         meta = self._packet.meta
         if call.name == "mark_drop":
             meta["drop_flag"] = 1
+            if self._trace is not None:
+                self._trace.drop()
         elif call.name == "set_port":
             meta["egress_port"] = args[0] if args else 0
         elif call.name == "set_queue":
             meta["queue_id"] = args[0] if args else 0
         elif call.name == "emit_digest":
             self._packet.digests.append((self._program.name, tuple(args)))
+            if self._trace is not None:
+                self._trace.digest(self._program.name, tuple(args))
         elif call.name == "clone":
             meta["clones"] = meta.get("clones", 0) + 1
         elif call.name == "recirculate":

@@ -110,6 +110,15 @@ class TestSimulate:
         assert "sent      : 100" in out
         assert "lost      : 0" in out
 
+    def test_simulate_json(self, program_file, capsys):
+        import json
+
+        assert main(["simulate", program_file, "--rate", "200", "--duration", "0.5",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["sent"] == 100
+        assert payload["metrics"]["lost_by_infrastructure"] == 0
+
     def test_simulate_with_patch(self, program_file, patch_file, capsys):
         assert (
             main([
@@ -121,6 +130,63 @@ class TestSimulate:
         out = capsys.readouterr().out
         assert "scheduled delta" in out
         assert "versions on sw1" in out
+
+
+class TestObservabilityVerbs:
+    def test_trace_renders_span_tree(self, program_file, patch_file, capsys):
+        assert main(["trace", program_file, "--rate", "200", "--duration", "0.5",
+                     "--patch", patch_file, "--at", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "[install] install" in out
+        assert "[update] update" in out
+        assert "[window] window@sw1" in out
+        assert "[packet] pkt@sw1" in out
+
+    def test_trace_events_and_json(self, program_file, capsys):
+        import json
+
+        assert main(["trace", program_file, "--rate", "200", "--duration", "0.5",
+                     "--events"]) == 0
+        assert "events:" in capsys.readouterr().out
+        assert main(["trace", program_file, "--rate", "200", "--duration", "0.5",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spans"][0]["kind"] == "install"
+
+    def test_trace_sink_writes_jsonl(self, program_file, tmp_path, capsys):
+        import json
+
+        sink = tmp_path / "spans.jsonl"
+        assert main(["trace", program_file, "--rate", "200", "--duration", "0.5",
+                     "--sink", str(sink)]) == 0
+        lines = [json.loads(line) for line in sink.read_text().splitlines()]
+        assert any(span["kind"] == "packet" for span in lines)
+
+    def test_metrics_prometheus_and_json(self, program_file, capsys):
+        import json
+
+        assert main(["metrics", program_file, "--rate", "200", "--duration", "0.5"]) == 0
+        text = capsys.readouterr().out
+        assert 'flexnet_device_packets_total{device="sw1",version="1"} 100' in text
+        assert "# TYPE flexnet_device_packets_total counter" in text
+        assert main(["metrics", program_file, "--rate", "200", "--duration", "0.5",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["flexnet_device_packets_total"]["type"] == "counter"
+
+    def test_profile_table(self, program_file, patch_file, capsys):
+        assert main(["profile", program_file, "--rate", "200", "--duration", "0.5",
+                     "--patch", patch_file, "--at", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "compile" in out and "transition" in out
+
+    def test_chaos_trace_renders_windows(self, capsys):
+        assert main(["chaos", "--rate", "300", "--duration", "3", "--at", "1.5",
+                     "--crash", "none", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "[window] window@sw1" in out
+        assert "* commit" in out
 
 
 class TestBench:
