@@ -12,6 +12,8 @@ Usage (also ``python -m repro.cli``)::
     flexnet bench    [program.fbpf] [--fastpath] [--packets 2000] [--json]
     flexnet chaos    [program.fbpf] [--patch patch.delta] [--trace]
                      [--crash sw1@5.2] [--drop 0.01] [--no-recovery] [--json]
+    flexnet chaos    --controller [--partition] [--nodes 3] [--no-fencing]
+    flexnet ha       status [--nodes 3] [--failover] [--json]
     flexnet trace    program.fbpf [--patch patch.delta --at 0.5]
                      [--sample-every 64] [--events] [--sink spans.jsonl] [--json]
     flexnet metrics  program.fbpf [--patch patch.delta --at 0.5] [--json]
@@ -21,7 +23,11 @@ Programs are FlexBPF source files; patches use the delta DSL (§3.2).
 Everything runs against the standard host-NIC-switch-NIC-host slice.
 ``chaos`` runs a seeded FlexFault scenario (defaults: bundled base
 infrastructure + firewall delta) and reports consistency, convergence,
-and the write-ahead journal. ``trace``/``metrics``/``profile`` run the
+and the write-ahead journal; with ``--controller`` the faults hit the
+replicated control plane instead (FlexHA: Raft leader crash, or a
+leader partition with ``--partition``). ``ha status`` stands up the
+replicated controller, drives one committed update (optionally through
+a ``--failover``), and prints the FlexHA status. ``trace``/``metrics``/``profile`` run the
 same scenario as ``simulate`` with FlexScope enabled and render the
 span tree, the Prometheus-text metric export, or the per-phase profile
 table.
@@ -278,6 +284,70 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
         delta = firewall_delta()
 
+    if args.controller:
+        from repro.faults import (
+            ControllerCrash,
+            FaultPlan,
+            LeaderPartition,
+            run_controller_chaos,
+        )
+
+        fault_at = args.fault_at if args.fault_at is not None else args.at + 0.02
+        if args.partition:
+            plan = FaultPlan(
+                seed=args.seed,
+                partitions=(
+                    LeaderPartition(at_s=fault_at, heal_after_s=args.heal_after),
+                ),
+            )
+        else:
+            plan = FaultPlan(
+                seed=args.seed,
+                controller_crashes=(
+                    ControllerCrash(
+                        node="leader",
+                        at_s=fault_at,
+                        restart_after_s=args.restart_after,
+                    ),
+                ),
+            )
+        report = run_controller_chaos(
+            program,
+            delta,
+            plan,
+            node_count=args.nodes,
+            fencing=not args.no_fencing,
+            rate_pps=args.rate,
+            duration_s=args.duration,
+            update_at_s=args.at,
+            observe=args.trace,
+            observe_sample_every=args.sample_every,
+        )
+        ok = (
+            report.converged
+            and report.violations == 0
+            and report.stale_writes_applied == 0
+        )
+        if args.json:
+            print(json_module.dumps(report.to_dict(), indent=2))
+            return 0 if ok else 1
+        print("fault plan:")
+        for line in report.fault_plan:
+            print(f"  {line}")
+        print(report.summary())
+        if report.events:
+            print("events:")
+            for event in report.events:
+                detail = f" ({event['detail']})" if event["detail"] else ""
+                print(f"  t={event['time']:<8g} {event['kind']:10s} "
+                      f"{event['device']}{detail}")
+        if args.trace and report.spans:
+            from repro.observe.trace import render_span_tree
+
+            print("trace:")
+            print(render_span_tree(report.spans))
+        return 0 if ok else 1
+
     crash_specs = args.crash if args.crash is not None else ["sw1@5.2"]
     crashes = []
     for spec in crash_specs:
@@ -348,6 +418,57 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
         print("trace:")
         print(render_span_tree(report.spans))
+    return 0 if ok else 1
+
+
+def cmd_ha(args: argparse.Namespace) -> int:
+    """Stand up the replicated controller, drive one committed update
+    (optionally through a leader fail-over), and print FlexHA status;
+    exit 0 iff a leader is live and every update executed cleanly."""
+    import json as json_module
+
+    from repro.apps import base_infrastructure, firewall_delta
+    from repro.control.ha import FlexHA
+    from repro.limits import HEARTBEAT_INTERVAL_S
+    from repro.runtime.consistency import ConsistencyLevel
+    from repro.simulator.packet import reset_packet_ids
+
+    reset_packet_ids()
+    net = FlexNet.standard("drmt")
+    net.install(base_infrastructure())
+    controller = net.controller
+    ha = FlexHA(controller, node_count=args.nodes, seed=args.seed)
+    loop = controller.loop
+
+    def submit() -> None:
+        delta = firewall_delta()
+        if ha.submit_update(delta, consistency=ConsistencyLevel.PER_PACKET_PATH) is None:
+            loop.schedule(HEARTBEAT_INTERVAL_S, submit)
+
+    loop.schedule_at(2.0, submit)
+    if args.failover:
+
+        def kill_leader() -> None:
+            leader = ha.leader_id
+            if leader is None:
+                return
+            ha.cluster.bus.crash(leader)
+            loop.schedule(2.0, lambda: ha.cluster.bus.recover(leader))
+
+        loop.schedule_at(2.02, kill_leader)
+    loop.run_until(8.0)
+    for device in controller.devices.values():
+        device.settle(loop.now)
+
+    ok = (
+        ha.leader_id is not None
+        and ha.executed_updates >= 1
+        and not ha.update_errors
+    )
+    if args.json:
+        print(json_module.dumps(ha.status(), indent=2))
+    else:
+        print(ha.summary())
     return 0 if ok else 1
 
 
@@ -533,7 +654,40 @@ def build_parser() -> argparse.ArgumentParser:
                               help="with --trace, sample one packet in N")
     chaos_parser.add_argument("--json", action="store_true",
                               help="emit the full machine-readable chaos report")
+    chaos_parser.add_argument("--controller", action="store_true",
+                              help="fault the replicated control plane instead "
+                                   "(FlexHA: leader crash, or --partition)")
+    chaos_parser.add_argument("--partition", action="store_true",
+                              help="with --controller: partition the leader away "
+                                   "instead of crashing it")
+    chaos_parser.add_argument("--nodes", type=int, default=3,
+                              help="with --controller: Raft replica count")
+    chaos_parser.add_argument("--no-fencing", action="store_true",
+                              help="with --controller: disable fencing epochs "
+                                   "(the unfenced baseline)")
+    chaos_parser.add_argument("--fault-at", type=float, default=None,
+                              help="with --controller: when the leader fault "
+                                   "fires (default: update time + 0.02s)")
+    chaos_parser.add_argument("--heal-after", type=float, default=3.0,
+                              help="with --controller --partition: partition "
+                                   "duration in seconds")
     chaos_parser.set_defaults(func=cmd_chaos)
+
+    ha_parser = subparsers.add_parser(
+        "ha", help="controller high-availability status (FlexHA)"
+    )
+    ha_parser.add_argument("action", choices=["status"],
+                           help="'status': run a replicated-controller scenario "
+                                "and print the FlexHA state")
+    ha_parser.add_argument("--nodes", type=int, default=3,
+                           help="Raft replica count")
+    ha_parser.add_argument("--seed", type=int, default=11)
+    ha_parser.add_argument("--failover", action="store_true",
+                           help="crash the leader mid-update to demonstrate "
+                                "fail-over")
+    ha_parser.add_argument("--json", action="store_true",
+                           help="emit the machine-readable FlexHA status")
+    ha_parser.set_defaults(func=cmd_ha)
 
     def scenario_args(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("program")

@@ -1,9 +1,21 @@
 """Real-time network control: the FlexNet controller and its services."""
 
 from repro.control.apps_api import AppRecord, AppSla, AppUri
-from repro.control.consensus import ControllerCluster, MessageBus, RaftNode, Role
+from repro.control.consensus import (
+    ControllerCluster,
+    MessageBus,
+    RaftNode,
+    RaftSnapshot,
+    Role,
+)
 from repro.control.controller import FlexNetController, TransitionOutcome
-from repro.control.p4runtime import P4RuntimeClient, P4RuntimeHub, TableEntry
+from repro.control.ha import FailoverRecord, FlexHA, HACommand
+from repro.control.p4runtime import (
+    DeviceGroundTruth,
+    P4RuntimeClient,
+    P4RuntimeHub,
+    TableEntry,
+)
 from repro.control.replication import ReplicationGroup, ReplicationManager
 from repro.control.scheduler import UpdateSchedule
 from repro.control.telemetry import DigestRecord, TelemetryCollector
@@ -14,13 +26,18 @@ __all__ = [
     "AppSla",
     "AppUri",
     "ControllerCluster",
+    "DeviceGroundTruth",
     "DeviceInfo",
     "DigestRecord",
+    "FailoverRecord",
+    "FlexHA",
     "FlexNetController",
+    "HACommand",
     "MessageBus",
     "P4RuntimeClient",
     "P4RuntimeHub",
     "RaftNode",
+    "RaftSnapshot",
     "ReplicationGroup",
     "ReplicationManager",
     "Role",

@@ -11,8 +11,13 @@ failures and partitions (experiment E11).
 The implementation follows the Raft paper's state machine closely
 enough to exhibit its safety/liveness behaviour: terms, randomized
 election timeouts, AppendEntries consistency checks, and commit only of
-current-term entries via majority match indexes. Snapshots and
-membership changes are out of scope.
+current-term entries via majority match indexes. Log compaction via
+snapshots is implemented (FlexHA uses it for fast follower catch-up):
+a node whose applied suffix exceeds ``snapshot_threshold`` folds the
+applied prefix into a :class:`RaftSnapshot` and truncates its log, and
+a leader whose next entry for a lagging follower has already been
+compacted ships the snapshot (:class:`InstallSnapshot`) instead of
+replaying the log. Membership changes remain out of scope.
 """
 
 from __future__ import annotations
@@ -23,10 +28,38 @@ from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.errors import ConsensusError
+from repro.limits import ELECTION_TIMEOUT_RANGE_S, HEARTBEAT_INTERVAL_S
 from repro.simulator.engine import EventLoop
+from repro.util import stable_hash
 
-ELECTION_TIMEOUT_RANGE_S = (0.15, 0.30)
-HEARTBEAT_INTERVAL_S = 0.05
+__all__ = [
+    "ELECTION_TIMEOUT_RANGE_S",
+    "HEARTBEAT_INTERVAL_S",
+    "AppendEntries",
+    "AppendReply",
+    "ControllerCluster",
+    "InstallSnapshot",
+    "LogEntry",
+    "MessageBus",
+    "RaftNode",
+    "RaftSnapshot",
+    "RequestVote",
+    "Role",
+    "SnapshotReply",
+    "VoteReply",
+    "node_seed",
+]
+
+
+def node_seed(node_id: str, seed: int) -> int:
+    """The RNG seed for one Raft node.
+
+    Derived with :func:`~repro.util.stable_hash` over the node id's
+    bytes — Python's builtin ``hash`` of a str is salted per process
+    (PYTHONHASHSEED), which would make same-seed elections diverge
+    across processes.
+    """
+    return stable_hash((seed, *node_id.encode())) & 0xFFFFFFFF
 
 
 class Role(enum.Enum):
@@ -72,6 +105,36 @@ class AppendReply:
     follower: str
     success: bool
     match_index: int
+
+
+@dataclass(frozen=True)
+class RaftSnapshot:
+    """The state machine folded up to (and including) ``last_index``.
+
+    ``commands`` is the full applied command sequence — enough for a
+    fresh follower to reconstruct its state machine without replaying
+    the (discarded) log prefix.
+    """
+
+    last_index: int
+    last_term: int
+    commands: tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class InstallSnapshot:
+    """Leader -> lagging follower: catch up from a snapshot."""
+
+    term: int
+    leader: str
+    snapshot: RaftSnapshot
+
+
+@dataclass(frozen=True)
+class SnapshotReply:
+    term: int
+    follower: str
+    last_index: int
 
 
 class MessageBus:
@@ -142,11 +205,12 @@ class RaftNode:
         bus: MessageBus,
         apply_callback: Callable[[object], None] | None = None,
         seed: int = 0,
+        snapshot_threshold: int | None = None,
     ):
         self.node_id = node_id
         self.peers = [p for p in peers if p != node_id]
         self._bus = bus
-        self._rng = random.Random(hash((node_id, seed)) & 0xFFFFFFFF)
+        self._rng = random.Random(node_seed(node_id, seed))
         self._apply = apply_callback
 
         self.role = Role.FOLLOWER
@@ -156,6 +220,15 @@ class RaftNode:
         self.commit_index = 0  # 1-based; 0 == nothing committed
         self.last_applied = 0
         self.applied_commands: list[object] = []
+        #: log compaction: entries 1..log_offset live in ``snapshot``;
+        #: ``log[i]`` holds entry index ``log_offset + i + 1``.
+        self.log_offset = 0
+        self.snapshot: RaftSnapshot | None = None
+        #: compact once more than this many applied entries are in the
+        #: log (None disables compaction).
+        self.snapshot_threshold = snapshot_threshold
+        self.snapshots_taken = 0
+        self.snapshots_installed = 0
 
         self._votes: set[str] = set()
         self._next_index: dict[str, int] = {}
@@ -171,16 +244,20 @@ class RaftNode:
 
     @property
     def last_log_index(self) -> int:
-        return len(self.log)
+        return self.log_offset + len(self.log)
 
     @property
     def last_log_term(self) -> int:
-        return self.log[-1].term if self.log else 0
+        if self.log:
+            return self.log[-1].term
+        return self.snapshot.last_term if self.snapshot is not None else 0
 
     def _term_at(self, index: int) -> int:
         if index == 0:
             return 0
-        return self.log[index - 1].term
+        if index == self.log_offset:
+            return self.snapshot.last_term if self.snapshot is not None else 0
+        return self.log[index - self.log_offset - 1].term
 
     def _reset_election_timer(self) -> None:
         timeout = self._rng.uniform(*ELECTION_TIMEOUT_RANGE_S)
@@ -245,8 +322,21 @@ class RaftNode:
     def _broadcast_append(self) -> None:
         for peer in self.peers:
             next_index = self._next_index.get(peer, self.last_log_index + 1)
+            if self.snapshot is not None and next_index <= self.log_offset:
+                # The entries this follower needs were compacted away:
+                # ship the snapshot instead of replaying the log.
+                self._bus.send(
+                    self.node_id,
+                    peer,
+                    InstallSnapshot(
+                        term=self.current_term,
+                        leader=self.node_id,
+                        snapshot=self.snapshot,
+                    ),
+                )
+                continue
             prev_index = next_index - 1
-            entries = tuple(self.log[prev_index:])
+            entries = tuple(self.log[prev_index - self.log_offset:])
             message = AppendEntries(
                 term=self.current_term,
                 leader=self.node_id,
@@ -270,6 +360,10 @@ class RaftNode:
             self._on_append(message)
         elif isinstance(message, AppendReply):
             self._on_append_reply(message)
+        elif isinstance(message, InstallSnapshot):
+            self._on_install_snapshot(message)
+        elif isinstance(message, SnapshotReply):
+            self._on_snapshot_reply(message)
 
     def _observe_term(self, term: int) -> None:
         if term > self.current_term:
@@ -319,9 +413,18 @@ class RaftNode:
             return
         self.role = Role.FOLLOWER
         self._reset_election_timer()
+        # Entries at or below our snapshot point are committed by
+        # definition; skip the overlapping prefix instead of failing the
+        # consistency check against compacted indexes.
+        prev_index = message.prev_log_index
+        entries = message.entries
+        if prev_index < self.log_offset:
+            skip = self.log_offset - prev_index
+            entries = entries[skip:] if skip < len(entries) else ()
+            prev_index = self.log_offset
         # Consistency check.
-        if message.prev_log_index > self.last_log_index or (
-            self._term_at(message.prev_log_index) != message.prev_log_term
+        if prev_index > self.last_log_index or (
+            self._term_at(prev_index) != message.prev_log_term
         ):
             self._bus.send(
                 self.node_id,
@@ -335,10 +438,11 @@ class RaftNode:
             )
             return
         # Append, truncating conflicts.
-        index = message.prev_log_index
-        for entry in message.entries:
-            if index < self.last_log_index and self.log[index].term != entry.term:
-                del self.log[index:]
+        index = prev_index
+        for entry in entries:
+            local = index - self.log_offset
+            if index < self.last_log_index and self.log[local].term != entry.term:
+                del self.log[local:]
             if index >= self.last_log_index:
                 self.log.append(entry)
             index += 1
@@ -355,6 +459,54 @@ class RaftNode:
                 match_index=message.prev_log_index + len(message.entries),
             ),
         )
+
+    def _on_install_snapshot(self, message: InstallSnapshot) -> None:
+        self._observe_term(message.term)
+        if message.term < self.current_term:
+            return
+        self.role = Role.FOLLOWER
+        self._reset_election_timer()
+        snap = message.snapshot
+        if snap.last_index > self.log_offset:
+            if (
+                snap.last_index <= self.last_log_index
+                and self._term_at(snap.last_index) == snap.last_term
+            ):
+                # Our log already contains the snapshot point: keep the
+                # suffix, discard the covered prefix.
+                del self.log[: snap.last_index - self.log_offset]
+            else:
+                # Diverged or too short: the snapshot replaces the log.
+                self.log = []
+            self.log_offset = snap.last_index
+            self.snapshot = snap
+            # State-machine catch-up: apply the snapshot commands we had
+            # not yet applied (snapshot commands are 1..last_index).
+            for command in snap.commands[self.last_applied:]:
+                self.applied_commands.append(command)
+                if self._apply is not None:
+                    self._apply(command)
+            self.last_applied = max(self.last_applied, snap.last_index)
+            self.commit_index = max(self.commit_index, snap.last_index)
+            self.snapshots_installed += 1
+        self._bus.send(
+            self.node_id,
+            message.leader,
+            SnapshotReply(
+                term=self.current_term,
+                follower=self.node_id,
+                last_index=self.log_offset,
+            ),
+        )
+
+    def _on_snapshot_reply(self, message: SnapshotReply) -> None:
+        self._observe_term(message.term)
+        if self.role is not Role.LEADER or message.term != self.current_term:
+            return
+        self._match_index[message.follower] = max(
+            self._match_index.get(message.follower, 0), message.last_index
+        )
+        self._next_index[message.follower] = self._match_index[message.follower] + 1
 
     def _on_append_reply(self, message: AppendReply) -> None:
         self._observe_term(message.term)
@@ -387,10 +539,27 @@ class RaftNode:
     def _apply_committed(self) -> None:
         while self.last_applied < self.commit_index:
             self.last_applied += 1
-            command = self.log[self.last_applied - 1].command
+            command = self.log[self.last_applied - 1 - self.log_offset].command
             self.applied_commands.append(command)
             if self._apply is not None:
                 self._apply(command)
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        if self.snapshot_threshold is None:
+            return
+        applied_in_log = self.last_applied - self.log_offset
+        if applied_in_log < self.snapshot_threshold:
+            return
+        last_index = self.last_applied
+        self.snapshot = RaftSnapshot(
+            last_index=last_index,
+            last_term=self._term_at(last_index),
+            commands=tuple(self.applied_commands),
+        )
+        del self.log[: last_index - self.log_offset]
+        self.log_offset = last_index
+        self.snapshots_taken += 1
 
 
 class ControllerCluster:
@@ -408,6 +577,8 @@ class ControllerCluster:
         apply_callback: Callable[[object], None] | None = None,
         latency_s: float = 0.005,
         seed: int = 0,
+        apply_factory: Callable[[str], Callable[[object], None]] | None = None,
+        snapshot_threshold: int | None = None,
     ):
         if node_count < 1:
             raise ConsensusError("need at least one controller node")
@@ -415,7 +586,14 @@ class ControllerCluster:
         self.bus = MessageBus(loop, latency_s=latency_s)
         node_ids = [f"ctl{i}" for i in range(node_count)]
         self.nodes = {
-            node_id: RaftNode(node_id, node_ids, self.bus, apply_callback, seed=seed)
+            node_id: RaftNode(
+                node_id,
+                node_ids,
+                self.bus,
+                apply_factory(node_id) if apply_factory is not None else apply_callback,
+                seed=seed,
+                snapshot_threshold=snapshot_threshold,
+            )
             for node_id in node_ids
         }
 

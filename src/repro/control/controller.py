@@ -131,6 +131,8 @@ class TransitionOutcome:
                 "command_retries": report.command_retries,
                 "stranded": sorted(report.stranded_commands),
                 "deferred_starts": sorted(report.deferred_starts),
+                "stale_rejected": report.stale_rejected,
+                "undispatched": sorted(report.undispatched),
             },
         }
 
@@ -168,6 +170,10 @@ class FlexNetController:
         #: observability is off and no call site pays more than this
         #: attribute check).
         self.observer = None
+
+        #: FlexHA wiring (populated by :meth:`repro.control.ha.FlexHA.attach`
+        #: only — ``None`` means the controller runs unreplicated).
+        self.ha = None
 
         self._composer: Composer | None = None
         self._base_program: Program | None = None
@@ -288,15 +294,30 @@ class FlexNetController:
         changes: ChangeSet | None = None,
         consistency: ConsistencyLevel = ConsistencyLevel.PER_PACKET_PER_DEVICE,
         strict_analysis: bool = False,
+        *,
+        epoch: int | None = None,
+        dispatch_gate=None,
+        delta_id: int | None = None,
     ) -> TransitionOutcome:
         """Incrementally recompile to ``new_program`` and orchestrate the
         hitless runtime transition (see :meth:`_transition_to` for the
         mechanics). With FlexScope enabled, the whole change runs inside
         an "update" span (the orchestrator's transition/window spans nest
-        under it) and the outcome carries the span ids."""
+        under it) and the outcome carries the span ids.
+
+        ``epoch``/``dispatch_gate``/``delta_id`` are FlexHA's fencing
+        hooks, threaded down to the orchestrator's device windows."""
         observer = self.observer
         if observer is None:
-            return self._transition_to(new_program, changes, consistency, strict_analysis)
+            return self._transition_to(
+                new_program,
+                changes,
+                consistency,
+                strict_analysis,
+                epoch=epoch,
+                dispatch_gate=dispatch_gate,
+                delta_id=delta_id,
+            )
         tracer = observer.tracer
         span = tracer.start_span(
             "update",
@@ -309,7 +330,13 @@ class FlexNetController:
         try:
             with observer.profiler.phase("transition"):
                 outcome = self._transition_to(
-                    new_program, changes, consistency, strict_analysis
+                    new_program,
+                    changes,
+                    consistency,
+                    strict_analysis,
+                    epoch=epoch,
+                    dispatch_gate=dispatch_gate,
+                    delta_id=delta_id,
                 )
         except Exception:
             tracer._stack.pop()
@@ -352,6 +379,10 @@ class FlexNetController:
         changes: ChangeSet | None = None,
         consistency: ConsistencyLevel = ConsistencyLevel.PER_PACKET_PER_DEVICE,
         strict_analysis: bool = False,
+        *,
+        epoch: int | None = None,
+        dispatch_gate=None,
+        delta_id: int | None = None,
     ) -> TransitionOutcome:
         """Incrementally recompile to ``new_program`` and orchestrate the
         hitless runtime transition under the requested consistency.
@@ -439,6 +470,9 @@ class FlexNetController:
             window_override=schedule.window_s,
             flow_affine=consistency is ConsistencyLevel.PER_FLOW,
             protected_maps=protected_maps or None,
+            epoch=epoch,
+            dispatch_gate=dispatch_gate,
+            delta_id=delta_id,
         )
 
         self._program = new_program
@@ -787,6 +821,7 @@ class FlexNetController:
                 self.devices,
                 telemetry=self.telemetry,
                 on_quarantine=self._on_quarantine,
+                on_release=self._on_health_release,
             )
             self.health.start()
         return self.recovery
@@ -798,6 +833,15 @@ class FlexNetController:
             self.reroute_datapath(avoid={device_name})
         except ControlPlaneError:
             pass  # no alternate route — the datapath stays degraded
+
+    def _on_health_release(self, device_name: str) -> None:
+        """Health-monitor callback: a quarantined device came back. With
+        FlexHA attached, the leader resyncs it — the device may have
+        missed whole transition windows while unreachable, and its
+        ground truth must be re-read and repaired against the committed
+        log."""
+        if self.ha is not None:
+            self.ha.resync_device(device_name)
 
     def reroute_datapath(self, avoid: set[str]) -> list[str]:
         """Re-route the datapath between its endpoints, skipping the

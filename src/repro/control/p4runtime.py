@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ChannelError, ControlPlaneError
+from repro.errors import ChannelError, ControlPlaneError, StaleEpochError
 from repro.lang.ir import ActionCall
 from repro.limits import READ_RTT_S, WRITE_RTT_S
 from repro.runtime.device import DeviceRuntime
@@ -29,6 +29,7 @@ __all__ = [
     "READ_RTT_S",
     "WRITE_RTT_S",
     "ControlChannel",
+    "DeviceGroundTruth",
     "P4RuntimeClient",
     "P4RuntimeHub",
     "P4RuntimeStats",
@@ -109,6 +110,42 @@ class TableEntry:
         )
 
 
+@dataclass(frozen=True)
+class DeviceGroundTruth:
+    """What a device actually holds, read back over P4Runtime.
+
+    FlexHA's resync sweep reads this after a leader fail-over to diff a
+    device's real state against the committed Raft log: a device whose
+    ``version`` lags the intended program (a window the deposed leader
+    never opened) gets re-driven; a ``stranded`` device gets resolved.
+    """
+
+    device: str
+    version: int | None
+    #: table name -> installed entry count.
+    tables: dict[str, int]
+    #: map name -> populated entry count.
+    maps: dict[str, int]
+    #: parser state: header names the active version understands.
+    headers: tuple[str, ...]
+    in_transition: bool
+    stranded: bool
+    #: highest fencing epoch the device has admitted.
+    fencing_epoch: int
+
+    def to_dict(self) -> dict:
+        return {
+            "device": self.device,
+            "version": self.version,
+            "tables": dict(sorted(self.tables.items())),
+            "maps": dict(sorted(self.maps.items())),
+            "headers": list(self.headers),
+            "in_transition": self.in_transition,
+            "stranded": self.stranded,
+            "fencing_epoch": self.fencing_epoch,
+        }
+
+
 class P4RuntimeClient:
     """Element-level client bound to one device."""
 
@@ -117,6 +154,9 @@ class P4RuntimeClient:
         self.stats = P4RuntimeStats()
         #: optional lossy-channel model (FlexFault); None == ideal channel.
         self.channel = channel
+        #: FlexHA fencing epoch stamped on every mutation (None == an
+        #: unfenced single controller; devices admit unconditionally).
+        self.epoch: int | None = None
 
     @property
     def device_name(self) -> str:
@@ -131,9 +171,15 @@ class P4RuntimeClient:
 
     def _write(self) -> None:
         """Cost one write round trip (before mutating device state, so a
-        lost write leaves the device untouched)."""
+        lost write leaves the device untouched); then fence: a stale
+        epoch is rejected by the device and the mutation never lands."""
         self.stats.control_time_s += self._transmit(WRITE_RTT_S)
         self.stats.writes += 1
+        if not self._device.admit_epoch(self.epoch):
+            raise StaleEpochError(
+                f"device {self._device.name!r} rejected write with stale epoch "
+                f"{self.epoch} (device fenced at {self._device.fencing_epoch})"
+            )
 
     def _read(self) -> None:
         self.stats.control_time_s += self._transmit(READ_RTT_S)
@@ -239,6 +285,41 @@ class P4RuntimeClient:
         self._write()
         instance.maps.state(map_name).put(key, value)
 
+    # -- ground truth (FlexHA resync) ----------------------------------------------
+
+    def read_ground_truth(self) -> DeviceGroundTruth:
+        """One read round trip returning the device's actual state —
+        program version, table/map occupancy, parser headers, transition
+        status — for the new leader's resync diff."""
+        self._read()
+        device = self._device
+        instance = device.active_instance
+        if instance is None:
+            return DeviceGroundTruth(
+                device=device.name,
+                version=None,
+                tables={},
+                maps={},
+                headers=(),
+                in_transition=device.in_transition,
+                stranded=device.stranded,
+                fencing_epoch=device.fencing_epoch,
+            )
+        return DeviceGroundTruth(
+            device=device.name,
+            version=instance.program.version,
+            tables={name: len(rules) for name, rules in instance.rules.items()},
+            maps={
+                map_def.name: len(dict(instance.maps.state(map_def.name).items()))
+                for map_def in instance.program.maps
+                if map_def.name in instance.maps
+            },
+            headers=tuple(header.name for header in instance.program.headers),
+            in_transition=device.in_transition,
+            stranded=device.stranded,
+            fencing_epoch=device.fencing_epoch,
+        )
+
 
 @dataclass
 class P4RuntimeHub:
@@ -247,11 +328,14 @@ class P4RuntimeHub:
     clients: dict[str, P4RuntimeClient] = field(default_factory=dict)
     #: shared channel model applied to all bindings (None == ideal).
     channel: ControlChannel | None = None
+    #: FlexHA fencing epoch stamped on every binding (None == unfenced).
+    epoch: int | None = None
 
     def bind(self, device: DeviceRuntime) -> P4RuntimeClient:
         client = self.clients.get(device.name)
         if client is None:
             client = P4RuntimeClient(device, channel=self.channel)
+            client.epoch = self.epoch
             self.clients[device.name] = client
         return client
 
@@ -260,6 +344,13 @@ class P4RuntimeHub:
         self.channel = channel
         for client in self.clients.values():
             client.channel = channel
+
+    def set_epoch(self, epoch: int | None) -> None:
+        """Stamp a fencing epoch (the leader's Raft term) on every
+        current and future binding; devices reject older epochs."""
+        self.epoch = epoch
+        for client in self.clients.values():
+            client.epoch = epoch
 
     def client(self, device_name: str) -> P4RuntimeClient:
         if device_name not in self.clients:

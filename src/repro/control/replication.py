@@ -129,7 +129,12 @@ class ReplicationManager:
         group = self.group(map_name)
         if not group.replicas:
             raise ControlPlaneError(f"map {map_name!r} has no replicas to promote")
-        freshest = max(group.status.values(), key=lambda s: s.synced_mutation_count)
+        # Tie-break equally fresh replicas by device name so promotion
+        # is deterministic regardless of replica-dict insertion order.
+        freshest = min(
+            group.status.values(),
+            key=lambda s: (-s.synced_mutation_count, s.device),
+        )
         lost = group.primary.mutation_count - freshest.synced_mutation_count
         group.failed_over = True
         new_primary = group.replicas[freshest.device]

@@ -94,6 +94,11 @@ class ChannelError(ControlPlaneError):
     any) are exhausted."""
 
 
+class StaleEpochError(ControlPlaneError):
+    """Raised when a mutation carries a fencing epoch older than the one
+    the device has already admitted — the writer is a deposed leader."""
+
+
 class RpcError(FlexNetError):
     """Raised when a dRPC invocation fails (no service, timeout)."""
 

@@ -14,17 +14,26 @@ migrations. This package provides both halves:
   application with resume/rollback), :class:`RecoveryManager` and
   :class:`HealthMonitor` (quarantine + detour).
 * **Scenarios** — :func:`run_chaos`, the seeded scenario runner behind
-  experiment E16 and the ``flexnet chaos`` CLI.
+  experiment E16 and the ``flexnet chaos`` CLI, and
+  :func:`run_controller_chaos`, its FlexHA counterpart (leader crashes
+  and partitions, experiment E19 / ``flexnet chaos --controller``).
 """
 
-from repro.faults.chaos import ChaosReport, run_chaos
+from repro.faults.chaos import (
+    ChaosReport,
+    ControllerChaosReport,
+    run_chaos,
+    run_controller_chaos,
+)
 from repro.faults.journal import JournalEntry, ReconfigJournal, TxnState
 from repro.faults.plan import (
     ChannelFault,
+    ControllerCrash,
     DeviceCrash,
     DrpcFault,
     FaultInjector,
     FaultPlan,
+    LeaderPartition,
     MigrationFault,
 )
 from repro.faults.recovery import (
@@ -38,6 +47,8 @@ from repro.faults.recovery import (
 __all__ = [
     "ChannelFault",
     "ChaosReport",
+    "ControllerChaosReport",
+    "ControllerCrash",
     "CrashSchedule",
     "DegradedEvent",
     "DeviceCrash",
@@ -46,10 +57,12 @@ __all__ = [
     "FaultPlan",
     "HealthMonitor",
     "JournalEntry",
+    "LeaderPartition",
     "MigrationFault",
     "RecoveryManager",
     "ReconfigJournal",
     "RetryPolicy",
     "TxnState",
     "run_chaos",
+    "run_controller_chaos",
 ]

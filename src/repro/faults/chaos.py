@@ -8,9 +8,16 @@ migrations), applies a delta mid-traffic, and reports what survived:
 delivery, consistency, per-device convergence, the write-ahead journal,
 and every degraded-mode event.
 
+:func:`run_controller_chaos` is the FlexHA counterpart (experiment E19
+and ``flexnet chaos --controller``): the same slice runs under a
+replicated controller, and the armed faults hit the *control plane* —
+Raft leader crashes and leader partitions, optionally mid-two-phase
+transition — exercising fail-over, fencing, and the resync sweep.
+
 Everything is keyed by the plan's seed — two runs of the same scenario
-produce byte-identical reports (``ChaosReport.to_dict``), which is what
-makes fault campaigns regression-testable.
+produce byte-identical reports (``ChaosReport.to_dict``,
+``ControllerChaosReport.to_dict``), which is what makes fault campaigns
+regression-testable.
 """
 
 from __future__ import annotations
@@ -135,6 +142,288 @@ class ChaosReport:
         if self.spans:
             lines.append(f"  trace: {len(self.spans)} span(s) captured")
         return "\n".join(lines)
+
+
+@dataclass
+class ControllerChaosReport:
+    """Outcome of one controller-fault scenario (:func:`run_controller_chaos`)."""
+
+    seed: int
+    fencing: bool
+    node_count: int
+    sent: int
+    delivered: int
+    lost: int
+    violations: int
+    packets_checked: int
+    target_version: int
+    device_versions: dict[str, int | None]
+    stranded: list[str]
+    #: the update was executed, every hosting device serves the target
+    #: version, nothing is stranded or mid-transition.
+    converged: bool
+    #: controller-side outcome: fail-overs, fencing, resync (FlexHA).
+    failovers: int
+    handoff_downtimes_s: list[float]
+    submitted: int
+    executed_updates: int
+    update_errors: list[str]
+    resyncs: int
+    devices_redriven: int
+    stranded_resolved: int
+    epoch_rejections: int
+    #: stale-epoch mutations that *landed* (only possible with
+    #: ``fencing=False`` — the corruption fencing prevents).
+    stale_writes_applied: int
+    ha: dict = field(default_factory=dict)
+    journal: list[dict] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)
+    fault_plan: list[str] = field(default_factory=list)
+    spans: list[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "fencing": self.fencing,
+            "node_count": self.node_count,
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "lost": self.lost,
+            "violations": self.violations,
+            "packets_checked": self.packets_checked,
+            "target_version": self.target_version,
+            "device_versions": dict(sorted(self.device_versions.items())),
+            "stranded": sorted(self.stranded),
+            "converged": self.converged,
+            "failovers": self.failovers,
+            "handoff_downtimes_s": [round(d, 6) for d in self.handoff_downtimes_s],
+            "submitted": self.submitted,
+            "executed_updates": self.executed_updates,
+            "update_errors": list(self.update_errors),
+            "resyncs": self.resyncs,
+            "devices_redriven": self.devices_redriven,
+            "stranded_resolved": self.stranded_resolved,
+            "epoch_rejections": self.epoch_rejections,
+            "stale_writes_applied": self.stale_writes_applied,
+            "ha": self.ha,
+            "journal": self.journal,
+            "events": self.events,
+            "fault_plan": list(self.fault_plan),
+            "spans": self.spans,
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"controller chaos seed={self.seed} nodes={self.node_count} "
+            f"fencing={'on' if self.fencing else 'off'}",
+            f"  traffic: sent {self.sent}, delivered {self.delivered}, lost {self.lost}",
+            f"  consistency: {self.violations} violation(s) / "
+            f"{self.packets_checked} checked",
+            f"  converged: {'yes' if self.converged else 'NO'} "
+            f"(target v{self.target_version})",
+            f"  failovers: {self.failovers}"
+            + (
+                ", handoff "
+                + ", ".join(f"{d * 1000:.0f}ms" for d in self.handoff_downtimes_s)
+                if self.handoff_downtimes_s
+                else ""
+            ),
+            f"  updates: {self.submitted} submitted, {self.executed_updates} executed"
+            + (f", {len(self.update_errors)} error(s)" if self.update_errors else ""),
+            f"  resync: {self.resyncs} sweep(s), {self.devices_redriven} re-driven, "
+            f"{self.stranded_resolved} stranded resolved",
+            f"  fencing: {self.epoch_rejections} stale rejection(s), "
+            f"{self.stale_writes_applied} stale write(s) applied",
+        ]
+        if self.stranded:
+            lines.append(f"  stranded mid-delta: {', '.join(self.stranded)}")
+        if self.spans:
+            lines.append(f"  trace: {len(self.spans)} span(s) captured")
+        return "\n".join(lines)
+
+
+def _arm_controller_faults(ha, plan: FaultPlan) -> None:
+    """Schedule the plan's controller-side faults against the Raft bus.
+
+    ``node="leader"`` resolves at fire time to whichever node currently
+    leads (falling back to the highest-term node if an election is in
+    flight), so "kill the leader mid-two-phase-transition" stays
+    well-defined however previous faults reshuffled leadership.
+    """
+    bus = ha.cluster.bus
+
+    def current_leader() -> str:
+        leader = ha.cluster.leader()
+        if leader is not None:
+            return leader.node_id
+        return max(
+            ha.cluster.nodes.values(), key=lambda n: (n.current_term, n.node_id)
+        ).node_id
+
+    for crash in plan.controller_crashes:
+
+        def crash_node(spec=crash) -> None:
+            node_id = current_leader() if spec.node == "leader" else spec.node
+            if node_id not in ha.cluster.nodes:
+                return
+            bus.crash(node_id)
+            bus.schedule(spec.restart_after_s, lambda: bus.recover(node_id))
+
+        ha.controller.loop.schedule_at(crash.at_s, crash_node)
+
+    for split in plan.partitions:
+
+        def partition(spec=split) -> None:
+            leader_id = current_leader()
+            others = {n for n in ha.cluster.nodes if n != leader_id}
+            if not others:
+                return
+            bus.partition({leader_id}, others)
+            bus.schedule(spec.heal_after_s, bus.heal)
+
+        ha.controller.loop.schedule_at(split.at_s, partition)
+
+
+def run_controller_chaos(
+    program: Program,
+    delta: Delta,
+    plan: FaultPlan,
+    node_count: int = 3,
+    fencing: bool = True,
+    rate_pps: float = 1000.0,
+    duration_s: float = 10.0,
+    update_at_s: float = 5.0,
+    extra_time_s: float = 5.0,
+    consistency: ConsistencyLevel = ConsistencyLevel.PER_PACKET_PATH,
+    switch_arch: str = "drmt",
+    setup: Callable[[FlexNet], None] | None = None,
+    observe: bool = False,
+    observe_sample_every: int = 64,
+) -> ControllerChaosReport:
+    """Run one seeded controller-fault scenario under FlexHA.
+
+    The update is *submitted through the replicated controller*
+    (:meth:`~repro.control.ha.FlexHA.submit_update`): Raft commits it
+    before any device window opens, so whatever the armed faults do to
+    the leader afterwards, a successor can re-drive it from the log. A
+    submission that lands during an election retries every heartbeat
+    until a leader accepts it.
+
+    ``fencing=False`` is the unfenced baseline: deposed leaders' stale
+    writes land (counted in ``stale_writes_applied``) instead of
+    bouncing off device epoch watermarks — the corruption E19 contrasts
+    against.
+    """
+    from repro.control.ha import FlexHA
+    from repro.limits import HEARTBEAT_INTERVAL_S
+
+    reset_packet_ids()
+    net = FlexNet.standard(switch_arch)
+    if observe:
+        net.observe.enable(sample_every=observe_sample_every)
+    net.install(program)
+    controller = net.controller
+    if setup is not None:
+        setup(net)
+        horizon = controller.orchestrator.quiesce_at
+        if horizon > controller.loop.now:
+            controller.loop.run_until(horizon + 1e-6)
+        for device in controller.devices.values():
+            device.settle(controller.loop.now)
+
+    ha = FlexHA(controller, node_count=node_count, seed=plan.seed, fencing=fencing)
+
+    # Device-side faults (and the journal FlexHA's re-drive relies on)
+    # ride on the same FlexFault machinery as run_chaos.
+    injector = FaultInjector(plan)
+    manager = controller.attach_faults(injector, recovery=True, resume=True)
+    schedule = CrashSchedule(
+        loop=controller.loop,
+        devices=controller.devices,
+        recovery=manager,
+        telemetry=controller.telemetry,
+    )
+    schedule.arm(plan)
+    _arm_controller_faults(ha, plan)
+
+    def submit() -> None:
+        if ha.submit_update(delta, consistency=consistency) is None:
+            # No leader (election in flight): retry next heartbeat.
+            controller.loop.schedule(HEARTBEAT_INTERVAL_S, submit)
+
+    net.schedule(update_at_s, submit)
+
+    traffic = net.run_traffic(
+        rate_pps=rate_pps,
+        duration_s=duration_s,
+        consistency_level=consistency,
+        extra_time_s=extra_time_s,
+    )
+
+    now = controller.loop.now
+    for device in controller.devices.values():
+        device.settle(now)
+
+    consistency_report = traffic.consistency.report()
+    target_version = controller.program.version
+    device_versions = {
+        name: (device.active_program.version if device.active_program else None)
+        for name, device in controller.devices.items()
+    }
+    stranded = sorted(
+        name for name, device in controller.devices.items() if device.stranded
+    )
+    # Convergence is judged over the devices hosting plan elements (the
+    # devices the committed update had to reach); pass-through devices
+    # legitimately keep serving whatever was installed.
+    hosting = sorted(set(controller.plan.placement.values()))
+    converged = (
+        not ha.update_errors
+        and ha.executed_updates >= 1
+        and not stranded
+        and all(
+            device_versions[name] == target_version
+            and not controller.devices[name].in_transition
+            for name in hosting
+        )
+    )
+    return ControllerChaosReport(
+        seed=plan.seed,
+        fencing=fencing,
+        node_count=node_count,
+        sent=traffic.metrics.sent,
+        delivered=traffic.metrics.delivered,
+        lost=traffic.metrics.lost_by_infrastructure,
+        violations=consistency_report.violations,
+        packets_checked=consistency_report.packets_checked,
+        target_version=target_version,
+        device_versions=device_versions,
+        stranded=stranded,
+        converged=converged,
+        failovers=len(ha.failovers),
+        handoff_downtimes_s=ha.handoff_downtimes_s(),
+        submitted=ha.submitted,
+        executed_updates=ha.executed_updates,
+        update_errors=list(ha.update_errors),
+        resyncs=ha.resyncs,
+        devices_redriven=ha.devices_redriven,
+        stranded_resolved=ha.stranded_resolved,
+        epoch_rejections=ha.epoch_rejections,
+        stale_writes_applied=ha.stale_writes_applied,
+        ha=ha.status(),
+        journal=controller.journal.to_dict() if controller.journal else [],
+        events=[
+            {
+                "time": round(event.time, 6),
+                "kind": event.kind,
+                "device": event.device,
+                "detail": event.detail,
+            }
+            for event in controller.telemetry.events
+        ],
+        fault_plan=plan.describe(),
+        spans=net.observe.tracer.to_dict()["spans"] if observe else [],
+    )
 
 
 def run_chaos(

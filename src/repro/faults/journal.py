@@ -36,6 +36,10 @@ class JournalEntry:
     resolved_at: float | None = None
     #: how the entry left PENDING: "window_closed", "resume", "rollback".
     resolution: str | None = None
+    #: FlexHA idempotence: the Raft-committed delta this window realizes
+    #: (None when the controller is unreplicated). A re-elected leader
+    #: re-driving the log skips delta ids already journaled here.
+    delta_id: int | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -48,6 +52,7 @@ class JournalEntry:
             "state": self.state.value,
             "resolved_at": None if self.resolved_at is None else round(self.resolved_at, 6),
             "resolution": self.resolution,
+            "delta_id": self.delta_id,
         }
 
 
@@ -67,6 +72,7 @@ class ReconfigJournal:
         new_version: int,
         started_at: float,
         window_end: float,
+        delta_id: int | None = None,
     ) -> JournalEntry:
         entry = JournalEntry(
             txn_id=next(self._ids),
@@ -75,6 +81,7 @@ class ReconfigJournal:
             new_version=new_version,
             started_at=started_at,
             window_end=window_end,
+            delta_id=delta_id,
         )
         self.entries.append(entry)
         return entry
@@ -92,6 +99,11 @@ class ReconfigJournal:
         entry.state = TxnState.ROLLED_BACK
         entry.resolved_at = now
         entry.resolution = "rollback"
+
+    def devices_for(self, delta_id: int) -> set[str]:
+        """Devices that already hold a journal entry for one delta id
+        (any state) — FlexHA's idempotence check before re-driving."""
+        return {e.device for e in self.entries if e.delta_id == delta_id}
 
     def pending_for(self, device: str) -> JournalEntry | None:
         """The latest unresolved entry for a device (None when clean)."""

@@ -38,6 +38,30 @@ class DeviceCrash:
 
 
 @dataclass(frozen=True)
+class ControllerCrash:
+    """Crash a controller replica at ``at_s``; it recovers
+    ``restart_after_s`` later. ``node`` is a Raft node id (``ctl0``…)
+    or the symbolic ``"leader"``, resolved at fire time to whichever
+    node currently leads — the scenario FlexHA's fail-over must absorb.
+    """
+
+    node: str = "leader"
+    at_s: float = 0.0
+    restart_after_s: float = 2.0
+
+
+@dataclass(frozen=True)
+class LeaderPartition:
+    """At ``at_s``, partition the current leader away from the other
+    replicas (it keeps believing it leads until its term is superseded);
+    the partition heals ``heal_after_s`` later. The deposed leader's
+    in-flight writes are what fencing epochs must reject."""
+
+    at_s: float = 0.0
+    heal_after_s: float = 2.0
+
+
+@dataclass(frozen=True)
 class ChannelFault:
     """A lossy/slow control channel between controller and devices."""
 
@@ -85,6 +109,9 @@ class FaultPlan:
     channel: ChannelFault | None = None
     drpc: tuple[DrpcFault, ...] = ()
     migration: tuple[MigrationFault, ...] = ()
+    #: FlexHA controller-side faults (replica crashes, leader partitions).
+    controller_crashes: tuple[ControllerCrash, ...] = ()
+    partitions: tuple[LeaderPartition, ...] = ()
 
     def describe(self) -> list[str]:
         lines = [f"seed {self.seed}"]
@@ -92,6 +119,16 @@ class FaultPlan:
             lines.append(
                 f"crash {crash.device} at t={crash.at_s:g}s, "
                 f"restart after {crash.restart_after_s:g}s"
+            )
+        for crash in self.controller_crashes:
+            lines.append(
+                f"controller crash {crash.node} at t={crash.at_s:g}s, "
+                f"recover after {crash.restart_after_s:g}s"
+            )
+        for split in self.partitions:
+            lines.append(
+                f"partition leader at t={split.at_s:g}s, "
+                f"heal after {split.heal_after_s:g}s"
             )
         if self.channel is not None:
             lines.append(

@@ -36,3 +36,12 @@ CONTROL_PROCESSING_S = 5e-4
 #: One P4Runtime (switch gRPC) round trip, write and read.
 WRITE_RTT_S = 1e-3
 READ_RTT_S = 1e-3
+
+#: Raft timing for the distributed controller (§3.4): randomized
+#: election timeouts and the leader heartbeat period. Shared by
+#: :mod:`repro.control.consensus` (the protocol) and
+#: :mod:`repro.control.ha` (failover detection and fencing-lease
+#: renewal run off the same clock), so the two layers can never
+#: disagree about what "one heartbeat" means.
+ELECTION_TIMEOUT_RANGE_S = (0.15, 0.30)
+HEARTBEAT_INTERVAL_S = 0.05

@@ -49,6 +49,9 @@ class DeviceStats:
     #: injected crashes (FlexFault) and the restarts that followed.
     crashes: int = 0
     restarts: int = 0
+    #: mutations rejected because they carried a stale fencing epoch
+    #: (a deposed controller leader kept writing; FlexHA).
+    stale_rejections: int = 0
 
 
 @dataclass
@@ -94,6 +97,29 @@ class DeviceRuntime:
         #: ``None`` keeps the packet path observation-free (one attribute
         #: load per packet, nothing else).
         self.observer = None
+        #: FlexHA fencing: highest controller epoch (Raft leader term)
+        #: this device has admitted a mutation from. Mutations carrying a
+        #: lower epoch come from a deposed leader and are rejected.
+        self.fencing_epoch = 0
+
+    # -- FlexHA fencing -----------------------------------------------------------
+
+    def admit_epoch(self, epoch: int | None) -> bool:
+        """Fencing check run before any control-plane mutation.
+
+        ``None`` means the writer predates FlexHA (single controller, no
+        fencing) and is always admitted. Otherwise the epoch must be at
+        least the highest one seen; admitting ratchets the watermark so a
+        deposed leader's in-flight writes can never land after the new
+        leader's first write reaches this device.
+        """
+        if epoch is None:
+            return True
+        if epoch < self.fencing_epoch:
+            self.stats.stale_rejections += 1
+            return False
+        self.fencing_epoch = epoch
+        return True
 
     # -- FlexPath ----------------------------------------------------------------
 

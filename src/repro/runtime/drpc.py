@@ -124,6 +124,11 @@ class DrpcFabric:
         #: FlexScope: set by :meth:`repro.observe.Observer.enable`; each
         #: call becomes one span (failures end with status="error").
         self.observer = None
+        #: FlexHA fencing: when set, every call carrying an ``epoch``
+        #: runs ``epoch_gate(serving_device, epoch) -> bool`` before the
+        #: handler; a False verdict (stale epoch) raises RpcError and
+        #: the handler never runs.
+        self.epoch_gate: Callable[[str, int], bool] | None = None
 
     def set_device_speed(self, device: str, per_op_ns: float) -> None:
         self.device_per_op_ns[device] = per_op_ns
@@ -135,11 +140,17 @@ class DrpcFabric:
         caller_device: str,
         now: float = 0.0,
         hops: int = 1,
+        epoch: int | None = None,
     ) -> tuple[tuple[int, ...], float]:
-        """In-band invocation; returns (result, latency_seconds)."""
+        """In-band invocation; returns (result, latency_seconds).
+
+        ``epoch`` is the caller's fencing epoch (FlexHA): when the
+        fabric has an ``epoch_gate`` installed, a stale epoch is
+        rejected at the serving device before the handler runs.
+        """
         observer = self.observer
         if observer is None:
-            return self._call(service_name, args, caller_device, now, hops)
+            return self._call(service_name, args, caller_device, now, hops, epoch)
         span = observer.tracer.start_span(
             f"drpc:{service_name}",
             "drpc",
@@ -149,7 +160,7 @@ class DrpcFabric:
             hops=hops,
         )
         try:
-            result, latency = self._call(service_name, args, caller_device, now, hops)
+            result, latency = self._call(service_name, args, caller_device, now, hops, epoch)
         except RpcError as exc:
             observer.tracer.end_span(span, now, status="error", error=str(exc))
             raise
@@ -163,6 +174,7 @@ class DrpcFabric:
         caller_device: str,
         now: float,
         hops: int,
+        epoch: int | None = None,
     ) -> tuple[tuple[int, ...], float]:
         stats = self.stats.setdefault(service_name, RpcStats())
         try:
@@ -170,6 +182,16 @@ class DrpcFabric:
         except RpcError:
             stats.failures += 1
             raise
+        if (
+            epoch is not None
+            and self.epoch_gate is not None
+            and not self.epoch_gate(service.device, epoch)
+        ):
+            stats.failures += 1
+            raise RpcError(
+                f"service {service_name!r} on {service.device!r} rejected "
+                f"stale fencing epoch {epoch}"
+            )
         per_op_ns = self.device_per_op_ns.get(service.device, 2.0)
         handler_s = service.ops * per_op_ns * 1e-9
         latency = 2 * hops * self._link_latency_s + handler_s
@@ -193,6 +215,7 @@ class DrpcFabric:
         now: float = 0.0,
         hops: int = 1,
         policy=None,
+        epoch: int | None = None,
     ) -> tuple[tuple[int, ...], float]:
         """In-band invocation with FlexFault's recovery semantics:
         failed calls are retried under an exponential-backoff
@@ -208,7 +231,12 @@ class DrpcFabric:
         for attempt in range(1, policy.max_attempts + 1):
             try:
                 result, latency = self.call(
-                    service_name, args, caller_device, now=now + waited, hops=hops
+                    service_name,
+                    args,
+                    caller_device,
+                    now=now + waited,
+                    hops=hops,
+                    epoch=epoch,
                 )
             except RpcError:
                 if attempt >= policy.max_attempts:

@@ -66,6 +66,12 @@ class TransitionReport:
     #: in-band migrations retried / abandoned after injected failures.
     migration_retries: int = 0
     failed_migrations: int = 0
+    #: FlexHA fencing: start commands a device rejected for carrying a
+    #: stale epoch (a deposed leader's in-flight window never opened).
+    stale_rejected: int = 0
+    #: devices whose start command was suppressed by the dispatch gate
+    #: (the proposing leader died before its scheduled dispatch fired).
+    undispatched: list[str] = field(default_factory=list)
 
     @property
     def duration_s(self) -> float:
@@ -107,6 +113,18 @@ class ReconfigOrchestrator:
         run the loop past this to observe a settled fleet."""
         return max(self._reserved_until.values(), default=0.0)
 
+    def reserved_until(self, name: str) -> float:
+        """End of the latest scheduled window on one device (0.0 when
+        none) — FlexHA's resync consults this so it never re-drives a
+        device whose window is already open *or scheduled but not yet
+        dispatched*."""
+        return self._reserved_until.get(name, 0.0)
+
+    def reserve(self, name: str, until: float) -> None:
+        """Record an externally driven window (FlexHA re-drive) so later
+        orchestrated transitions serialize against it."""
+        self._reserved_until[name] = max(self._reserved_until.get(name, 0.0), until)
+
     def install_plan(self, plan: CompilationPlan) -> None:
         """Cold-install a compiled plan on every device (provisioning)."""
         for device_name, device in self._devices.items():
@@ -122,6 +140,9 @@ class ReconfigOrchestrator:
         window_override: dict[str, float] | None = None,
         flow_affine: bool = False,
         protected_maps: set[str] | None = None,
+        epoch: int | None = None,
+        dispatch_gate=None,
+        delta_id: int | None = None,
     ) -> TransitionReport:
         """Schedule the transition starting now; returns a report that
         fills in as the event loop advances (read it after run_until
@@ -134,6 +155,14 @@ class ReconfigOrchestrator:
         swing-migrated into the staged version whenever physical sharing
         was impossible (re-keyed/re-declared maps), so old-version
         in-flight updates are not lost.
+
+        FlexHA threading: ``epoch`` stamps every start command with the
+        proposing leader's Raft term (devices reject stale epochs);
+        ``dispatch_gate`` is checked when each scheduled start fires — a
+        False verdict means the proposing leader is no longer alive to
+        dispatch, so the command is suppressed (the new leader re-drives
+        it from the committed log); ``delta_id`` is journaled for
+        idempotent re-driving.
         """
         now = self._loop.now
         report = TransitionReport(started_at=now)
@@ -211,13 +240,24 @@ class ReconfigOrchestrator:
                         protected_maps=protected_maps,
                         report=report,
                         span=window_span,
+                        epoch=epoch,
+                        dispatch_gate=dispatch_gate,
+                        delta_id=delta_id,
                     ),
                 )
                 end = start + duration
             else:
                 self._loop.schedule_at(
                     start,
-                    self._reflash_starter(device, new_plan.program, hosted, span=window_span),
+                    self._reflash_starter(
+                        device,
+                        new_plan.program,
+                        hosted,
+                        span=window_span,
+                        epoch=epoch,
+                        dispatch_gate=dispatch_gate,
+                        report=report,
+                    ),
                 )
                 model = device.target.reconfig
                 end = start + model.drain_s + model.full_reflash_s + model.redeploy_s
@@ -260,6 +300,9 @@ class ReconfigOrchestrator:
         protected_maps: set[str] | None = None,
         report: TransitionReport | None = None,
         span=None,
+        epoch: int | None = None,
+        dispatch_gate=None,
+        delta_id: int | None = None,
     ):
         def trace_event(name: str, **attrs) -> None:
             if self.observer is not None:
@@ -268,9 +311,16 @@ class ReconfigOrchestrator:
                 )
 
         def deliver() -> None:
-            """The start command arrived: open the transition window,
-            journal the intent, and warm protected maps."""
+            """The start command arrived: fence, open the transition
+            window, journal the intent, and warm protected maps."""
             now = self._loop.now
+            if not device.admit_epoch(epoch):
+                # Fenced: this start was issued by a since-deposed leader
+                # and a newer leader has already touched the device.
+                if report is not None:
+                    report.stale_rejected += 1
+                trace_event("stale_epoch_rejected", epoch=epoch)
+                return
             trace_event("window_open")
             old = device.active_instance
             staged = device.begin_hitless_update(
@@ -287,6 +337,7 @@ class ReconfigOrchestrator:
                     program.version,
                     started_at=now,
                     window_end=now + duration,
+                    delta_id=delta_id,
                 )
                 self._loop.schedule(duration, self._committer(device, entry, span=span))
             if not protected_maps or old is None:
@@ -306,6 +357,15 @@ class ReconfigOrchestrator:
                 )
 
         def attempt(attempt_no: int = 1) -> None:
+            # FlexHA: the dispatch gate asks "is the leader that planned
+            # this still the one allowed to dispatch it?" — a dead or
+            # deposed leader's scheduled starts are suppressed here and
+            # re-driven from the committed log by its successor.
+            if dispatch_gate is not None and not dispatch_gate():
+                if report is not None:
+                    report.undispatched.append(device.name)
+                trace_event("dispatch_suppressed", attempt=attempt_no)
+                return
             # FlexFault: the start command crosses the control channel;
             # a lost command is retried with backoff (recovery) or
             # strands the device on the old program (baseline).
@@ -414,9 +474,24 @@ class ReconfigOrchestrator:
             return migration
 
     def _reflash_starter(
-        self, device: DeviceRuntime, program: Program, hosted: set[str], span=None
+        self,
+        device: DeviceRuntime,
+        program: Program,
+        hosted: set[str],
+        span=None,
+        epoch: int | None = None,
+        dispatch_gate=None,
+        report: TransitionReport | None = None,
     ):
         def start() -> None:
+            if dispatch_gate is not None and not dispatch_gate():
+                if report is not None:
+                    report.undispatched.append(device.name)
+                return
+            if not device.admit_epoch(epoch):
+                if report is not None:
+                    report.stale_rejected += 1
+                return
             available_at = device.begin_reflash(
                 program, now=self._loop.now, hosted_elements=hosted
             )

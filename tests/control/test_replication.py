@@ -124,3 +124,32 @@ class TestFailover:
         _, replication = manager
         with pytest.raises(ControlPlaneError, match="no replication group"):
             replication.fail_over("ghost")
+
+    def test_loss_clamped_at_zero_when_replica_ahead(self, manager):
+        # A replica's sync bookkeeping can run ahead of the primary's
+        # mutation count (e.g. a sync raced the failure); the reported
+        # loss must clamp at 0, never go negative.
+        _, replication = manager
+        primary = make_state()
+        replica = make_state()
+        group = replication.replicate("important", "sw1", primary, {"r": replica})
+        replication.write("important", (1,), 1)
+        group.status["r"].synced_mutation_count = primary.mutation_count + 3
+        _, _, lost = replication.fail_over("important")
+        assert lost == 0
+
+    @pytest.mark.parametrize("order", [("rep_a", "rep_b"), ("rep_b", "rep_a")])
+    def test_tie_break_between_equally_fresh_replicas(self, order):
+        # Equally fresh replicas promote deterministically (smallest
+        # device name) regardless of replica-dict insertion order.
+        loop = EventLoop()
+        replication = ReplicationManager(loop)
+        primary = make_state()
+        replicas = {name: make_state() for name in order}
+        group = replication.replicate("important", "sw1", primary, replicas)
+        replication.write("important", (1,), 1)
+        for status in group.status.values():
+            status.synced_mutation_count = primary.mutation_count
+        device, _, lost = replication.fail_over("important")
+        assert device == "rep_a"
+        assert lost == 0

@@ -69,5 +69,6 @@ def test_to_dict_is_serializable():
             "state": "committed",
             "resolved_at": 6.2,
             "resolution": "resume",
+            "delta_id": None,
         }
     ]
