@@ -30,6 +30,8 @@ from repro.analysis.lints import check_lints
 from repro.analysis.overcommit import check_overcommit
 from repro.analysis.races import check_reconfig
 from repro.analysis.report import Finding, Report, Severity
+from repro.analysis.selfcheck import AuditFinding, AuditReport, run_selfcheck
+from repro.analysis.vet import StateClass, VetReport, vet
 from repro.lang import ir
 from repro.lang.analyzer import Certificate, certify
 from repro.lang.composition import TenantSpec
@@ -38,18 +40,24 @@ from repro.targets.base import Target
 
 __all__ = [
     "AccessSet",
+    "AuditFinding",
+    "AuditReport",
     "CacheabilityDecision",
     "DataflowInfo",
     "decide_cacheability",
     "Finding",
     "Report",
     "Severity",
+    "StateClass",
+    "VetReport",
     "analyze",
     "check",
     "check_lints",
     "check_overcommit",
     "check_reconfig",
     "check_tenants",
+    "run_selfcheck",
+    "vet",
 ]
 
 

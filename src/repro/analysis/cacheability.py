@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.dataflow import analyze
+from repro.analysis.dataflow import analyze, executed_slice
 from repro.lang import ir
 
 
@@ -78,25 +78,7 @@ def decide(
     counter — is still cacheable for its slice.
     """
     info = analyze(program)
-
-    if hosted_elements is None:
-        access = info.program_access
-        executed = info.applied
-    else:
-        hosted = frozenset(hosted_elements)
-        executed = set()
-        for table in program.tables:
-            if table.name in info.applied and table.name in hosted:
-                executed.add(table.name)
-                executed.update(table.actions)
-                if table.default_action is not None:
-                    executed.add(table.default_action.action)
-        for function in program.functions:
-            if function.name in info.applied and function.name in hosted:
-                executed.add(function.name)
-        access = info.apply_reads
-        for name in executed:
-            access = access | info.element_access(name)
+    executed, access = executed_slice(program, info, hosted_elements)
 
     reasons: list[str] = []
     for map_name in sorted(access.map_writes):

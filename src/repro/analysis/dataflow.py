@@ -253,6 +253,36 @@ def _applied_elements(program: ir.Program) -> tuple[frozenset[str], AccessSet]:
     return frozenset(reached), collector.freeze()
 
 
+def executed_slice(
+    program: ir.Program, info: DataflowInfo, hosted_elements: set[str] | None
+) -> tuple[set[str], AccessSet]:
+    """The elements one device actually executes, plus their union access.
+
+    ``hosted_elements`` is the placement model's hosting set: a device
+    hosts a subset of tables/functions (apply-if conditions always run).
+    Hosting a table implies executing its actions. ``None`` hosts the
+    whole program. Shared by the cacheability and FlexVet passes so both
+    agree on what "this device runs" means.
+    """
+    if hosted_elements is None:
+        return set(info.applied), info.program_access
+    hosted = frozenset(hosted_elements)
+    executed: set[str] = set()
+    for table in program.tables:
+        if table.name in info.applied and table.name in hosted:
+            executed.add(table.name)
+            executed.update(table.actions)
+            if table.default_action is not None:
+                executed.add(table.default_action.action)
+    for function in program.functions:
+        if function.name in info.applied and function.name in hosted:
+            executed.add(function.name)
+    access = info.apply_reads
+    for name in sorted(executed):
+        access = access | info.element_access(name)
+    return executed, access
+
+
 def analyze(program: ir.Program) -> DataflowInfo:
     """Compute access sets for every element of ``program``."""
     elements: dict[str, AccessSet] = {}

@@ -1,0 +1,344 @@
+"""FlexVet front 2: codebase determinism auditor.
+
+Same-seed reproducibility is a correctness contract for this repo: the
+differential harness, consensus seeding, and the FlexHA resync digests
+all assume that running the same scenario twice yields bit-identical
+results. PR 5 had to repair that contract by hand after a
+process-salted builtin ``hash()`` leaked into consensus seeding —
+exactly the class of bug no unit test catches, because each individual
+process is self-consistent.
+
+This module walks the source tree's AST and flags the nondeterminism
+patterns the repo has actually been bitten by:
+
+* ``VET-HASH`` — builtin ``hash()`` calls. Python salts string hashing
+  per process (PYTHONHASHSEED), so any ``hash()`` that can reach a
+  seed, digest, or persisted value diverges across runs. Use
+  :func:`repro.util.stable_hash` / :func:`repro.util.stable_digest`.
+* ``VET-RNG`` — unseeded randomness: ``random.Random()`` with no seed
+  argument, or module-level ``random.random()`` / ``randrange`` /
+  ``choice`` / etc. (the module-level generator is seeded from OS
+  entropy).
+* ``VET-CLOCK`` — wall-clock reads (``time.time``, ``perf_counter``,
+  ``monotonic``, ``datetime.now`` ...). The simulator runs on virtual
+  time; a real-clock read inside a sim path makes results
+  machine-dependent. Benchmarks legitimately measure wall time, which
+  is what the baseline file is for.
+* ``VET-SETITER`` — iteration over a ``set`` literal, set
+  comprehension, or ``set(...)`` call. Set iteration order depends on
+  insertion *and* hash salting; feeding it into a report or seed
+  reorders output across runs. Wrap in ``sorted(...)``.
+
+Findings are matched against a checked-in baseline
+(``analysis/vet_baseline.json``) keyed on *(code, file, enclosing
+symbol, expression)* — deliberately not on line numbers, so unrelated
+edits don't churn the baseline. CI fails only on findings absent from
+the baseline; ``flexnet vet --self --update-baseline`` re-pins it.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Wall-clock attributes of the ``time`` module.
+_CLOCK_ATTRS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+}
+#: Wall-clock constructors on ``datetime`` / ``datetime.datetime``.
+_DATETIME_ATTRS = {"now", "utcnow", "today"}
+#: Module-level ``random.<fn>`` calls that use the global unseeded RNG.
+_MODULE_RNG_ATTRS = {
+    "random",
+    "randrange",
+    "randint",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "gauss",
+    "getrandbits",
+    "randbytes",
+}
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One flagged nondeterminism site."""
+
+    code: str  # VET-HASH | VET-RNG | VET-CLOCK | VET-SETITER
+    path: str  # repo-relative posix path
+    symbol: str  # enclosing class/function, "<module>" at top level
+    detail: str  # the offending expression, unparsed
+    line: int
+    message: str
+
+    @property
+    def key(self) -> tuple[str, str, str, str]:
+        """Baseline identity — stable across unrelated line churn."""
+        return (self.code, self.path, self.symbol, self.detail)
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "symbol": self.symbol,
+            "detail": self.detail,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.code} {self.path}:{self.line} in {self.symbol}: "
+            f"{self.message} — `{self.detail}`"
+        )
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Self-audit outcome (FlexScope ``Reportable``)."""
+
+    root: str
+    files_scanned: int
+    findings: tuple[AuditFinding, ...]
+    #: findings not covered by the baseline — these fail CI.
+    new_findings: tuple[AuditFinding, ...]
+    #: baseline entries no longer matched by any finding.
+    stale_baseline: tuple[tuple[str, str, str, str], ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.new_findings
+
+    def to_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "files_scanned": self.files_scanned,
+            "findings": [f.to_dict() for f in self.findings],
+            "new_findings": [f.to_dict() for f in self.new_findings],
+            "stale_baseline": [list(key) for key in self.stale_baseline],
+            "clean": self.clean,
+        }
+
+    def summary(self) -> str:
+        by_code: dict[str, int] = {}
+        for finding in self.findings:
+            by_code[finding.code] = by_code.get(finding.code, 0) + 1
+        breakdown = ", ".join(f"{c}={n}" for c, n in sorted(by_code.items()))
+        lines = [
+            f"flexvet self-audit: {self.files_scanned} file(s), "
+            f"{len(self.findings)} finding(s)"
+            + (f" ({breakdown})" if breakdown else "")
+            + f", {len(self.new_findings)} new"
+        ]
+        for finding in self.new_findings:
+            lines.append(f"  NEW {finding.render()}")
+        baselined = [f for f in self.findings if f not in self.new_findings]
+        for finding in baselined:
+            lines.append(f"  baselined {finding.render()}")
+        for key in self.stale_baseline:
+            lines.append(f"  stale baseline entry: {' / '.join(key)}")
+        return "\n".join(lines)
+
+
+def _truncate(text: str, limit: int = 120) -> str:
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+class _Auditor(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: list[AuditFinding] = []
+        self._symbols: list[str] = []
+
+    # -- bookkeeping -------------------------------------------------------
+
+    @property
+    def symbol(self) -> str:
+        return ".".join(self._symbols) if self._symbols else "<module>"
+
+    def _flag(self, code: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            AuditFinding(
+                code=code,
+                path=self.path,
+                symbol=self.symbol,
+                detail=_truncate(ast.unparse(node)),
+                line=getattr(node, "lineno", 0),
+                message=message,
+            )
+        )
+
+    def _scoped(self, node, name: str) -> None:
+        self._symbols.append(name)
+        self.generic_visit(node)
+        self._symbols.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._scoped(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._scoped(node, node.name)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._scoped(node, node.name)
+
+    # -- detectors ---------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "hash":
+                self._flag(
+                    "VET-HASH",
+                    node,
+                    "builtin hash() is salted per process; use "
+                    "repro.util.stable_hash/stable_digest",
+                )
+            elif func.id == "Random" and not node.args and not node.keywords:
+                self._flag(
+                    "VET-RNG", node, "Random() without a seed is OS-entropy seeded"
+                )
+        elif isinstance(func, ast.Attribute):
+            owner = func.value
+            if isinstance(owner, ast.Name):
+                if owner.id == "random":
+                    if func.attr == "Random" and not node.args and not node.keywords:
+                        self._flag(
+                            "VET-RNG",
+                            node,
+                            "random.Random() without a seed is OS-entropy seeded",
+                        )
+                    elif func.attr in _MODULE_RNG_ATTRS:
+                        self._flag(
+                            "VET-RNG",
+                            node,
+                            "module-level random.* uses the global unseeded RNG",
+                        )
+                elif owner.id == "time" and func.attr in _CLOCK_ATTRS:
+                    self._flag(
+                        "VET-CLOCK",
+                        node,
+                        "wall-clock read; sim paths must use virtual time",
+                    )
+                elif owner.id in {"datetime", "date"} and func.attr in _DATETIME_ATTRS:
+                    self._flag("VET-CLOCK", node, "wall-clock datetime read")
+            elif (
+                isinstance(owner, ast.Attribute)
+                and isinstance(owner.value, ast.Name)
+                and owner.value.id == "datetime"
+                and func.attr in _DATETIME_ATTRS
+            ):
+                self._flag("VET-CLOCK", node, "wall-clock datetime read")
+        self.generic_visit(node)
+
+    def _check_iterable(self, iterable: ast.expr) -> None:
+        unordered = isinstance(iterable, (ast.Set, ast.SetComp)) or (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id in {"set", "frozenset"}
+        )
+        if unordered:
+            self._flag(
+                "VET-SETITER",
+                iterable,
+                "iteration over a set is salt-order dependent; wrap in sorted()",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension_holder(self, node) -> None:
+        for comp in node.generators:
+            self._check_iterable(comp.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension_holder
+    visit_SetComp = _visit_comprehension_holder
+    visit_DictComp = _visit_comprehension_holder
+    visit_GeneratorExp = _visit_comprehension_holder
+
+
+# ---------------------------------------------------------------------------
+# Tree walk + baseline
+# ---------------------------------------------------------------------------
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def default_baseline_path(root: Path | None = None) -> Path:
+    root = root if root is not None else default_root()
+    return root / "analysis" / "vet_baseline.json"
+
+
+def audit_tree(root: Path | None = None) -> tuple[int, list[AuditFinding]]:
+    """Scan every ``.py`` file under ``root``; return (count, findings)."""
+    root = root if root is not None else default_root()
+    findings: list[AuditFinding] = []
+    files = sorted(root.rglob("*.py"))
+    for path in files:
+        relpath = path.relative_to(root).as_posix()
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        auditor = _Auditor(relpath)
+        auditor.visit(tree)
+        findings.extend(auditor.findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.code))
+    return len(files), findings
+
+
+def load_baseline(path: Path) -> set[tuple[str, str, str, str]]:
+    if not path.exists():
+        return set()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    return {tuple(entry) for entry in payload.get("findings", [])}
+
+
+def write_baseline(path: Path, findings: list[AuditFinding]) -> None:
+    payload = {
+        "comment": (
+            "FlexVet determinism-audit baseline. Entries are "
+            "(code, path, symbol, expression) for accepted findings; "
+            "regenerate with `flexnet vet --self --update-baseline`."
+        ),
+        "findings": sorted(list(f.key) for f in findings),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def run_selfcheck(
+    root: Path | None = None, baseline_path: Path | None = None
+) -> AuditReport:
+    """Audit the tree and diff against the committed baseline."""
+    root = root if root is not None else default_root()
+    baseline_path = (
+        baseline_path if baseline_path is not None else default_baseline_path(root)
+    )
+    files_scanned, findings = audit_tree(root)
+    baseline = load_baseline(baseline_path)
+    new = tuple(f for f in findings if f.key not in baseline)
+    matched = {f.key for f in findings}
+    stale = tuple(sorted(key for key in baseline if key not in matched))
+    return AuditReport(
+        root=str(root),
+        files_scanned=files_scanned,
+        findings=tuple(findings),
+        new_findings=new,
+        stale_baseline=stale,
+    )

@@ -21,7 +21,7 @@ from repro.lang import builder as b
 from repro.lang import ir
 from repro.lang.delta import AddFunction, AddMap, Delta, InsertApply
 from repro.lang.types import BitsType
-from repro.util import stable_hash
+from repro.util import stable_digest, stable_hash
 
 
 @dataclass(frozen=True)
@@ -41,7 +41,10 @@ class QuerySpec:
         return f"q_{self.name}_r{row}"
 
     def salt(self, row: int) -> int:
-        return stable_hash((row, hash(self.name) & 0xFFFF, 0xBEEF)) % (1 << 32)
+        # The query name must perturb each row's hash, but builtin
+        # hash() of a string is process-salted — two runs of the same
+        # query would sketch into different buckets.
+        return stable_digest(self.name, row, 0xBEEF) % (1 << 32)
 
 
 def query_delta(spec: QuerySpec, anchor: str | None = None) -> Delta:

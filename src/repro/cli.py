@@ -5,6 +5,9 @@ Usage (also ``python -m repro.cli``)::
     flexnet certify  program.fbpf                 # admission certification
     flexnet check    program.fbpf [--patch patch.delta] [--arch drmt] [--json]
     flexnet check    --builtin                    # FlexCheck all bundled programs
+    flexnet vet      program.fbpf [--json]        # FlexVet parallelism classes
+    flexnet vet      --builtin                    # FlexVet all bundled programs
+    flexnet vet      --self [--update-baseline]   # determinism self-audit
     flexnet compile  program.fbpf [--arch drmt] [--objective latency|energy]
     flexnet delta    program.fbpf patch.delta     # apply a patch, show changes
     flexnet simulate program.fbpf [--rate 1000] [--duration 1.0]
@@ -114,6 +117,61 @@ def cmd_check(args: argparse.Namespace) -> int:
             prefix = f"[{label}] " if len(reports) > 1 else ""
             print(prefix + report.render())
     return worst
+
+
+def cmd_vet(args: argparse.Namespace) -> int:
+    """Run FlexVet. With a program (or --builtin), print the parallelism
+    classification; with --self, audit the source tree for
+    nondeterminism and exit 1 on findings missing from the baseline."""
+    import json as json_module
+    from pathlib import Path
+
+    from repro.observe.report import emit
+
+    if args.self_audit:
+        from repro.analysis.selfcheck import (
+            default_baseline_path,
+            run_selfcheck,
+            write_baseline,
+        )
+
+        baseline = Path(args.baseline) if args.baseline else default_baseline_path()
+        report = run_selfcheck(baseline_path=baseline)
+        if args.update_baseline:
+            write_baseline(baseline, list(report.findings))
+            print(
+                f"baseline updated: {len(report.findings)} finding(s) "
+                f"pinned to {baseline}"
+            )
+            return 0
+        emit(report, as_json=args.json)
+        return 0 if report.clean else 1
+
+    from repro import analysis
+
+    if args.builtin:
+        from repro.analysis.corpus import bundled_programs
+
+        subjects = bundled_programs()
+    else:
+        if not args.program:
+            print(
+                "error: provide a program file, --builtin, or --self",
+                file=sys.stderr,
+            )
+            return 2
+        program = parse_program(_read(args.program))
+        subjects = [(program.name, program)]
+
+    reports = [(label, analysis.vet(program)) for label, program in subjects]
+    if args.json:
+        payload = [dict(label=label, **report.to_dict()) for label, report in reports]
+        print(json_module.dumps(payload if len(payload) > 1 else payload[0], indent=2))
+    else:
+        for label, report in reports:
+            prefix = f"[{label}] " if len(reports) > 1 else ""
+            print(prefix + report.summary())
+    return 0
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
@@ -566,6 +624,23 @@ def build_parser() -> argparse.ArgumentParser:
     check_parser.add_argument("--builtin", action="store_true",
                               help="check every bundled app/example program")
     check_parser.set_defaults(func=cmd_check)
+
+    vet_parser = subparsers.add_parser(
+        "vet",
+        help="run FlexVet: parallelism classification, or --self determinism audit",
+    )
+    vet_parser.add_argument("program", nargs="?", default=None)
+    vet_parser.add_argument("--builtin", action="store_true",
+                            help="vet every bundled app/example program")
+    vet_parser.add_argument("--self", dest="self_audit", action="store_true",
+                            help="audit the repro source tree for nondeterminism")
+    vet_parser.add_argument("--baseline", default=None,
+                            help="baseline file for --self (default: the committed one)")
+    vet_parser.add_argument("--update-baseline", action="store_true",
+                            help="with --self: pin current findings as the new baseline")
+    vet_parser.add_argument("--json", action="store_true",
+                            help="emit machine-readable JSON")
+    vet_parser.set_defaults(func=cmd_vet)
 
     compile_parser = subparsers.add_parser("compile", help="compile onto the standard slice")
     compile_parser.add_argument("program")

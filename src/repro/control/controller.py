@@ -27,7 +27,7 @@ from repro.analysis.report import Finding
 from repro.compiler.incremental import IncrementalCompiler, IncrementalResult, diff_programs
 from repro.compiler.placement import NetworkSlice, Objective, PlacementEngine
 from repro.compiler.plan import CompilationPlan
-from repro.errors import ControlPlaneError, UnknownAppError
+from repro.errors import ControlPlaneError, FlexNetError, UnknownAppError
 from repro.lang.analyzer import Certificate, certify
 from repro.lang.composition import Composer, TenantSpec
 from repro.lang.delta import (
@@ -338,7 +338,7 @@ class FlexNetController:
                     dispatch_gate=dispatch_gate,
                     delta_id=delta_id,
                 )
-        except Exception:
+        except FlexNetError:
             tracer._stack.pop()
             tracer.end_span(span, self.loop.now, status="error")
             raise

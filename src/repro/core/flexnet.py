@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 
 from repro.compiler.plan import CompilationPlan
 from repro.control.controller import FlexNetController, TransitionOutcome
-from repro.errors import ControlPlaneError
+from repro.errors import ControlPlaneError, FlexNetError
 from repro.lang.analyzer import Certificate, certify
 from repro.lang.composition import TenantSpec
 from repro.lang.delta import Delta, apply_delta
@@ -266,6 +266,19 @@ class FlexNet:
             target = None
         return analysis.check(subject, delta=delta, target=target)
 
+    def vet(self, program: Program | None = None):
+        """Run FlexVet against a program (default: the live one) and
+        return its :class:`~repro.analysis.vet.VetReport` — the static
+        parallelism classification (stateless / per-flow / cross-flow,
+        batch safety, shard affinity) the FlexScale partitioner and the
+        batched backend consult before forking any work."""
+        from repro import analysis
+
+        subject = program if program is not None else self.controller.program
+        if subject is None:
+            raise ControlPlaneError("no program installed to vet")
+        return analysis.vet(subject)
+
     def install(self, program: Program) -> InstallOutcome:
         """Admit and cold-install the infrastructure program.
 
@@ -287,7 +300,7 @@ class FlexNet:
             with self.observe.profiler.phase("install") if self.observe.enabled else nullcontext():
                 self.admit(program, check_placement=True)
                 plan = self.controller.install_infrastructure(program)
-        except Exception:
+        except FlexNetError:
             if tracer is not None:
                 tracer._stack.pop()
                 tracer.end_span(span, self.loop.now, status="error")

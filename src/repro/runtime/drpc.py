@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass
 
-from repro.errors import RpcError
+from repro.errors import FlexNetError, RpcError
 from repro.limits import CONTROL_PROCESSING_S, CONTROL_RTT_S
 
 __all__ = [
@@ -200,7 +200,10 @@ class DrpcFabric:
             raise RpcError(f"service {service_name!r} handler failed: injected fault")
         try:
             result = service.handler(args)
-        except Exception as exc:
+        except (FlexNetError, ValueError, TypeError, ArithmeticError, LookupError) as exc:
+            # Expected handler failures (bad args, missing state, domain
+            # errors) become RpcErrors the caller can retry; genuine bugs
+            # (AttributeError, RuntimeError, ...) propagate unmasked.
             stats.failures += 1
             raise RpcError(f"service {service_name!r} handler failed: {exc}") from exc
         stats.calls += 1

@@ -686,11 +686,16 @@ class _Compiler:
 class CompiledProgram:
     """The FlexPath executable for one :class:`ProgramInstance`."""
 
-    __slots__ = ("version", "_parse", "_apply", "_apply_ops", "_ctx")
+    __slots__ = ("version", "vet", "batch", "_parse", "_apply", "_apply_ops", "_ctx")
 
     def __init__(self, instance):
         compiler = _Compiler(instance)
         self.version = instance.program.version
+        #: FlexVet classification of the hosted slice and the batch
+        #: admission verdict at compile time — the vectorized backend
+        #: and FlexScale partitioner read these off the artifact.
+        self.vet = instance.vet()
+        self.batch = batch_gate(instance)
         self._parse = compiler.parse()
         self._apply, self._apply_ops = compiler.steps(instance.program.apply)
         self._ctx = _Ctx()
@@ -959,6 +964,56 @@ class FlowCache:
             self._entries.popitem(last=False)
         self._entries[key] = outcome
         return result
+
+
+# ---------------------------------------------------------------------------
+# Batch admission (FlexVet gate for the future vectorized backend)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchAdmission:
+    """Whether one instance may execute packets in reordered batches.
+
+    The static half is FlexVet's ``batch_safe`` verdict (every
+    data-plane map per-flow with a common partition field). The live
+    half re-checks runtime attachments the IR cannot see: a meter on
+    any hosted table makes outcomes depend on aggregate arrival order,
+    which batching would reorder — the same disqualifier that makes
+    :class:`FlowCache` bypass metered programs.
+    """
+
+    admitted: bool
+    #: fields a batched backend may partition/group by (empty for a
+    #: stateless program — any grouping works).
+    flow_key: tuple[str, ...]
+    reasons: tuple[str, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "admitted": self.admitted,
+            "flow_key": list(self.flow_key),
+            "reasons": list(self.reasons),
+        }
+
+
+def batch_gate(instance) -> BatchAdmission:
+    """Admission decision for batched execution of ``instance``."""
+    report = instance.vet()
+    reasons = list(report.batch_reasons)
+    hosted_tables = {e.name for e in report.elements if e.kind == "table"}
+    for name in sorted(hosted_tables):
+        rules = instance.rules.get(name)
+        if rules is not None and rules.meter is not None:
+            reasons.append(
+                f"table {name!r} carries a meter (rate state observes "
+                f"aggregate arrival order)"
+            )
+    return BatchAdmission(
+        admitted=not reasons,
+        flow_key=report.flow_key if not reasons else (),
+        reasons=tuple(reasons),
+    )
 
 
 # ---------------------------------------------------------------------------

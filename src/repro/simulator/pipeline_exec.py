@@ -57,10 +57,24 @@ class ProgramInstance:
         #: any state sharing/adoption has re-bound rules and maps).
         self.fastpath_enabled = False
         self._compiled = None
+        #: FlexVet: lazily computed parallelism classification of the
+        #: hosted slice (see :meth:`vet`).
+        self._vet = None
 
     @property
     def version(self) -> int:
         return self.program.version
+
+    def vet(self):
+        """The FlexVet :class:`~repro.analysis.vet.VetReport` for the
+        slice this instance hosts — the static parallelism contract a
+        batched backend or FlexScale partitioner consults at install
+        time. Computed once per instance (the program is immutable)."""
+        if self._vet is None:
+            from repro.analysis.vet import vet
+
+            self._vet = vet(self.program, self.hosted_elements)
+        return self._vet
 
     def hosts(self, element: str) -> bool:
         return self.hosted_elements is None or element in self.hosted_elements

@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections.abc import Iterator, Mapping
 
 from repro.errors import ResourceError
+from repro.util import stable_digest
 
 #: Resource kinds understood by the built-in architectures. Targets may
 #: introduce additional kinds; these are only used for validation of the
@@ -110,7 +111,12 @@ class ResourceVector(Mapping[str, float]):
         return all(abs(self[k] - other[k]) < 1e-9 for k in kinds)
 
     def __hash__(self) -> int:
-        return hash(tuple(sorted((k, round(v, 9)) for k, v in self._amounts.items() if v)))
+        # Builtin hash() is process-salted; resource vectors end up in
+        # placement digests that must agree across runs. float() so that
+        # integer and float amounts of equal value digest identically.
+        return stable_digest(
+            tuple(sorted((k, round(float(v), 9)) for k, v in self._amounts.items() if v))
+        )
 
     # -- placement helpers ---------------------------------------------------
 

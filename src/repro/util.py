@@ -2,6 +2,32 @@
 
 from __future__ import annotations
 
+import struct
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _fnv64(data: bytes, value: int = _FNV_OFFSET) -> int:
+    """64-bit FNV-1a over ``data``, continuing from ``value``."""
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV_PRIME) & _MASK64
+    return value
+
+
+def _avalanche(value: int) -> int:
+    """murmur3-style finalizer: FNV-1a's low bits are weakly mixed (they
+    only ever see the low bits of the multiplications) and consumers take
+    ``hash % small_n``, so spread entropy down before returning."""
+    value ^= value >> 33
+    value = (value * 0xFF51AFD7ED558CCD) & _MASK64
+    value ^= value >> 33
+    value = (value * 0xC4CEB9FE1A85EC53) & _MASK64
+    value ^= value >> 33
+    return value
+
 
 def stable_hash(parts: tuple[int, ...]) -> int:
     """Deterministic 64-bit FNV-1a over a tuple of ints.
@@ -11,17 +37,48 @@ def stable_hash(parts: tuple[int, ...]) -> int:
     runs and across simulated devices, so everything hashes through
     this function.
     """
-    value = 0xCBF29CE484222325
+    value = _FNV_OFFSET
     for part in parts:
-        for byte in int(part).to_bytes(16, "little", signed=False):
-            value ^= byte
-            value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
-    # FNV-1a's low bits are weakly mixed (they only ever see the low bits
-    # of the multiplications); data plane hashing takes `hash % small_n`,
-    # so finish with a murmur3-style avalanche to spread entropy down.
-    value ^= value >> 33
-    value = (value * 0xFF51AFD7ED558CCD) & 0xFFFFFFFFFFFFFFFF
-    value ^= value >> 33
-    value = (value * 0xC4CEB9FE1A85EC53) & 0xFFFFFFFFFFFFFFFF
-    value ^= value >> 33
-    return value
+        value = _fnv64(int(part).to_bytes(16, "little", signed=False), value)
+    return _avalanche(value)
+
+
+def _encode(part, out: bytearray) -> None:
+    # bool before int: bool subclasses int but must not collide with 0/1.
+    if part is None:
+        out += b"N;"
+    elif isinstance(part, bool):
+        out += b"b1;" if part else b"b0;"
+    elif isinstance(part, int):
+        raw = part.to_bytes(max(1, (part.bit_length() + 8) // 8), "little", signed=True)
+        out += b"i" + len(raw).to_bytes(4, "little") + raw
+    elif isinstance(part, float):
+        out += b"f" + struct.pack("<d", part)
+    elif isinstance(part, str):
+        raw = part.encode("utf-8")
+        out += b"s" + len(raw).to_bytes(4, "little") + raw
+    elif isinstance(part, bytes):
+        out += b"y" + len(part).to_bytes(4, "little") + part
+    elif isinstance(part, (tuple, list)):
+        out += b"t" + len(part).to_bytes(4, "little")
+        for item in part:
+            _encode(item, out)
+    else:
+        raise TypeError(f"stable_digest cannot encode {type(part).__name__!r}")
+
+
+def stable_digest(*parts) -> int:
+    """Deterministic 64-bit digest of a heterogeneous value tree.
+
+    Accepts ints, floats, bools, strings, bytes, ``None``, and
+    arbitrarily nested tuples/lists thereof, encoding each with a type
+    tag and length prefix so distinct structures cannot collide by
+    concatenation (``("ab", "c")`` vs ``("a", "bc")``). The stable
+    replacement for builtin ``hash()`` wherever a digest can reach a
+    seed, report, or persisted value — builtin ``hash`` is salted per
+    process and diverges across runs.
+    """
+    out = bytearray()
+    for part in parts:
+        _encode(part, out)
+    return _avalanche(_fnv64(bytes(out)))

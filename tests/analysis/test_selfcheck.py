@@ -1,0 +1,165 @@
+"""FlexVet determinism-auditor tests."""
+
+from repro.analysis.selfcheck import (
+    audit_tree,
+    default_baseline_path,
+    load_baseline,
+    run_selfcheck,
+    write_baseline,
+)
+
+
+def scan(tmp_path, source, name="mod.py"):
+    (tmp_path / name).write_text(source)
+    _, findings = audit_tree(tmp_path)
+    return findings
+
+
+class TestDetectors:
+    def test_builtin_hash_flagged(self, tmp_path):
+        findings = scan(tmp_path, "def digest(x):\n    return hash(x) & 0xFFFF\n")
+        assert [f.code for f in findings] == ["VET-HASH"]
+        assert findings[0].symbol == "digest"
+        assert findings[0].path == "mod.py"
+
+    def test_unseeded_random_flagged(self, tmp_path):
+        findings = scan(
+            tmp_path,
+            "import random\n"
+            "rng = random.Random()\n"
+            "x = random.randrange(10)\n",
+        )
+        assert [f.code for f in findings] == ["VET-RNG", "VET-RNG"]
+
+    def test_seeded_random_not_flagged(self, tmp_path):
+        findings = scan(
+            tmp_path,
+            "import random\n"
+            "rng = random.Random(42)\n"
+            "y = rng.randrange(10)\n",
+        )
+        assert findings == []
+
+    def test_wall_clock_flagged(self, tmp_path):
+        findings = scan(
+            tmp_path,
+            "import time\n"
+            "def now():\n"
+            "    return time.perf_counter() + time.time()\n",
+        )
+        assert [f.code for f in findings] == ["VET-CLOCK", "VET-CLOCK"]
+
+    def test_datetime_now_flagged(self, tmp_path):
+        findings = scan(
+            tmp_path,
+            "import datetime\n"
+            "stamp = datetime.datetime.now()\n",
+        )
+        assert [f.code for f in findings] == ["VET-CLOCK"]
+
+    def test_set_iteration_flagged(self, tmp_path):
+        findings = scan(
+            tmp_path,
+            "def order(items):\n"
+            "    out = []\n"
+            "    for item in set(items):\n"
+            "        out.append(item)\n"
+            "    return [x for x in {1, 2, 3}]\n",
+        )
+        assert [f.code for f in findings] == ["VET-SETITER", "VET-SETITER"]
+
+    def test_sorted_set_iteration_not_flagged(self, tmp_path):
+        findings = scan(
+            tmp_path,
+            "def order(items):\n"
+            "    return [x for x in sorted(set(items))]\n",
+        )
+        assert findings == []
+
+    def test_nested_symbol_path(self, tmp_path):
+        findings = scan(
+            tmp_path,
+            "class Box:\n"
+            "    def digest(self):\n"
+            "        return hash(self)\n",
+        )
+        assert findings[0].symbol == "Box.digest"
+
+
+class TestBaseline:
+    def test_roundtrip_and_diff(self, tmp_path):
+        source_root = tmp_path / "src"
+        source_root.mkdir()
+        (source_root / "a.py").write_text("x = hash('a')\n")
+        baseline = tmp_path / "baseline.json"
+
+        report = run_selfcheck(root=source_root, baseline_path=baseline)
+        assert not report.clean and len(report.new_findings) == 1
+
+        write_baseline(baseline, list(report.findings))
+        report = run_selfcheck(root=source_root, baseline_path=baseline)
+        assert report.clean and len(report.findings) == 1
+
+        # A new finding in another file fails again; the old one stays
+        # baselined.
+        (source_root / "b.py").write_text("import time\ny = time.time()\n")
+        report = run_selfcheck(root=source_root, baseline_path=baseline)
+        assert not report.clean
+        assert [f.code for f in report.new_findings] == ["VET-CLOCK"]
+
+    def test_baseline_survives_line_churn(self, tmp_path):
+        source_root = tmp_path / "src"
+        source_root.mkdir()
+        module = source_root / "a.py"
+        module.write_text("def f():\n    return hash('a')\n")
+        baseline = tmp_path / "baseline.json"
+        _, findings = audit_tree(source_root)
+        write_baseline(baseline, findings)
+
+        # Pushing the finding to a different line must not break the match.
+        module.write_text("# comment\n\n\ndef f():\n    return hash('a')\n")
+        report = run_selfcheck(root=source_root, baseline_path=baseline)
+        assert report.clean
+
+    def test_stale_entries_reported(self, tmp_path):
+        source_root = tmp_path / "src"
+        source_root.mkdir()
+        module = source_root / "a.py"
+        module.write_text("x = hash('a')\n")
+        baseline = tmp_path / "baseline.json"
+        _, findings = audit_tree(source_root)
+        write_baseline(baseline, findings)
+
+        module.write_text("x = 1\n")
+        report = run_selfcheck(root=source_root, baseline_path=baseline)
+        assert report.clean
+        assert len(report.stale_baseline) == 1
+
+    def test_missing_baseline_means_all_new(self, tmp_path):
+        source_root = tmp_path / "src"
+        source_root.mkdir()
+        (source_root / "a.py").write_text("x = hash('a')\n")
+        assert load_baseline(tmp_path / "nope.json") == set()
+        report = run_selfcheck(
+            root=source_root, baseline_path=tmp_path / "nope.json"
+        )
+        assert not report.clean
+
+
+class TestRepoIsClean:
+    def test_source_tree_matches_committed_baseline(self):
+        """The acceptance gate: the shipped tree has no nondeterminism
+        findings beyond the committed baseline, and no stale entries."""
+        report = run_selfcheck()
+        assert report.clean, report.summary()
+        assert report.stale_baseline == ()
+        assert default_baseline_path().exists()
+
+    def test_no_unbaselined_hash_or_rng(self):
+        """Stronger than the baseline gate: the repo has zero accepted
+        VET-HASH / VET-RNG findings at all — only clock reads in the
+        bench/profiler and provably-sorted set iterations are pinned."""
+        report = run_selfcheck()
+        accepted_codes = {f.code for f in report.findings}
+        assert "VET-HASH" not in accepted_codes
+        assert "VET-RNG" not in accepted_codes

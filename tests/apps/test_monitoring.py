@@ -16,6 +16,22 @@ def monitored():
     return net, QueryManager(net.controller)
 
 
+class TestQuerySalt:
+    def test_salt_is_process_stable(self):
+        """Pinned values: the per-row sketch salt must not depend on
+        PYTHONHASHSEED (it used to mix builtin hash(name), so the same
+        query sketched into different buckets across runs)."""
+        spec = QuerySpec(name="heavy_hitters", key_field="ipv4.dst")
+        assert spec.salt(0) == 132478201
+        assert spec.salt(1) == 848025750
+
+    def test_salt_varies_by_name_and_row(self):
+        first = QuerySpec(name="a", key_field="ipv4.dst")
+        second = QuerySpec(name="b", key_field="ipv4.dst")
+        assert first.salt(0) != first.salt(1)
+        assert first.salt(0) != second.salt(0)
+
+
 class TestQueryLifecycle:
     def test_add_deploys_at_runtime(self, monitored):
         net, manager = monitored

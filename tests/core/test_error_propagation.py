@@ -1,0 +1,105 @@
+"""Typed-error propagation through the narrowed span-cleanup handlers.
+
+PR 6 narrowed the broad ``except Exception`` blocks in
+``FlexNet.install``, ``FlexNetController.transition_to``, and
+``DrpcFabric._call`` to typed errors: expected failures still end their
+trace span with ``status="error"`` (install/update) or get wrapped in
+:class:`RpcError` (dRPC), while genuine bugs now propagate unmasked
+instead of being silently converted into domain errors.
+"""
+
+import pytest
+
+from repro.apps.base import base_infrastructure
+from repro.core.flexnet import FlexNet
+from repro.errors import AnalysisError, RpcError
+from repro.lang import builder as b
+from repro.lang.builder import ProgramBuilder
+from repro.lang.delta import parse_delta
+from repro.runtime.drpc import DrpcFabric, RpcRegistry, ServiceSpec
+
+
+def unboundable_program():
+    program = ProgramBuilder("bad")
+    program.header("h", a=8)
+    program.function("f", [b.repeat(10_000, [b.repeat(100, [b.call("no_op")])])])
+    program.apply("f")
+    return program.build()
+
+
+class TestInstallSpanCleanup:
+    def test_rejected_install_raises_typed_and_marks_span_error(self):
+        net = FlexNet.standard()
+        net.observe.enable()
+        with pytest.raises(AnalysisError):
+            net.install(unboundable_program())
+        spans = [s for s in net.observe.tracer.spans("install")]
+        assert spans and spans[-1].status == "error"
+        # the span stack is popped, so later spans nest correctly
+        assert net.observe.tracer.current is None
+
+    def test_rejected_install_without_observer_still_typed(self):
+        net = FlexNet.standard()
+        with pytest.raises(AnalysisError):
+            net.install(unboundable_program())
+
+
+class TestUpdateSpanCleanup:
+    def test_strict_racy_update_raises_typed_and_marks_span_error(self):
+        net = FlexNet.standard()
+        net.observe.enable()
+        net.install(base_infrastructure())
+        # Shrinking a live map below occupancy is a RACE finding; strict
+        # mode rejects the transition with a typed AnalysisError.
+        delta = parse_delta("delta shrink { resize map flow_counts 1; }")
+        with pytest.raises(AnalysisError):
+            net.update(delta, strict=True)
+        update_spans = net.observe.tracer.spans("update")
+        assert update_spans and update_spans[-1].status == "error"
+        assert net.observe.tracer.current is None
+
+    def test_clean_update_after_failed_one_nests_fresh(self):
+        net = FlexNet.standard()
+        net.observe.enable()
+        net.install(base_infrastructure())
+        with pytest.raises(AnalysisError):
+            net.update(
+                parse_delta("delta shrink { resize map flow_counts 1; }"),
+                strict=True,
+            )
+        outcome = net.update(parse_delta("delta ok { resize table acl 2048; }"))
+        span = net.observe.tracer.find(outcome.span_id)
+        assert span is not None and span.status == "ok"
+        assert span.parent_id is None  # not adopted by the failed span
+
+
+class TestDrpcHandlerNarrowing:
+    @pytest.fixture
+    def fabric(self):
+        registry = RpcRegistry()
+        return registry, DrpcFabric(registry)
+
+    def test_expected_failures_wrapped_as_rpc_error(self, fabric):
+        registry, drpc = fabric
+        for name, exc in [
+            ("val", ValueError("bad arg")),
+            ("look", KeyError("missing")),
+            ("arith", ZeroDivisionError()),
+        ]:
+            def boom(args, exc=exc):
+                raise exc
+
+            registry.register(ServiceSpec(name, "sw1", 8, boom))
+            with pytest.raises(RpcError, match="handler failed"):
+                drpc.call(name, (), caller_device="h1", now=1.0)
+            assert drpc.stats[name].failures == 1
+
+    def test_programming_bug_propagates_unmasked(self, fabric):
+        registry, drpc = fabric
+
+        def buggy(args):
+            raise RuntimeError("this is a bug, not an RPC failure")
+
+        registry.register(ServiceSpec("bug", "sw1", 8, buggy))
+        with pytest.raises(RuntimeError, match="this is a bug"):
+            drpc.call("bug", (), caller_device="h1", now=1.0)

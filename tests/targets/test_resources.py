@@ -78,6 +78,15 @@ class TestComparisons:
     def test_hashable(self):
         assert hash(ResourceVector(sram_kb=1)) == hash(ResourceVector(sram_kb=1.0))
 
+    def test_hash_is_process_stable(self):
+        """Pinned values: the digest must not depend on PYTHONHASHSEED
+        (builtin hash() of the kind strings is salted per process, which
+        would make placement digests diverge across runs — the first
+        real bug FlexVet's self-audit caught)."""
+        assert hash(ResourceVector(sram_kb=1)) == 7848347961845804144
+        assert hash(ResourceVector(sram_kb=1.5, stages=2)) == 1324567763127070160
+        assert hash(ResourceVector()) == hash(ResourceVector(alus=0))
+
     def test_projection(self):
         vector = ResourceVector(sram_kb=1, tcam_kb=2)
         assert vector.scaled_to_kinds(frozenset({"sram_kb"})) == ResourceVector(sram_kb=1)

@@ -209,3 +209,50 @@ class TestBench:
         payload = json.loads(capsys.readouterr().out)
         assert payload["divergences"] == 0
         assert payload["compiled_pps"] > 0
+
+
+class TestVet:
+    def test_vet_program_file(self, program_file, capsys):
+        assert main(["vet", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "batch_safe=yes" in out
+        assert "counts" in out and "per_flow" in out
+
+    def test_vet_builtin_corpus(self, capsys):
+        assert main(["vet", "--builtin"]) == 0
+        out = capsys.readouterr().out
+        assert "[firewall]" in out and "cross_flow" in out
+        assert "[base]" in out and "batch_safe=yes" in out
+
+    def test_vet_json(self, program_file, capsys):
+        import json
+
+        assert main(["vet", program_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["batch_safe"] is True
+        assert payload["flow_key"] == ["ipv4.src"]
+
+    def test_vet_no_args_is_usage_error(self, capsys):
+        assert main(["vet"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_vet_self_clean_against_committed_baseline(self, capsys):
+        assert main(["vet", "--self"]) == 0
+        out = capsys.readouterr().out
+        assert "0 new" in out
+
+    def test_vet_self_fails_without_baseline(self, tmp_path, capsys):
+        # The committed tree has accepted findings (bench/profiler wall
+        # clocks); against an empty baseline they all count as new.
+        empty = tmp_path / "empty.json"
+        assert main(["vet", "--self", "--baseline", str(empty)]) == 1
+        out = capsys.readouterr().out
+        assert "NEW" in out
+
+    def test_vet_self_update_baseline_roundtrip(self, tmp_path, capsys):
+        fresh = tmp_path / "fresh.json"
+        assert main(["vet", "--self", "--baseline", str(fresh),
+                     "--update-baseline"]) == 0
+        assert main(["vet", "--self", "--baseline", str(fresh)]) == 0
+        out = capsys.readouterr().out
+        assert "baseline updated" in out

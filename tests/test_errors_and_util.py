@@ -3,7 +3,7 @@
 import pytest
 
 from repro import errors
-from repro.util import stable_hash
+from repro.util import stable_digest, stable_hash
 
 
 class TestErrorHierarchy:
@@ -51,3 +51,36 @@ class TestStableHash:
 
     def test_arity_sensitivity(self):
         assert stable_hash((1,)) != stable_hash((1, 0))
+
+    def test_pinned_values_unchanged_by_refactor(self):
+        """stable_hash seeded PR 5's consensus constants; the shared
+        FNV/avalanche refactor must keep it byte-identical forever."""
+        assert stable_hash(()) == 17280346270528514342
+        assert stable_hash((1, 2, 3)) == 6591469933116945010
+
+
+class TestStableDigest:
+    def test_pinned_values(self):
+        assert stable_digest(1) == 15695820435484873492
+        assert stable_digest("flexnet") == 14486085476925158928
+        assert stable_digest(("a", 1, 2.5, None, True)) == 10179520702734513025
+
+    def test_type_tags_prevent_cross_type_collisions(self):
+        assert stable_digest(1) != stable_digest(1.0)
+        assert stable_digest(1) != stable_digest(True)
+        assert stable_digest("1") != stable_digest(1)
+        assert stable_digest(b"x") != stable_digest("x")
+        assert stable_digest(None) != stable_digest(0)
+
+    def test_length_prefix_prevents_concatenation_collisions(self):
+        assert stable_digest(("ab", "c")) != stable_digest(("a", "bc"))
+        assert stable_digest((1,), (2,)) != stable_digest((1, 2))
+
+    def test_nested_structures_and_negatives(self):
+        assert stable_digest([1, [2, 3]]) == stable_digest((1, (2, 3)))
+        assert stable_digest(-1) != stable_digest(1)
+        assert 0 <= stable_digest(-(2**70)) < 2**64
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError, match="cannot encode"):
+            stable_digest(object())
