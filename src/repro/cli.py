@@ -17,6 +17,8 @@ Usage (also ``python -m repro.cli``)::
                      [--crash sw1@5.2] [--drop 0.01] [--no-recovery] [--json]
     flexnet chaos    --controller [--partition] [--nodes 3] [--no-fencing]
     flexnet ha       status [--nodes 3] [--failover] [--json]
+    flexnet scale    [--shards 2] [--backend process|inline] [--pods 4]
+                     [--packets 2000] [--rate 20000] [--differential] [--json]
     flexnet trace    program.fbpf [--patch patch.delta --at 0.5]
                      [--sample-every 64] [--events] [--sink spans.jsonl] [--json]
     flexnet metrics  program.fbpf [--patch patch.delta --at 0.5] [--json]
@@ -33,7 +35,9 @@ replicated controller, drives one committed update (optionally through
 a ``--failover``), and prints the FlexHA status. ``trace``/``metrics``/``profile`` run the
 same scenario as ``simulate`` with FlexScope enabled and render the
 span tree, the Prometheus-text metric export, or the per-phase profile
-table.
+table. ``scale`` partitions the E20 pod fabric across worker processes
+(FlexScale) and, with ``--differential``, byte-compares the sharded
+traffic report against the single-process engine.
 """
 
 from __future__ import annotations
@@ -530,6 +534,55 @@ def cmd_ha(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_scale(args: argparse.Namespace) -> int:
+    """Run the E20 pod-fabric workload sharded across worker processes
+    (FlexScale). With ``--differential`` also run the single-process
+    reference on an identical fresh net/workload and byte-compare the
+    traffic reports; exit 1 on any divergence."""
+    import json as json_module
+
+    from repro.scale import e20_net, e20_workload, reference_run, run_sharded
+    from repro.simulator.packet import reset_packet_ids
+
+    def fresh_arm():
+        # Same seeds + a packet-id reset give both arms byte-identical
+        # inputs; each arm gets its own net because runs mutate state.
+        reset_packet_ids()
+        net = e20_net(pods=args.pods)
+        workload = e20_workload(args.packets, rate_pps=args.rate, seed=args.seed)
+        return net, workload
+
+    net, workload = fresh_arm()
+    report = run_sharded(
+        net,
+        workload,
+        args.shards,
+        backend=args.backend,
+        seed=args.plan_seed,
+        drain_s=args.drain,
+    )
+    divergences = None
+    if args.differential:
+        ref_net, ref_workload = fresh_arm()
+        reference = reference_run(ref_net, ref_workload, drain_s=args.drain)
+        identical = json_module.dumps(
+            reference.to_dict(), sort_keys=True
+        ) == json_module.dumps(report.traffic_dict(), sort_keys=True)
+        divergences = 0 if identical else 1
+
+    if args.json:
+        payload = report.to_dict()
+        if divergences is not None:
+            payload["differential"] = {"divergences": divergences}
+        print(json_module.dumps(payload, indent=2))
+    else:
+        print(report.summary())
+        if divergences is not None:
+            verdict = "byte-identical" if divergences == 0 else "DIVERGED"
+            print(f"  differential vs single-process: {verdict}")
+    return 1 if divergences else 0
+
+
 def _observed_run(args: argparse.Namespace, sink=None) -> FlexNet:
     """Run the ``simulate`` scenario with FlexScope enabled; shared by
     the ``trace``/``metrics``/``profile`` verbs."""
@@ -763,6 +816,33 @@ def build_parser() -> argparse.ArgumentParser:
     ha_parser.add_argument("--json", action="store_true",
                            help="emit the machine-readable FlexHA status")
     ha_parser.set_defaults(func=cmd_ha)
+
+    scale_parser = subparsers.add_parser(
+        "scale", help="run the sharded multi-process simulation (FlexScale)"
+    )
+    scale_parser.add_argument("--shards", type=int, default=2,
+                              help="worker shard count")
+    scale_parser.add_argument("--backend", default="process",
+                              choices=["process", "inline"],
+                              help="'process': forked OS workers; "
+                                   "'inline': same protocol, one process")
+    scale_parser.add_argument("--pods", type=int, default=4,
+                              help="pods in the E20 fabric")
+    scale_parser.add_argument("--packets", type=int, default=2000)
+    scale_parser.add_argument("--rate", type=float, default=20000.0,
+                              help="workload Poisson rate (pps)")
+    scale_parser.add_argument("--seed", type=int, default=2024,
+                              help="workload seed")
+    scale_parser.add_argument("--plan-seed", type=int, default=11,
+                              help="shard-plan seed")
+    scale_parser.add_argument("--drain", type=float, default=0.5,
+                              help="quiet horizon after the last injection (s)")
+    scale_parser.add_argument("--differential", action="store_true",
+                              help="byte-compare against the single-process "
+                                   "engine (exit 1 on divergence)")
+    scale_parser.add_argument("--json", action="store_true",
+                              help="emit the machine-readable scale report")
+    scale_parser.set_defaults(func=cmd_scale)
 
     def scenario_args(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("program")

@@ -412,6 +412,42 @@ class FlexNet:
             ),
         )
 
+    def scale(
+        self,
+        shards: int = 2,
+        *,
+        backend: str = "process",
+        rate_pps: float = 1000.0,
+        duration_s: float = 1.0,
+        packets: list[TimedPacket] | None = None,
+        seed: int = 2024,
+        drain_s: float = 1.0,
+        colocate_below_s: float | None = None,
+    ):
+        """Run traffic sharded across worker processes (FlexScale).
+
+        Partitions the fabric with :func:`repro.scale.plan.plan_shards`
+        (vet-gated placement) and drives the conservative lookahead
+        protocol; the returned
+        :class:`~repro.scale.runner.ScaleReport`'s ``traffic`` section
+        is byte-identical to what :meth:`run_traffic` reports for the
+        same workload. Like ``run_traffic`` this mutates device state.
+        """
+        from repro.scale.runner import run_sharded
+
+        workload = packets if packets is not None else list(
+            constant_rate(rate_pps, duration_s, start_s=self.controller.loop.now)
+        )
+        return run_sharded(
+            self,
+            workload,
+            shards,
+            backend=backend,
+            seed=seed,
+            drain_s=drain_s,
+            colocate_below_s=colocate_below_s,
+        )
+
     # -- convenience passthroughs ----------------------------------------------------
 
     @property

@@ -45,3 +45,14 @@ READ_RTT_S = 1e-3
 #: disagree about what "one heartbeat" means.
 ELECTION_TIMEOUT_RANGE_S = (0.15, 0.30)
 HEARTBEAT_INTERVAL_S = 0.05
+
+#: FlexScale placement: two devices joined by a link faster than this
+#: are fused onto one shard. The conservative lookahead protocol
+#: advances shards in windows of the *minimum cross-shard* link
+#: latency, so splitting a microsecond-class intra-rack link across
+#: shards would collapse window size (and with it all parallelism);
+#: links at or above this latency are presumed rack/pod boundaries
+#: worth sharding across. Shared by :mod:`repro.scale.plan` (placement)
+#: and :mod:`repro.scale.shard` (window sizing) so the planner can
+#: never produce a partition the protocol would crawl through.
+COLOCATE_LINK_LATENCY_S = 1e-4

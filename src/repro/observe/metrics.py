@@ -156,8 +156,63 @@ class MetricsRegistry:
         for collector in self._collectors:
             collector(self)
 
+    def detach_collectors(self) -> None:
+        """Drop every registered collector, freezing the registry at its
+        current values. A FlexScale shard collects once, detaches, and
+        ships the frozen registry to the coordinator — collectors close
+        over live worker-process objects and must not cross the process
+        boundary."""
+        self._collectors.clear()
+
     def clear(self) -> None:
         self._families.clear()
+
+    # -- merging (FlexScale coordinator) ------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry's series into this one, in place.
+
+        Counters and gauges add; histograms add bucket-wise (bucket
+        bounds must agree). Series present only in ``other`` are copied
+        over. Merging is value-based and commutative, so folding every
+        shard's frozen snapshot into one fleet registry yields the same
+        deterministic export regardless of worker completion order —
+        which is what keeps ``flexnet metrics`` byte-identical across
+        same-seed sharded runs. Returns ``self`` for chaining.
+        """
+        for name in sorted(other._families):
+            theirs = other._families[name]
+            family = self._families.get(name)
+            if family is None:
+                family = self._families[name] = _Family(
+                    name=name, kind=theirs.kind, help=theirs.help
+                )
+            elif family.kind != theirs.kind:
+                raise ValueError(
+                    f"cannot merge metric {name!r}: {family.kind} vs {theirs.kind}"
+                )
+            for key in sorted(theirs.series):
+                series = theirs.series[key]
+                mine = family.series.get(key)
+                if mine is None:
+                    if theirs.kind == "histogram":
+                        mine = family.series[key] = Histogram(buckets=series.buckets)
+                    else:
+                        mine = family.series[key] = (
+                            Counter() if theirs.kind == "counter" else Gauge()
+                        )
+                if theirs.kind == "histogram":
+                    if mine.buckets != series.buckets:
+                        raise ValueError(
+                            f"cannot merge histogram {name!r}: bucket bounds differ"
+                        )
+                    mine.total += series.total
+                    mine.count += series.count
+                    for index, count in enumerate(series.counts):
+                        mine.counts[index] += count
+                else:
+                    mine.value += series.value
+        return self
 
     # -- export -------------------------------------------------------------
 

@@ -1,0 +1,29 @@
+"""FlexScale: sharded multi-process data-plane simulation.
+
+Partitions a FlexNet's simulated fabric across OS worker processes —
+one shard owns a subset of devices plus their event loop — with
+cross-shard packet handoff under a conservative virtual-clock lookahead
+protocol, so same-seed sharded runs are bit-identical to the
+single-process engine. Placement is admission-gated by FlexVet's
+parallelism classification. See DESIGN.md §4i.
+"""
+
+from repro.scale.plan import ShardPlan, plan_shards
+from repro.scale.runner import ScaleReport, reference_run, run_sharded
+from repro.scale.shard import Guarantee, Handoff, ShardEngine, ShardResult
+from repro.scale.workload import e20_net, e20_workload, pod_fabric
+
+__all__ = [
+    "Guarantee",
+    "Handoff",
+    "ScaleReport",
+    "ShardEngine",
+    "ShardPlan",
+    "ShardResult",
+    "e20_net",
+    "e20_workload",
+    "plan_shards",
+    "pod_fabric",
+    "reference_run",
+    "run_sharded",
+]

@@ -1,0 +1,386 @@
+"""FlexScale coordinator: run a FlexNet's traffic across shards.
+
+Two backends drive the same :class:`~repro.scale.shard.ShardEngine`
+protocol:
+
+* ``inline`` — every shard lives in this process and windows are
+  stepped round-robin. Zero IPC; used by tests and property
+  instrumentation (map-access recorders need to see the worker state).
+* ``process`` — one OS worker per populated shard, forked so device
+  objects and FlexPath closures are inherited without pickling;
+  handoffs and guarantees flow over per-shard ``multiprocessing``
+  queues, results come back on a shared result queue as picklable
+  :class:`~repro.scale.shard.ShardResult` snapshots.
+
+Either way the coordinator merges per-shard :class:`RunMetrics`,
+telemetry digest counts, and frozen FlexScope registries into one
+:class:`ScaleReport` whose ``traffic`` section is byte-identical to the
+``TrafficReport`` of a same-seed single-process run (E20's differential
+acceptance check). The variable parts — windows, handoff counts,
+per-shard breakdowns — live in separate report sections so the identity
+check can compare the invariant part exactly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.observe.metrics import MetricsRegistry
+from repro.scale.plan import ShardPlan, plan_shards
+from repro.scale.shard import ShardEngine, ShardResult, run_inline
+from repro.simulator.flowgen import TimedPacket
+from repro.simulator.metrics import RunMetrics
+from repro.simulator.packet import reset_packet_ids
+
+#: Wall-clock seconds the coordinator waits for any worker result before
+#: declaring the fleet wedged (a conservative-protocol bug, not a slow
+#: machine, is the only way to hit this).
+RESULT_TIMEOUT_S = 300.0
+
+
+@dataclass
+class ScaleReport:
+    """Outcome of a sharded run (FlexScope Reportable protocol).
+
+    ``traffic`` (via :meth:`traffic_dict`) is the byte-identical
+    section; ``sharding`` carries the protocol/shape diagnostics that
+    legitimately vary with the shard count.
+    """
+
+    plan: ShardPlan
+    backend: str
+    end_time_s: float
+    metrics: RunMetrics
+    total_digests: int
+    registry: MetricsRegistry
+    shard_results: list[ShardResult] = field(default_factory=list)
+
+    @property
+    def windows(self) -> int:
+        return sum(result.windows for result in self.shard_results)
+
+    @property
+    def handoffs(self) -> int:
+        return sum(result.handoffs_out for result in self.shard_results)
+
+    @property
+    def max_shard_cpu_s(self) -> float | None:
+        """Slowest shard's CPU seconds (process backend only) — the
+        denominator of the E20 capacity metric. Measurement-only:
+        deliberately absent from :meth:`to_dict` so exports stay
+        deterministic."""
+        values = [
+            result.cpu_s
+            for result in self.shard_results
+            if result.cpu_s is not None
+        ]
+        return max(values) if values else None
+
+    def traffic_dict(self) -> dict:
+        """Exactly the shape ``TrafficReport.to_dict()`` produces for
+        the same workload on the single-process engine."""
+        return {
+            "metrics": self.metrics.to_dict(),
+            "telemetry": {"total_digests": self.total_digests, "total_events": 0},
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "traffic": self.traffic_dict(),
+            "sharding": {
+                "backend": self.backend,
+                "shards": self.plan.shards,
+                "populated_shards": list(self.plan.populated_shards),
+                "end_time_s": self.end_time_s,
+                "plan": self.plan.to_dict(),
+                "per_shard": [
+                    {
+                        "shard": result.shard_id,
+                        "sent": result.metrics.sent,
+                        "delivered": result.metrics.delivered,
+                        "windows": result.windows,
+                        "handoffs_in": result.handoffs_in,
+                        "handoffs_out": result.handoffs_out,
+                        "events": result.events_executed,
+                    }
+                    for result in self.shard_results
+                ],
+            },
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"flexscale [{self.backend}] {len(self.plan.populated_shards)} shard(s): "
+            + self.metrics.summary().splitlines()[0],
+            f"  windows {self.windows}, cross-shard handoffs {self.handoffs}, "
+            f"digests {self.total_digests}",
+        ]
+        for result in self.shard_results:
+            lines.append(
+                f"  shard {result.shard_id}: sent {result.metrics.sent}, "
+                f"delivered {result.metrics.delivered}, "
+                f"windows {result.windows}, "
+                f"handoffs {result.handoffs_in} in / {result.handoffs_out} out"
+            )
+        return "\n".join(lines)
+
+
+def reference_run(net, injections: list[TimedPacket], drain_s: float = 1.0):
+    """The single-process control arm of the differential check: the
+    plain engine, the same digest accounting, no consistency checker —
+    returns the :class:`~repro.core.flexnet.TrafficReport` whose
+    ``to_dict()`` a sharded run's ``traffic_dict()`` must reproduce
+    byte-for-byte. Mutates device state; build a fresh net per arm."""
+    return net.run_traffic(packets=list(injections), extra_time_s=drain_s)
+
+
+def _assign_injections(
+    net, plan: ShardPlan, injections: list[TimedPacket]
+) -> dict[int, list[tuple]]:
+    """Resolve each injection's hop list and hand it to the shard that
+    owns the first hop."""
+    network = net.controller.network
+    per_shard: dict[int, list[tuple]] = {shard: [] for shard in plan.populated_shards}
+    hops = network.path("datapath")
+    first_shard = plan.shard_of(hops[0])
+    for timed in injections:
+        per_shard[first_shard].append((timed.packet, hops, timed.time))
+    return per_shard
+
+
+def _end_time(injections: list[TimedPacket], drain_s: float) -> float:
+    last = max((timed.time for timed in injections), default=0.0)
+    return last + drain_s
+
+
+def _merge_results(
+    plan: ShardPlan,
+    backend: str,
+    end_time: float,
+    results: list[ShardResult],
+) -> ScaleReport:
+    results = sorted(results, key=lambda result: result.shard_id)
+    metrics_parts = [result.metrics for result in results]
+    merged = (
+        metrics_parts[0].merge(*metrics_parts[1:])
+        if len(metrics_parts) > 1
+        else metrics_parts[0]
+    )
+    registry = MetricsRegistry()
+    for result in results:
+        if result.registry is not None:
+            registry.merge(result.registry)
+    return ScaleReport(
+        plan=plan,
+        backend=backend,
+        end_time_s=end_time,
+        metrics=merged,
+        total_digests=sum(result.digest_count for result in results),
+        registry=registry,
+        shard_results=results,
+    )
+
+
+# -- inline backend ---------------------------------------------------------
+
+
+def build_engines(
+    net, plan: ShardPlan, injections: list[TimedPacket], drain_s: float = 1.0
+) -> dict[int, ShardEngine]:
+    """Instantiate one engine per populated shard over the net's live
+    device objects (inline backend; also used directly by tests that
+    need to instrument worker state before driving the protocol)."""
+    end_time = _end_time(injections, drain_s)
+    devices = net.controller.devices
+    engines = {
+        shard: ShardEngine(
+            shard, plan, devices, end_time, topology=net.controller.network
+        )
+        for shard in plan.populated_shards
+    }
+    for shard, items in _assign_injections(net, plan, injections).items():
+        for packet, hops, at_time in items:
+            engines[shard].inject(packet, hops, at_time)
+    return engines
+
+
+def _run_inline_backend(
+    net, plan: ShardPlan, injections: list[TimedPacket], drain_s: float
+) -> ScaleReport:
+    engines = build_engines(net, plan, injections, drain_s=drain_s)
+    run_inline(engines)
+    results = [engine.result() for engine in engines.values()]
+    return _merge_results(plan, "inline", _end_time(injections, drain_s), results)
+
+
+# -- process backend --------------------------------------------------------
+
+
+def _worker_main(
+    shard_id: int,
+    plan: ShardPlan,
+    net,
+    injections: list[tuple],
+    end_time: float,
+    inboxes: dict,
+    result_queue,
+) -> None:
+    """One forked worker: owns its shard's (copy-on-write) devices, runs
+    the window protocol against neighbor queues, ships a ShardResult."""
+    try:
+        # CPU-seconds measurement only — it feeds the E20 capacity
+        # metric (aggregate pps = packets / max shard CPU) and never
+        # touches simulation state or any deterministic export, so the
+        # wall-clock read is baselined in vet_baseline.json.
+        cpu_start = time.process_time()
+        # Packets created inside this worker (if any) get a per-shard id
+        # namespace so ids can never collide across shards.
+        reset_packet_ids(shard_id + 1)
+        engine = ShardEngine(
+            shard_id,
+            plan,
+            net.controller.devices,
+            end_time,
+            topology=net.controller.network,
+        )
+        for packet, hops, at_time in injections:
+            engine.inject(packet, hops, at_time)
+        inbox = inboxes[shard_id]
+        while True:
+            engine.advance()
+            outbox = engine.take_outbox()
+            guarantees = engine.guarantees_out()
+            # One queue item per destination per window: the handoffs
+            # followed by the guarantee covering them — batching
+            # preserves exactly the per-producer FIFO order the
+            # window-completeness proof relies on, while costing one
+            # pickle round trip instead of one per message.
+            for dst in sorted(set(outbox) | set(guarantees)):
+                batch = list(outbox.get(dst, ()))
+                if dst in guarantees:
+                    batch.append(guarantees[dst])
+                inboxes[dst].put(batch)
+            if engine.finished():
+                break
+            while not engine.can_advance():
+                for message in inbox.get(timeout=RESULT_TIMEOUT_S):
+                    engine.deliver(message)
+                while True:
+                    try:
+                        batch = inbox.get_nowait()
+                    except queue_mod.Empty:
+                        break
+                    for message in batch:
+                        engine.deliver(message)
+        shard_result = engine.result()
+        shard_result.cpu_s = time.process_time() - cpu_start
+        result_queue.put(("ok", shard_result))
+        # Drain stragglers (a neighbor's final null messages) so its
+        # feeder thread can flush and exit cleanly.
+        while True:
+            try:
+                inbox.get_nowait()
+            except queue_mod.Empty:
+                break
+    except BaseException:  # noqa: BLE001 - shipped to the coordinator
+        result_queue.put(("error", shard_id, traceback.format_exc()))
+
+
+def _run_process_backend(
+    net, plan: ShardPlan, injections: list[TimedPacket], drain_s: float
+) -> ScaleReport:
+    context = multiprocessing.get_context("fork")
+    end_time = _end_time(injections, drain_s)
+    shards = plan.populated_shards
+    inboxes = {shard: context.Queue() for shard in shards}
+    result_queue = context.Queue()
+    per_shard = _assign_injections(net, plan, injections)
+    workers = [
+        context.Process(
+            target=_worker_main,
+            args=(
+                shard,
+                plan,
+                net,
+                per_shard.get(shard, []),
+                end_time,
+                inboxes,
+                result_queue,
+            ),
+            name=f"flexscale-shard-{shard}",
+        )
+        for shard in shards
+    ]
+    for worker in workers:
+        worker.start()
+    results: list[ShardResult] = []
+    error: str | None = None
+    try:
+        for _ in shards:
+            try:
+                item = result_queue.get(timeout=RESULT_TIMEOUT_S)
+            except queue_mod.Empty:
+                error = "worker result timed out (protocol wedge?)"
+                break
+            if item[0] == "ok":
+                results.append(item[1])
+            else:
+                error = f"shard {item[1]} failed:\n{item[2]}"
+                break
+    finally:
+        for worker in workers:
+            worker.join(timeout=30.0)
+            if worker.is_alive():
+                worker.terminate()
+                worker.join()
+    if error is not None:
+        raise SimulationError(f"flexscale process backend: {error}")
+    return _merge_results(plan, "process", end_time, results)
+
+
+# -- entry point ------------------------------------------------------------
+
+
+def run_sharded(
+    net,
+    injections: list[TimedPacket],
+    shards: int,
+    *,
+    backend: str = "process",
+    seed: int = 2024,
+    drain_s: float = 1.0,
+    colocate_below_s: float | None = None,
+    plan: ShardPlan | None = None,
+) -> ScaleReport:
+    """Partition ``net`` and run ``injections`` across shards.
+
+    ``drain_s`` sets the quiet horizon after the last injection; every
+    packet must finish inside it or the run fails loudly (no silent
+    truncation). Like ``run_traffic``, the run mutates device state.
+    Consistency checking is not supported under sharding (the checker
+    is an observer of the single loop); use ``run_traffic`` for
+    consistency experiments.
+    """
+    if plan is None:
+        kwargs: dict = {"seed": seed}
+        if colocate_below_s is not None:
+            kwargs["colocate_below_s"] = colocate_below_s
+        plan = plan_shards(net.controller, shards, **kwargs)
+    if backend == "inline":
+        return _run_inline_backend(net, plan, injections, drain_s)
+    if backend == "process":
+        if multiprocessing.get_start_method(allow_none=False) != "fork" and (
+            "fork" not in multiprocessing.get_all_start_methods()
+        ):
+            raise SimulationError(
+                "flexscale process backend requires the fork start method "
+                "(device closures are inherited, not pickled); "
+                "use backend='inline' on this platform"
+            )
+        return _run_process_backend(net, plan, injections, drain_s)
+    raise SimulationError(f"unknown flexscale backend {backend!r}")

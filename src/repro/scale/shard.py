@@ -1,0 +1,338 @@
+"""FlexScale shard runtime: one worker's event loop plus the handoff
+protocol that keeps sharded runs bit-identical to single-process ones.
+
+Protocol (conservative, Chandy-Misra-Bryant style with windowed null
+messages, no global barrier):
+
+* Each shard owns a disjoint set of devices and runs them on a private
+  :class:`~repro.simulator.engine.EventLoop`.
+* When a packet's next hop belongs to another shard, the owning shard
+  ships a :class:`Handoff` carrying the *absolute* arrival timestamp —
+  computed by the exact float expression the single-process engine
+  would have used (``now + (processing_s + link_latency)``), so no
+  rounding can ever diverge.
+* After advancing to virtual time *t*, a shard announces a
+  :class:`Guarantee` of ``t + lookahead`` to each neighbor, where
+  ``lookahead`` is the minimum latency of any link crossing that shard
+  boundary: every handoff it will ever send after the announcement
+  arrives strictly later than the guarantee. Announcements double as
+  null messages — they flow every window even when no packet crosses,
+  which is what makes progress deadlock-free on cyclic shard graphs.
+* A shard may therefore advance to ``min`` over its in-neighbors'
+  guarantees. Because the transport is FIFO per producer (a
+  ``multiprocessing.Queue`` feeder thread is serial, and the inline
+  backend delivers synchronously), every handoff with arrival ≤ g is
+  already buffered when the announcement of g is handled — windows are
+  *complete* before they are processed.
+* Before each window the buffered handoffs are integrated in the
+  canonical order ``(time, packet_id, hop_index)`` and the event loop's
+  documented ``(time, seq)`` tie-break preserves that order exactly, so
+  the execution order inside a window never depends on queue
+  interleaving.
+
+Termination: the driver passes a fixed end horizon chosen past all
+activity; guarantees advance by at least one lookahead per window, so
+every shard's clock crosses the horizon in finitely many windows. If
+any event or handoff outlives the horizon the run *fails loudly*
+(:class:`~repro.errors.SimulationError`) rather than silently diverging
+from the single-process reference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.observe.metrics import MetricsRegistry
+from repro.simulator.engine import EventLoop
+from repro.simulator.metrics import LatencyStats, RunMetrics
+from repro.simulator.network import Network
+from repro.simulator.packet import Packet
+
+#: Smallest guarantee increment enforced per window; a zero-lookahead
+#: shard pair would never make progress (the planner's co-location rule
+#: should make this unreachable, but the protocol refuses to spin).
+MIN_LOOKAHEAD_S = 1e-9
+
+
+@dataclass(frozen=True)
+class Handoff:
+    """A packet crossing a shard boundary at an exact absolute time."""
+
+    time: float
+    packet: Packet
+    hops: tuple[str, ...]
+    index: int
+    src_shard: int
+
+    @property
+    def sort_key(self) -> tuple[float, int, int]:
+        """Canonical integration order within a window."""
+        return (self.time, self.packet.packet_id, self.index)
+
+
+@dataclass(frozen=True)
+class Guarantee:
+    """``src_shard`` promises every later handoff arrives after ``time``."""
+
+    src_shard: int
+    time: float
+
+
+@dataclass
+class ShardResult:
+    """Everything one shard ships back to the coordinator (picklable:
+    registries are frozen via ``detach_collectors`` first)."""
+
+    shard_id: int
+    metrics: RunMetrics
+    digest_count: int
+    windows: int
+    handoffs_in: int
+    handoffs_out: int
+    events_executed: int
+    registry: MetricsRegistry | None = None
+    #: worker CPU seconds (process backend only; measurement-only field,
+    #: excluded from every deterministic export).
+    cpu_s: float | None = None
+
+
+class ShardEngine:
+    """One shard's devices, loop, and protocol state.
+
+    Transport-agnostic: the inline backend calls :meth:`deliver`
+    directly, the process backend feeds it messages drained from an
+    ``mp.Queue``. Drivers repeatedly call :meth:`advance`, flush
+    :meth:`take_outbox` / :meth:`guarantees_out` to neighbors, and
+    block for deliveries until :meth:`can_advance`.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        plan,
+        devices: dict,
+        end_time: float,
+        topology: Network | None = None,
+    ):
+        self.shard_id = shard_id
+        self.plan = plan
+        self.end_time = end_time
+        self.loop = EventLoop()
+        self.owned = set(plan.devices_on(shard_id))
+        self.network = Network(
+            loop=self.loop, owned=self.owned, on_handoff=self._handoff_out
+        )
+        if topology is not None:
+            self.network.adopt_topology(topology)
+        for name in sorted(self.owned):
+            self.network.add_node(devices[name])
+        self._devices = {name: devices[name] for name in self.owned}
+        self.metrics = RunMetrics(
+            latency=LatencyStats(seed=plan.shard_seed(shard_id))
+        )
+        self.digest_count = 0
+        self.windows = 0
+        self.handoffs_in = 0
+        self.handoffs_out = 0
+        self._clock = 0.0
+        self._pending: list[Handoff] = []
+        self._outbox: dict[int, list[Handoff]] = {
+            dst: [] for dst in plan.out_neighbors(shard_id)
+        }
+        self._guarantee: dict[int, float] = {
+            src: 0.0 for src in plan.in_neighbors(shard_id)
+        }
+
+    # -- local simulation ---------------------------------------------------
+
+    def inject(self, packet: Packet, path, at_time: float) -> None:
+        """Coordinator-assigned injection (first hop owned by this shard)."""
+        self.network.inject(packet, path, at_time, self.metrics, on_done=self._on_done)
+
+    def _on_done(self, packet: Packet) -> None:
+        self.digest_count += len(packet.digests)
+
+    def _handoff_out(
+        self, packet: Packet, hops: list[str], index: int, at_time: float
+    ) -> None:
+        dst = self.plan.shard_of(hops[index])
+        if dst == self.shard_id:  # pragma: no cover - network owns this check
+            raise SimulationError("handoff to own shard")
+        self._outbox.setdefault(dst, []).append(
+            Handoff(
+                time=at_time,
+                packet=packet,
+                hops=tuple(hops),
+                index=index,
+                src_shard=self.shard_id,
+            )
+        )
+        self.handoffs_out += 1
+
+    # -- protocol -----------------------------------------------------------
+
+    @property
+    def clock(self) -> float:
+        return self._clock
+
+    def safe_time(self) -> float:
+        """Latest virtual time provably free of future in-handoffs."""
+        if not self._guarantee:
+            return math.inf
+        return min(self._guarantee.values())
+
+    def can_advance(self) -> bool:
+        return min(self.safe_time(), self.end_time) > self._clock or self.finished()
+
+    def deliver(self, message: Handoff | Guarantee) -> None:
+        """Accept one in-message (any transport, FIFO per producer)."""
+        if isinstance(message, Handoff):
+            self._pending.append(message)
+            self.handoffs_in += 1
+        else:
+            previous = self._guarantee.get(message.src_shard, 0.0)
+            self._guarantee[message.src_shard] = max(previous, message.time)
+
+    def advance(self) -> float:
+        """Run one window: integrate safe handoffs, process local events
+        up to the window bound, and queue outgoing guarantees."""
+        bound = min(self.safe_time(), self.end_time)
+        if bound > self._clock or self.windows == 0:
+            ready = sorted(
+                (h for h in self._pending if h.time <= bound),
+                key=lambda h: h.sort_key,
+            )
+            self._pending = [h for h in self._pending if h.time > bound]
+            for handoff in ready:
+                self.network.receive(
+                    handoff.packet,
+                    list(handoff.hops),
+                    handoff.index,
+                    handoff.time,
+                    self.metrics,
+                    on_done=self._on_done,
+                )
+            self.loop.run_until(bound)
+            self._clock = bound
+            self.windows += 1
+        return self._clock
+
+    def guarantees_out(self) -> dict[int, Guarantee]:
+        """Announcements for each out-neighbor after :meth:`advance`."""
+        out: dict[int, Guarantee] = {}
+        for dst in self.plan.out_neighbors(self.shard_id):
+            lookahead = max(
+                self.plan.lookahead_s[(self.shard_id, dst)], MIN_LOOKAHEAD_S
+            )
+            out[dst] = Guarantee(src_shard=self.shard_id, time=self._clock + lookahead)
+        return out
+
+    def take_outbox(self) -> dict[int, list[Handoff]]:
+        """Drain buffered out-handoffs (per destination shard)."""
+        taken = {dst: msgs for dst, msgs in self._outbox.items() if msgs}
+        for dst in taken:
+            self._outbox[dst] = []
+        return taken
+
+    def finished(self) -> bool:
+        """True once no event at or before the horizon can still exist
+        anywhere upstream of this shard."""
+        return self._clock >= self.end_time and self.safe_time() >= self.end_time
+
+    # -- result -------------------------------------------------------------
+
+    def _collect_registry(self) -> MetricsRegistry:
+        """Per-shard FlexScope snapshot (same family names the Observer
+        exports, so merged fleet output is indistinguishable from a
+        single-process scrape), frozen for cross-process shipping."""
+        registry = MetricsRegistry()
+        for name in sorted(self._devices):
+            stats = self._devices[name].stats
+            for version in sorted(stats.per_version):
+                registry.counter(
+                    "flexnet_device_packets_total",
+                    help="packets processed per device and program version",
+                    device=name,
+                    version=version,
+                ).set(stats.per_version[version])
+            registry.counter(
+                "flexnet_device_dropped_total", device=name
+            ).set(stats.dropped_by_program)
+            registry.counter("flexnet_device_ops_total", device=name).set(
+                stats.total_ops
+            )
+            registry.counter(
+                "flexnet_device_queue_drops_total", device=name
+            ).set(stats.queue_drops)
+        registry.counter(
+            "flexnet_telemetry_digests_total",
+            help="digest records ever ingested",
+        ).set(self.digest_count)
+        registry.counter(
+            "flexnet_scale_windows_total",
+            help="protocol windows executed per shard",
+            shard=self.shard_id,
+        ).set(self.windows)
+        registry.counter(
+            "flexnet_scale_handoffs_total", shard=self.shard_id, direction="in"
+        ).set(self.handoffs_in)
+        registry.counter(
+            "flexnet_scale_handoffs_total", shard=self.shard_id, direction="out"
+        ).set(self.handoffs_out)
+        registry.detach_collectors()
+        return registry
+
+    def result(self) -> ShardResult:
+        """Validate quiescence and package the shard's contribution."""
+        if self._pending:
+            worst = max(h.time for h in self._pending)
+            raise SimulationError(
+                f"shard {self.shard_id}: {len(self._pending)} handoff(s) beyond "
+                f"the end horizon {self.end_time} s (latest {worst} s) — "
+                f"increase drain_s so every packet finishes inside the run"
+            )
+        if self.loop.pending():
+            raise SimulationError(
+                f"shard {self.shard_id}: {self.loop.pending()} event(s) beyond "
+                f"the end horizon {self.end_time} s — increase drain_s"
+            )
+        return ShardResult(
+            shard_id=self.shard_id,
+            metrics=self.metrics,
+            digest_count=self.digest_count,
+            windows=self.windows,
+            handoffs_in=self.handoffs_in,
+            handoffs_out=self.handoffs_out,
+            events_executed=self.loop._sequence,  # noqa: SLF001 - diagnostic only
+            registry=self._collect_registry(),
+        )
+
+
+def step_inline(engines: dict[int, "ShardEngine"]) -> None:
+    """Advance every shard one window and deliver synchronously — the
+    single-process backend (tests, property instrumentation). Message
+    delivery order (handoffs, then the guarantee, per source) matches
+    the FIFO contract the process transport provides."""
+    order = sorted(engines)
+    for shard_id in order:
+        engines[shard_id].advance()
+    for shard_id in order:
+        engine = engines[shard_id]
+        for dst, handoffs in sorted(engine.take_outbox().items()):
+            for handoff in handoffs:
+                engines[dst].deliver(handoff)
+        for dst, guarantee in sorted(engine.guarantees_out().items()):
+            engines[dst].deliver(guarantee)
+
+
+def run_inline(engines: dict[int, "ShardEngine"], max_windows: int = 1_000_000) -> None:
+    """Drive inline shards to quiescence at the end horizon."""
+    for _ in range(max_windows):
+        if all(engine.finished() for engine in engines.values()):
+            return
+        step_inline(engines)
+    raise SimulationError(
+        f"inline shard run did not quiesce within {max_windows} windows"
+    )

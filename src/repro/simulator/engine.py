@@ -1,10 +1,26 @@
 """Discrete-event simulation engine.
 
-A minimal, deterministic event loop: events are ``(time, sequence,
-callback)`` triples in a heap; ties break by insertion order so runs
-are reproducible. All FlexNet experiments execute inside one
-:class:`EventLoop` — packet arrivals, reconfiguration steps, controller
-decisions, and attack ramps are all just scheduled callbacks.
+A minimal, deterministic event loop. The ordering contract is explicit
+and load-bearing (FlexScale's cross-shard handoff protocol relies on
+it):
+
+* Events execute in ascending ``(time, seq)`` order, where ``seq`` is
+  the monotonically increasing *insertion* counter of this loop.
+* Two events scheduled for the same virtual time therefore run in the
+  exact order they were scheduled — never in heap-internal, id-based,
+  or otherwise incidental order.
+* ``schedule_at`` stores the *exact* absolute time it was given (no
+  ``now + (time - now)`` float round trip), so an event handed across
+  process boundaries with a precomputed absolute timestamp executes at
+  a bit-identical time on any loop.
+
+Callers that inject externally-produced events (the FlexScale shard
+runtime draining a handoff queue) must therefore insert them in a
+canonical order of their own — e.g. sorted by ``(time, packet_id)`` —
+before scheduling; the loop then preserves that order exactly. All
+FlexNet experiments execute inside one :class:`EventLoop` — packet
+arrivals, reconfiguration steps, controller decisions, and attack
+ramps are all just scheduled callbacks.
 """
 
 from __future__ import annotations
@@ -16,7 +32,7 @@ from dataclasses import dataclass, field
 from repro.errors import SimulationError
 
 
-@dataclass(order=True)
+@dataclass
 class _Event:
     time: float
     sequence: int
@@ -39,10 +55,18 @@ class EventHandle:
 
 
 class EventLoop:
-    """A deterministic discrete-event loop with seconds as virtual time."""
+    """A deterministic discrete-event loop with seconds as virtual time.
+
+    See the module docstring for the explicit ``(time, seq)`` ordering
+    contract.
+    """
 
     def __init__(self):
-        self._heap: list[_Event] = []
+        #: heap of ``(time, seq, event)`` — the ordering key is spelled
+        #: out rather than derived from dataclass comparison so the
+        #: tie-break rule is part of the API, not an implementation
+        #: accident.
+        self._heap: list[tuple[float, int, _Event]] = []
         self._sequence = 0
         self._now = 0.0
         self._running = False
@@ -51,18 +75,30 @@ class EventLoop:
     def now(self) -> float:
         return self._now
 
+    def _push(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        event = _Event(time=time, sequence=self._sequence, callback=callback)
+        self._sequence += 1
+        heapq.heappush(self._heap, (event.time, event.sequence, event))
+        return EventHandle(event)
+
     def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} s in the past")
-        event = _Event(time=self._now + delay, sequence=self._sequence, callback=callback)
-        self._sequence += 1
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        return self._push(self._now + delay, callback)
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
-        """Schedule ``callback`` at an absolute virtual time."""
-        return self.schedule(time - self._now, callback)
+        """Schedule ``callback`` at an absolute virtual time.
+
+        The given timestamp is stored exactly (no relative-delay round
+        trip), so cross-loop handoffs that carry absolute times stay
+        bit-identical to the loop that produced them.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} s, before current time {self._now} s"
+            )
+        return self._push(time, callback)
 
     def run_until(self, end_time: float) -> None:
         """Process events with time <= ``end_time``; advance the clock."""
@@ -72,8 +108,8 @@ class EventLoop:
             )
         self._running = True
         try:
-            while self._heap and self._heap[0].time <= end_time:
-                event = heapq.heappop(self._heap)
+            while self._heap and self._heap[0][0] <= end_time:
+                _, _, event = heapq.heappop(self._heap)
                 if event.cancelled:
                     continue
                 self._now = event.time
@@ -87,7 +123,7 @@ class EventLoop:
         self._running = True
         try:
             while self._heap:
-                event = heapq.heappop(self._heap)
+                _, _, event = heapq.heappop(self._heap)
                 if event.cancelled:
                     continue
                 self._now = event.time
@@ -96,4 +132,4 @@ class EventLoop:
             self._running = False
 
     def pending(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return sum(1 for _, _, event in self._heap if not event.cancelled)

@@ -64,6 +64,37 @@ class LatencyStats:
         index = min(int(fraction * len(ordered)), len(ordered) - 1)
         return ordered[index]
 
+    def merge(self, *others: "LatencyStats") -> "LatencyStats":
+        """Combine per-shard reservoirs into one deterministic result.
+
+        Exact aggregates (count, total, min, max — and therefore mean)
+        add losslessly. The merged reservoir is the *sorted* union of
+        every input's samples, so the result is independent of both
+        merge order and the interleaving the shards ran under. While the
+        combined sample count fits the reservoir every sample is kept —
+        percentiles are then exactly what a single-process run over the
+        union stream would report. Beyond the cap the sorted union is
+        downsampled at evenly spaced ranks (deterministic, and a better
+        percentile sketch than random subsampling); merge all shards in
+        one call rather than pairwise chaining so the downsample happens
+        once over the full union.
+        """
+        merged = LatencyStats(reservoir_size=self.reservoir_size, seed=self.seed)
+        parts = (self, *others)
+        merged.count = sum(part.count for part in parts)
+        merged.total = sum(part.total for part in parts)
+        merged.minimum = min(part.minimum for part in parts)
+        merged.maximum = max(part.maximum for part in parts)
+        union = sorted(sample for part in parts for sample in part.samples)
+        if len(union) <= merged.reservoir_size:
+            merged.samples = union
+        else:
+            cap = merged.reservoir_size
+            step = (len(union) - 1) / (cap - 1)
+            merged.samples = [union[round(index * step)] for index in range(cap)]
+        merged._sorted = list(merged.samples)
+        return merged
+
 
 @dataclass
 class RunMetrics:
@@ -104,6 +135,30 @@ class RunMetrics:
     @property
     def delivery_rate(self) -> float:
         return self.delivered / self.sent if self.sent else 0.0
+
+    def merge(self, *others: "RunMetrics") -> "RunMetrics":
+        """Combine per-shard run metrics into one aggregate.
+
+        Every device lives on exactly one shard and every packet
+        finishes on exactly one shard, so plain sums are lossless; the
+        latency reservoirs combine through
+        :meth:`LatencyStats.merge`. Deterministic given deterministic
+        inputs — the FlexScale coordinator calls this once, with every
+        shard's metrics, after the workers drain.
+        """
+        parts = (self, *others)
+        merged = RunMetrics(
+            sent=sum(part.sent for part in parts),
+            delivered=sum(part.delivered for part in parts),
+            dropped_by_program=sum(part.dropped_by_program for part in parts),
+            lost_by_infrastructure=sum(part.lost_by_infrastructure for part in parts),
+            latency=self.latency.merge(*(part.latency for part in others)),
+            version_mixtures=sum(part.version_mixtures for part in parts),
+        )
+        for part in parts:
+            for key, count in part.version_counts.items():
+                merged.version_counts[key] = merged.version_counts.get(key, 0) + count
+        return merged
 
     def versions_on(self, device: str) -> dict[int, int]:
         return {

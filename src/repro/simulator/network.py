@@ -42,13 +42,40 @@ class Link:
 
 
 class Network:
-    """Nodes + links + named paths, driven by one event loop."""
+    """Nodes + links + named paths, driven by one event loop.
 
-    def __init__(self, loop: EventLoop | None = None):
+    A network normally owns every node on every path. Under FlexScale a
+    shard's network owns only *its* devices: ``owned`` names that
+    subset, and when a packet's next hop falls outside it the network
+    calls ``on_handoff(packet, hops, index, arrival_time)`` instead of
+    scheduling the arrival locally. The arrival time handed off is the
+    exact float the single-process engine would have scheduled
+    (``now + (processing_s + link_latency)``), which is what makes
+    sharded runs bit-identical to unsharded ones.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop | None = None,
+        owned: set[str] | None = None,
+        on_handoff: Callable[[Packet, list[str], int, float], None] | None = None,
+    ):
         self.loop = loop or EventLoop()
         self._nodes: dict[str, PacketProcessor] = {}
         self._links: dict[tuple[str, str], Link] = {}
         self._paths: dict[str, list[str]] = {}
+        self._owned = set(owned) if owned is not None else None
+        self._on_handoff = on_handoff
+
+    def adopt_topology(self, other: "Network") -> None:
+        """Copy link latencies and named paths from another network
+        (shard networks mirror the coordinator's topology tables while
+        registering only their owned nodes)."""
+        self._links.update(other._links)
+        self._paths.update({name: list(hops) for name, hops in other._paths.items()})
+
+    def owns(self, name: str) -> bool:
+        return self._owned is None or name in self._owned
 
     # -- topology -----------------------------------------------------------
 
@@ -107,8 +134,27 @@ class Network:
             raise SimulationError("empty path")
         if metrics is not None:
             metrics.record_sent()
+        if not self.owns(hops[0]):
+            self._on_handoff(packet, hops, 0, at_time)
+            return
         self.loop.schedule_at(
             at_time, lambda: self._arrive(packet, hops, 0, metrics, on_done)
+        )
+
+    def receive(
+        self,
+        packet: Packet,
+        hops: list[str],
+        index: int,
+        at_time: float,
+        metrics: RunMetrics | None = None,
+        on_done: Callable[[Packet], None] | None = None,
+    ) -> None:
+        """Accept a handed-off packet at its exact precomputed arrival
+        time (the FlexScale shard runtime calls this after draining its
+        handoff queue in canonical order)."""
+        self.loop.schedule_at(
+            at_time, lambda: self._arrive(packet, hops, index, metrics, on_done)
         )
 
     def _arrive(
@@ -136,6 +182,11 @@ class Network:
             self._finish(packet, metrics, on_done)
             return
         hop_latency = processing_s + self.link_latency(hops[index], hops[index + 1])
+        if not self.owns(hops[index + 1]):
+            # Cross-shard handoff: ship the exact arrival timestamp the
+            # local schedule() call would have produced.
+            self._on_handoff(packet, hops, index + 1, now + hop_latency)
+            return
         self.loop.schedule(
             hop_latency, lambda: self._arrive(packet, hops, index + 1, metrics, on_done)
         )

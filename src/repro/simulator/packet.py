@@ -15,21 +15,38 @@ import enum
 import itertools
 from dataclasses import dataclass, field
 
+#: Packet ids are namespaced: the low bits hold a process-local counter
+#: and the bits at and above this shift hold the allocating shard's id.
+#: Namespace 0 is the single-process / coordinator namespace; a
+#: FlexScale shard worker allocates in its own namespace, so ids are
+#: deterministic regardless of how shard execution interleaves and can
+#: never collide with coordinator-generated ids.
+PACKET_ID_SHARD_SHIFT = 48
+
 _packet_ids = itertools.count(1)
 
 
-def reset_packet_ids() -> None:
-    """Restart the global packet id counter.
+def reset_packet_ids(shard: int = 0) -> None:
+    """Restart the packet id counter in the given shard namespace.
 
     Packet ids feed the deterministic cut-over hash that splits traffic
     between program versions inside a transition window, so seeded
     scenario runners (:func:`repro.faults.chaos.run_chaos`) restart the
     counter up front — two same-seed runs then draw identical version
-    choices even within one process. Ids stay unique within a run,
-    which is all any consumer relies on.
+    choices even within one process.
+
+    ``shard`` selects the allocation namespace: ids become
+    ``(shard << PACKET_ID_SHARD_SHIFT) + local_counter`` with the local
+    counter restarting at 1. FlexScale workers call this with their own
+    shard namespace on startup, so a packet allocated *inside* a shard
+    gets an id that depends only on the shard and its local allocation
+    order — never on cross-shard interleaving. Ids stay unique within a
+    run, which is all any consumer relies on.
     """
     global _packet_ids
-    _packet_ids = itertools.count(1)
+    if shard < 0:
+        raise ValueError(f"shard namespace must be >= 0, got {shard}")
+    _packet_ids = itertools.count((shard << PACKET_ID_SHARD_SHIFT) + 1)
 
 
 class Verdict(enum.Enum):

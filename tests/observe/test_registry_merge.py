@@ -1,0 +1,91 @@
+"""MetricsRegistry merge / detach tests (FlexScale coordinator path)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observe.metrics import MetricsRegistry
+
+
+def _shard_registry(shard: int, packets: int) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter(
+        "flexnet_device_packets_total", device=f"s{shard}", version=1
+    ).set(packets)
+    registry.counter("flexnet_telemetry_digests_total").set(packets * 2)
+    registry.gauge("flexnet_scale_clock_s", shard=shard).set(1.5)
+    registry.histogram("flexnet_window_s", shard=shard).observe(0.002)
+    return registry
+
+
+class TestMerge:
+    def test_counters_add_and_disjoint_series_copy(self):
+        merged = MetricsRegistry()
+        merged.merge(_shard_registry(0, 100)).merge(_shard_registry(1, 50))
+        assert (
+            merged.counter("flexnet_telemetry_digests_total").value == 300
+        )
+        assert (
+            merged.counter(
+                "flexnet_device_packets_total", device="s0", version=1
+            ).value
+            == 100
+        )
+        assert (
+            merged.counter(
+                "flexnet_device_packets_total", device="s1", version=1
+            ).value
+            == 50
+        )
+
+    def test_histograms_add_bucketwise(self):
+        left = MetricsRegistry()
+        left.histogram("flexnet_window_s").observe(0.002)
+        right = MetricsRegistry()
+        right.histogram("flexnet_window_s").observe(0.2)
+        left.merge(right)
+        histogram = left.histogram("flexnet_window_s")
+        assert histogram.count == 2
+        assert histogram.total == 0.202
+
+    def test_merge_order_does_not_change_export(self):
+        parts = [_shard_registry(shard, 10 * (shard + 1)) for shard in range(3)]
+        forward = MetricsRegistry()
+        for part in parts:
+            forward.merge(part)
+        backward = MetricsRegistry()
+        for part in reversed(parts):
+            backward.merge(part)
+        assert forward.to_prometheus() == backward.to_prometheus()
+        assert forward.to_json() == backward.to_json()
+
+    def test_kind_conflict_rejected(self):
+        left = MetricsRegistry()
+        left.counter("flexnet_thing")
+        right = MetricsRegistry()
+        right.gauge("flexnet_thing")
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        left = MetricsRegistry()
+        left.histogram("flexnet_window_s", buckets=(0.1, 1.0)).observe(0.05)
+        right = MetricsRegistry()
+        right.histogram("flexnet_window_s", buckets=(0.2, 2.0)).observe(0.05)
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+
+class TestDetach:
+    def test_detach_freezes_collected_values(self):
+        registry = MetricsRegistry()
+        live = {"count": 5}
+
+        def collector(target: MetricsRegistry) -> None:
+            target.counter("flexnet_live_total").set(live["count"])
+
+        registry.register_collector(collector)
+        registry.collect()
+        registry.detach_collectors()
+        live["count"] = 999
+        assert "flexnet_live_total 5" in registry.to_prometheus()

@@ -23,6 +23,30 @@ class TestScheduling:
         loop.run()
         assert order == ["first", "second"]
 
+    def test_tie_break_is_time_then_sequence(self):
+        # The documented (time, seq) ordering: scheduling order decides
+        # ties even when registrations interleave across timestamps —
+        # FlexScale's cross-shard replay depends on this being exact.
+        loop = EventLoop()
+        order = []
+        loop.schedule(2.0, lambda: order.append("t2-first"))
+        loop.schedule(1.0, lambda: order.append("t1-first"))
+        loop.schedule(2.0, lambda: order.append("t2-second"))
+        loop.schedule(1.0, lambda: order.append("t1-second"))
+        loop.run()
+        assert order == ["t1-first", "t1-second", "t2-first", "t2-second"]
+
+    def test_tie_break_survives_schedule_at_and_cancellation(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule_at(3.0, lambda: order.append("a"))
+        doomed = loop.schedule_at(3.0, lambda: order.append("cancelled"))
+        loop.schedule_at(3.0, lambda: order.append("b"))
+        doomed.cancel()
+        loop.schedule_at(3.0, lambda: order.append("c"))
+        loop.run()
+        assert order == ["a", "b", "c"]
+
     def test_now_advances_during_run(self):
         loop = EventLoop()
         seen = []

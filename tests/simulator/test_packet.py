@@ -1,6 +1,15 @@
 """Packet model tests."""
 
-from repro.simulator.packet import FiveTuple, Packet, Verdict, make_packet
+import pytest
+
+from repro.simulator.packet import (
+    PACKET_ID_SHARD_SHIFT,
+    FiveTuple,
+    Packet,
+    Verdict,
+    make_packet,
+    reset_packet_ids,
+)
 
 
 class TestPacket:
@@ -37,6 +46,40 @@ class TestPacket:
         packet = make_packet(1, 2, vlan_id=7)
         assert packet.meta["vlan_id"] == 7
         assert packet.meta["drop_flag"] == 0
+
+
+class TestPacketIdNamespaces:
+    def test_reset_restarts_default_namespace_at_one(self):
+        reset_packet_ids()
+        assert make_packet(1, 2).packet_id == 1
+        assert make_packet(1, 2).packet_id == 2
+
+    def test_shard_namespace_offsets_counter(self):
+        try:
+            reset_packet_ids(3)
+            first = make_packet(1, 2).packet_id
+            second = make_packet(1, 2).packet_id
+            assert first == (3 << PACKET_ID_SHARD_SHIFT) + 1
+            assert second == first + 1
+        finally:
+            reset_packet_ids()
+
+    def test_namespaces_cannot_collide(self):
+        # A worker would have to allocate 2**48 packets to run into the
+        # next shard's namespace.
+        try:
+            ids = []
+            for shard in (0, 1, 2):
+                reset_packet_ids(shard)
+                ids.append(make_packet(1, 2).packet_id)
+            assert len(set(ids)) == 3
+            assert ids == sorted(ids)
+        finally:
+            reset_packet_ids()
+
+    def test_negative_namespace_rejected(self):
+        with pytest.raises(ValueError):
+            reset_packet_ids(-1)
 
 
 class TestFiveTuple:

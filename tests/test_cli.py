@@ -256,3 +256,32 @@ class TestVet:
         assert main(["vet", "--self", "--baseline", str(fresh)]) == 0
         out = capsys.readouterr().out
         assert "baseline updated" in out
+
+
+class TestScale:
+    def test_scale_inline_differential(self, capsys):
+        assert main(["scale", "--backend", "inline", "--shards", "2",
+                     "--pods", "2", "--packets", "120", "--drain", "0.05",
+                     "--differential"]) == 0
+        out = capsys.readouterr().out
+        assert "flexscale [inline] 2 shard(s)" in out
+        assert "byte-identical" in out
+
+    def test_scale_json_report(self, capsys):
+        import json
+
+        assert main(["scale", "--backend", "inline", "--shards", "2",
+                     "--pods", "2", "--packets", "120", "--drain", "0.05",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["traffic"]["metrics"]["sent"] == 120
+        assert payload["sharding"]["backend"] == "inline"
+        assert len(payload["sharding"]["per_shard"]) == 2
+
+    def test_scale_process_backend(self, capsys):
+        assert main(["scale", "--backend", "process", "--shards", "2",
+                     "--pods", "2", "--packets", "120", "--drain", "0.05",
+                     "--differential"]) == 0
+        out = capsys.readouterr().out
+        assert "flexscale [process] 2 shard(s)" in out
+        assert "byte-identical" in out
