@@ -148,12 +148,7 @@ def run_experiment() -> dict:
         "compiled_cached_pps": cached_pps,
         "speedup_compiled": compiled_pps / interp_pps,
         "speedup_cached": cached_pps / interp_pps,
-        "cache_stats": {
-            "hits": cache.stats.hits,
-            "misses": cache.stats.misses,
-            "bypasses": cache.stats.bypasses,
-            "hit_rate": cache.stats.hit_rate,
-        },
+        "cache_stats": cache.stats.to_dict(),
     }
 
 

@@ -277,6 +277,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     if args.program:
         program = parse_program(_read(args.program))
+    elif args.batch:
+        # The default bench program (base + firewall) is deliberately
+        # NOT batch-safe (the firewall is cross-flow); --batch defaults
+        # to the batch-safe base program so the verb exercises the
+        # batched tiers rather than the fallback.
+        from repro.apps import base_infrastructure
+
+        program = base_infrastructure()
     else:
         from repro.apps import base_infrastructure, firewall_delta
 
@@ -298,18 +306,47 @@ def cmd_bench(args: argparse.Namespace) -> int:
         start = time.perf_counter()
         for i, packet in enumerate(work):
             instance.process(packet, i * 1e-4)
-        return len(work) / (time.perf_counter() - start)
+        # Clamp: a tiny corpus on a fast machine can make the delta 0
+        # at timer resolution, and pps must stay finite.
+        return len(work) / max(time.perf_counter() - start, 1e-9)
 
     interp_pps = measure(False)
     results = {"program": program.name, "packets": len(packets),
                "interpreted_pps": interp_pps}
     divergences = []
-    if args.fastpath:
+    if args.fastpath or args.batch:
         report = fastpath.differential_check(program, packets, setup=setup)
-        divergences = report.divergences
+        divergences = list(report.divergences)
         compiled_pps = measure(True)
         results["compiled_pps"] = compiled_pps
         results["speedup"] = compiled_pps / interp_pps
+        results["divergences"] = len(divergences)
+    if args.batch:
+        from repro.simulator.batch import PacketBatch, batched_differential
+
+        batch_report = batched_differential(
+            program, packets, setup=setup, batch_size=args.batch_size
+        )
+        divergences.extend(batch_report.divergences)
+        instance = ProgramInstance(program)
+        setup(instance)
+        instance.enable_batching()
+        instance.process_batch([copy.deepcopy(packets[0])])  # warm up
+        work = [copy.deepcopy(p) for p in packets]
+        size = args.batch_size
+        start = time.perf_counter()
+        for offset in range(0, len(work), size):
+            chunk = work[offset : offset + size]
+            instance.process_batch(PacketBatch(
+                chunk, times=[(offset + i) * 1e-4 for i in range(len(chunk))]
+            ))
+        batched_pps = len(work) / max(time.perf_counter() - start, 1e-9)
+        executor = instance.batch_executor()
+        results["batched_pps"] = batched_pps
+        results["batch_speedup"] = batched_pps / results["compiled_pps"]
+        results["batch_size"] = size
+        results["batch_admitted"] = executor.admission().admitted
+        results["batch_stats"] = executor.stats.to_dict()
         results["divergences"] = len(divergences)
 
     if args.json:
@@ -317,9 +354,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
     else:
         print(f"program     : {program.name!r} ({len(packets)} packets)")
         print(f"interpreted : {interp_pps:,.0f} pps")
-        if args.fastpath:
+        if args.fastpath or args.batch:
             print(f"compiled    : {results['compiled_pps']:,.0f} pps "
                   f"({results['speedup']:.2f}x)")
+        if args.batch:
+            admitted = "admitted" if results["batch_admitted"] else "refused"
+            print(f"batched     : {results['batched_pps']:,.0f} pps "
+                  f"({results['batch_speedup']:.2f}x compiled, "
+                  f"batch={results['batch_size']}, gate {admitted})")
+            print(f"  {instance.batch_executor().stats.summary()}")
+        if args.fastpath or args.batch:
             print(f"divergences : {len(divergences)}")
             for divergence in divergences:
                 print(f"  {divergence}")
@@ -553,6 +597,8 @@ def cmd_scale(args: argparse.Namespace) -> int:
         return net, workload
 
     net, workload = fresh_arm()
+    if args.batch:
+        net.enable_batching()
     report = run_sharded(
         net,
         workload,
@@ -564,6 +610,11 @@ def cmd_scale(args: argparse.Namespace) -> int:
     divergences = None
     if args.differential:
         ref_net, ref_workload = fresh_arm()
+        if args.batch:
+            # Batch the reference arm too: per-packet bit-exactness makes
+            # the comparison check sharding, not batching — and E21's
+            # differential gate already pins batched == interpreter.
+            ref_net.enable_batching()
         reference = reference_run(ref_net, ref_workload, drain_s=args.drain)
         identical = json_module.dumps(
             reference.to_dict(), sort_keys=True
@@ -736,6 +787,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="FlexBPF program (default: base + firewall delta)")
     bench_parser.add_argument("--fastpath", action="store_true",
                               help="also run FlexPath compiled and diff the outcomes")
+    bench_parser.add_argument("--batch", action="store_true",
+                              help="also run the FlexBatch batched backend and diff "
+                                   "the outcomes (default program: batch-safe base)")
+    bench_parser.add_argument("--batch-size", type=int, default=64)
     bench_parser.add_argument("--packets", type=int, default=2000)
     bench_parser.add_argument("--seed", type=int, default=2024)
     bench_parser.add_argument("--json", action="store_true")
@@ -840,6 +895,9 @@ def build_parser() -> argparse.ArgumentParser:
     scale_parser.add_argument("--differential", action="store_true",
                               help="byte-compare against the single-process "
                                    "engine (exit 1 on divergence)")
+    scale_parser.add_argument("--batch", action="store_true",
+                              help="enable FlexBatch on the devices (both arms "
+                                   "under --differential)")
     scale_parser.add_argument("--json", action="store_true",
                               help="emit the machine-readable scale report")
     scale_parser.set_defaults(func=cmd_scale)

@@ -423,6 +423,7 @@ class FlexNet:
         seed: int = 2024,
         drain_s: float = 1.0,
         colocate_below_s: float | None = None,
+        batch: bool = False,
     ):
         """Run traffic sharded across worker processes (FlexScale).
 
@@ -432,9 +433,17 @@ class FlexNet:
         :class:`~repro.scale.runner.ScaleReport`'s ``traffic`` section
         is byte-identical to what :meth:`run_traffic` reports for the
         same workload. Like ``run_traffic`` this mutates device state.
+
+        ``batch=True`` turns on FlexBatch before sharding: every worker
+        inherits batching-enabled devices, and each
+        :class:`~repro.scale.shard.ShardEngine` flushes batch state at
+        its window boundaries (batching amortizes within a window, never
+        across one), so byte-identity is preserved.
         """
         from repro.scale.runner import run_sharded
 
+        if batch:
+            self.enable_batching()
         workload = packets if packets is not None else list(
             constant_rate(rate_pps, duration_s, start_s=self.controller.loop.now)
         )
@@ -473,6 +482,13 @@ class FlexNet:
         micro-cache) on every device in the network."""
         for device in self.controller.devices.values():
             device.enable_fastpath(flow_cache=flow_cache, cache_capacity=cache_capacity)
+
+    def enable_batching(self, enabled: bool = True) -> None:
+        """Turn on FlexBatch batched execution (implies FlexPath) on
+        every device in the network. Programs the FlexVet gate refuses
+        simply fall back per packet, so this is always safe to enable."""
+        for device in self.controller.devices.values():
+            device.enable_batching(enabled)
 
     def schedule(self, at_s: float, callback) -> None:
         self.controller.loop.schedule_at(at_s, callback)

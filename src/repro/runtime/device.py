@@ -93,6 +93,9 @@ class DeviceRuntime:
         #: provably cacheable programs from a flow micro-cache.
         self._fastpath = False
         self._flow_cache = None
+        #: FlexBatch: route settled-active packets through the batched
+        #: backend (memo/closure tiers) instead of the flow cache.
+        self._batching = False
         #: FlexScope: set by :meth:`repro.observe.Observer.enable` only;
         #: ``None`` keeps the packet path observation-free (one attribute
         #: load per packet, nothing else).
@@ -136,6 +139,53 @@ class DeviceRuntime:
         for instance in self._instances():
             instance.enable_fastpath()
 
+    def enable_batching(self, enabled: bool = True) -> None:
+        """Turn on FlexBatch for every current and future program
+        version on this device (implies FlexPath). The normal packet
+        path then routes through each instance's batch executor — whose
+        memo tier subsumes the flow cache for cacheable programs — and
+        callers holding several packets can amortize further via
+        :meth:`ProgramInstance.process_batch`."""
+        self._batching = enabled
+        if enabled:
+            self.enable_fastpath()
+        for instance in self._instances():
+            instance.enable_batching(enabled)
+
+    def reset_batch_window(self) -> None:
+        """FlexScale window boundary: flush every executor's batch state
+        so batching never spans a shard protocol window."""
+        for instance in self._instances():
+            executor = instance._batch_executor
+            if executor is not None:
+                executor.reset_window()
+
+    def batch_stats(self):
+        """Aggregate FlexBatch counters across this device's live
+        program versions (None when batching is off or nothing ran)."""
+        total = None
+        for instance in self._instances():
+            executor = instance._batch_executor
+            if executor is None:
+                continue
+            if total is None:
+                from repro.simulator.batch import BatchStats
+
+                total = BatchStats()
+            stats = executor.stats
+            total.batches += stats.batches
+            total.packets += stats.packets
+            total.groups += stats.groups
+            total.memo_hits += stats.memo_hits
+            total.memo_misses += stats.memo_misses
+            total.closure_packets += stats.closure_packets
+            total.fallback_packets += stats.fallback_packets
+            total.revoked_batches += stats.revoked_batches
+            total.revocations += stats.revocations
+            total.memo_entries_dropped += stats.memo_entries_dropped
+            total.max_batch_size = max(total.max_batch_size, stats.max_batch_size)
+        return total
+
     @property
     def flow_cache(self):
         return self._flow_cache
@@ -155,6 +205,9 @@ class DeviceRuntime:
         if self._fastpath:
             for instance in instances:
                 instance.enable_fastpath()
+        if self._batching:
+            for instance in instances:
+                instance.enable_batching()
         if self._flow_cache is not None:
             self._flow_cache.clear()
 
@@ -366,13 +419,15 @@ class DeviceRuntime:
         trace = observer.begin_packet() if observer is not None else None
         result = None
         cache = self._flow_cache
-        if (
-            cache is not None
-            and trace is None
-            and self._transition is None
-            and instance is self._active
-        ):
-            result = cache.process(instance, packet, now)
+        if trace is None and self._transition is None and instance is self._active:
+            if instance.batching_enabled:
+                # FlexBatch route (same guard as the flow cache: settled
+                # active version only). Size-1 batches still hit the
+                # memo tier for cacheable programs, which is what the
+                # flow cache would have done.
+                result = instance.process_batch([packet], now)[0]
+            elif cache is not None:
+                result = cache.process(instance, packet, now)
         if result is None:
             if trace is None:
                 result = instance.process(packet, now)

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import SimulationError
+from repro.errors import ControlPlaneError, SimulationError
 from repro.limits import COLOCATE_LINK_LATENCY_S
 from repro.util import stable_digest
 
@@ -162,7 +162,7 @@ def _vet_constraints(controller, fused: _UnionFind, devices: list[str]) -> list[
     try:
         program = controller.program
         placement = dict(controller.plan.placement)
-    except Exception:  # noqa: BLE001 - no program installed: nothing to constrain
+    except ControlPlaneError:  # no program installed yet: nothing to constrain
         return []
     report = vet(program)
     slice_devices = sorted({d for d in placement.values() if d in set(devices)})
@@ -254,7 +254,7 @@ def plan_shards(
         from repro.analysis.vet import vet
 
         flow_key = vet(controller.program).flow_key
-    except Exception:  # noqa: BLE001 - no program installed
+    except ControlPlaneError:  # no program installed yet
         flow_key = ()
 
     return ShardPlan(

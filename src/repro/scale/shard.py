@@ -217,6 +217,12 @@ class ShardEngine:
             self.loop.run_until(bound)
             self._clock = bound
             self.windows += 1
+            # FlexBatch invariant: batch state (the executor memo)
+            # amortizes within a protocol window but never across one —
+            # flushing here keeps the byte-identity argument purely
+            # per-window, like every other piece of shard state.
+            for device in self._devices.values():
+                device.reset_batch_window()
         return self._clock
 
     def guarantees_out(self) -> dict[int, Guarantee]:
@@ -266,6 +272,30 @@ class ShardEngine:
             registry.counter(
                 "flexnet_device_queue_drops_total", device=name
             ).set(stats.queue_drops)
+            batch_stats = self._devices[name].batch_stats()
+            if batch_stats is not None:
+                registry.counter(
+                    "flexnet_batch_packets_total",
+                    help="packets routed through the FlexBatch backend",
+                    device=name,
+                ).set(batch_stats.packets)
+                registry.counter(
+                    "flexnet_batch_batches_total", device=name
+                ).set(batch_stats.batches)
+                registry.counter(
+                    "flexnet_batch_memo_hits_total", device=name
+                ).set(batch_stats.memo_hits)
+                registry.counter(
+                    "flexnet_batch_fallback_packets_total", device=name
+                ).set(batch_stats.fallback_packets)
+                registry.gauge(
+                    "flexnet_batch_occupancy",
+                    help="mean packets per batch",
+                    device=name,
+                ).set(batch_stats.occupancy)
+                registry.gauge(
+                    "flexnet_batch_max_batch_size", device=name
+                ).set(batch_stats.max_batch_size)
         registry.counter(
             "flexnet_telemetry_digests_total",
             help="digest records ever ingested",

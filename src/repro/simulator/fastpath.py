@@ -44,10 +44,15 @@ _MASK64 = (1 << 64) - 1
 _MASK128 = (1 << 128) - 1
 
 
+#: Sentinel distinguishing "table absent from the prematch dict" from a
+#: prematched miss whose table has no default action (a legitimate None).
+_NO_PREMATCH = object()
+
+
 class _Ctx:
     """Mutable per-packet execution context threaded through closures."""
 
-    __slots__ = ("packet", "fields", "meta", "scope", "visible", "now", "ops")
+    __slots__ = ("packet", "fields", "meta", "scope", "visible", "now", "ops", "prematch")
 
     def __init__(self) -> None:
         self.packet = None
@@ -57,6 +62,10 @@ class _Ctx:
         self.visible: set[str] = set()
         self.now = 0.0
         self.ops = 0
+        #: FlexBatch: resolved ``{table name: action call}`` for this
+        #: packet, pre-computed by a vectorized ``lookup_batch`` pass
+        #: (counters already applied there). None outside batched runs.
+        self.prematch = None
 
 
 def _touches_scope(node) -> bool:
@@ -589,6 +598,21 @@ class _Compiler:
             build_key = lambda ctx: tuple(fn(ctx) for fn in key_fns)  # noqa: E731
 
         def apply_table(ctx):
+            # FlexBatch prematch: a batched run may have resolved this
+            # table for the whole batch already (counters included), in
+            # which case the per-packet lookup is skipped entirely.
+            pre = ctx.prematch
+            if pre is not None:
+                action_call = pre.get(name, _NO_PREMATCH)
+                if action_call is not _NO_PREMATCH:
+                    if action_call is None:
+                        return
+                    param_names, body_fn, body_ops, needs_scope = actions[action_call.action]
+                    if needs_scope:
+                        ctx.scope = dict(zip(param_names, action_call.args))
+                    ctx.ops += body_ops
+                    body_fn(ctx)
+                    return
             # Inlined TableRules.lookup: the compiled key arity is
             # statically correct, so the per-call validation (and the
             # call frame) are skipped; semantics are otherwise identical.
@@ -710,6 +734,7 @@ class CompiledProgram:
         ctx.scope = {}
         ctx.now = now
         ctx.ops = 0
+        ctx.prematch = None
         parse = self._parse
         apply_fn = self._apply
         apply_ops = self._apply_ops
@@ -723,6 +748,46 @@ class CompiledProgram:
             parse(ctx)
             ctx.ops += apply_ops
             apply_fn(ctx)
+        if meta.get("drop_flag"):
+            packet.verdict = Verdict.DROP
+        return ExecutionResult(
+            ops=ctx.ops, version=self.version, recirculations=recirculations
+        )
+
+    def process_prematched(self, packet: Packet, now: float, prematch: dict):
+        """:meth:`process` with a FlexBatch prematch dict: tables the
+        batched backend already resolved (and counted) via
+        ``TableRules.lookup_batch`` skip their per-packet lookup. A
+        recirculation — only reachable here when the incoming packet
+        carries a pre-set ``_recirculate`` flag, since prematch is
+        disabled for programs that recirculate — drops the prematch for
+        the re-run, because field writes could change parse visibility
+        and therefore the keys the tables would observe."""
+        from repro.simulator.pipeline_exec import MAX_RECIRCULATIONS, ExecutionResult
+
+        ctx = self._ctx
+        ctx.packet = packet
+        ctx.fields = packet.fields
+        meta = ctx.meta = packet.meta
+        ctx.scope = {}
+        ctx.now = now
+        ctx.ops = 0
+        ctx.prematch = prematch
+        parse = self._parse
+        apply_fn = self._apply
+        apply_ops = self._apply_ops
+
+        parse(ctx)
+        ctx.ops += apply_ops
+        apply_fn(ctx)
+        recirculations = 0
+        while meta.pop("_recirculate", 0) and recirculations < MAX_RECIRCULATIONS:
+            recirculations += 1
+            ctx.prematch = None
+            parse(ctx)
+            ctx.ops += apply_ops
+            apply_fn(ctx)
+        ctx.prematch = None
         if meta.get("drop_flag"):
             packet.verdict = Verdict.DROP
         return ExecutionResult(
@@ -895,12 +960,35 @@ class FlowCacheStats:
     hits: int = 0
     misses: int = 0
     bypasses: int = 0
+    #: token-change invalidation *events* (one per token move that found
+    #: a populated cache).
     invalidations: int = 0
+    #: entries dropped across those invalidation events — a single token
+    #: move can flush thousands of flows, which the event count hides.
+    entries_dropped: int = 0
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bypasses": self.bypasses,
+            "invalidations": self.invalidations,
+            "entries_dropped": self.entries_dropped,
+            "hit_rate": self.hit_rate,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"flow cache: {self.hits} hit(s) / {self.misses} miss(es) "
+            f"({self.hit_rate:.0%}), {self.bypasses} bypass(es), "
+            f"{self.invalidations} invalidation(s) dropping "
+            f"{self.entries_dropped} entr(ies)"
+        )
 
 
 class FlowCache:
@@ -950,6 +1038,7 @@ class FlowCache:
         if token != self._token:
             if self._token is not None and self._entries:
                 self.stats.invalidations += 1
+                self.stats.entries_dropped += len(self._entries)
             self._entries.clear()
             self._token = token
         key = binding.key(packet)

@@ -144,3 +144,39 @@ class TestVetConstraints:
         plan = plan_shards(net.controller, 2, seed=11)
         assert plan.constraints == ()
         assert plan.flow_key == ()
+
+
+class _NoProgramController:
+    """Raises like a real controller with nothing installed."""
+
+    def __init__(self, exc_type):
+        self.devices = {"a": object(), "b": object()}
+        link = _Link(1e-3)
+        self.network = _StubNetwork({("a", "b"): link, ("b", "a"): link})
+        self._exc_type = exc_type
+
+    @property
+    def program(self):
+        raise self._exc_type("no program installed yet")
+
+    @property
+    def plan(self):
+        raise self._exc_type("no plan compiled yet")
+
+
+class TestErrorPropagation:
+    def test_control_plane_error_means_unconstrained_plan(self):
+        from repro.errors import ControlPlaneError
+
+        controller = _NoProgramController(ControlPlaneError)
+        plan = plan_shards(controller, 2, seed=11, colocate_below_s=0.0)
+        assert plan.constraints == ()
+        assert plan.flow_key == ()
+
+    def test_unexpected_errors_propagate(self):
+        # The planner's except clauses are deliberately narrow: only the
+        # "no program installed" signal is swallowed; a broken controller
+        # must fail loudly, not silently plan without constraints.
+        controller = _NoProgramController(RuntimeError)
+        with pytest.raises(RuntimeError):
+            plan_shards(controller, 2, seed=11, colocate_below_s=0.0)

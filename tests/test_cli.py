@@ -210,6 +210,40 @@ class TestBench:
         assert payload["divergences"] == 0
         assert payload["compiled_pps"] > 0
 
+    def test_bench_batch_diffs_clean(self, capsys):
+        assert main(["bench", "--batch", "--packets", "120",
+                     "--batch-size", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "batched" in out
+        assert "gate admitted" in out
+        assert "divergences : 0" in out
+
+    def test_bench_batch_json(self, capsys):
+        import json
+
+        assert main(["bench", "--batch", "--packets", "120", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["divergences"] == 0
+        assert payload["batched_pps"] > 0
+        assert payload["batch_admitted"] is True
+        # 120 measured packets plus the warm-up batch.
+        assert payload["batch_stats"]["packets"] >= 120
+
+    def test_bench_pps_survives_zero_elapsed(self, capsys, monkeypatch):
+        # Regression: on a fast machine a tiny corpus can finish inside
+        # timer resolution; the pps denominator is clamped so the rates
+        # stay finite instead of dividing by zero.
+        import json
+        import math
+        import time
+
+        monkeypatch.setattr(time, "perf_counter", lambda: 42.0)
+        assert main(["bench", "--fastpath", "--packets", "20", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert math.isfinite(payload["interpreted_pps"])
+        assert math.isfinite(payload["compiled_pps"])
+        assert payload["interpreted_pps"] > 0
+
 
 class TestVet:
     def test_vet_program_file(self, program_file, capsys):
