@@ -2,14 +2,14 @@
 
 Usage (also ``python -m repro.cli``)::
 
-    flexnet certify  program.fbpf                 # admission certification
+    flexnet certify  program.fbpf [--json]        # admission certification
     flexnet check    program.fbpf [--patch patch.delta] [--arch drmt] [--json]
     flexnet check    --builtin                    # FlexCheck all bundled programs
     flexnet vet      program.fbpf [--json]        # FlexVet parallelism classes
     flexnet vet      --builtin                    # FlexVet all bundled programs
     flexnet vet      --self [--update-baseline]   # determinism self-audit
-    flexnet compile  program.fbpf [--arch drmt] [--objective latency|energy]
-    flexnet delta    program.fbpf patch.delta     # apply a patch, show changes
+    flexnet compile  program.fbpf [--arch drmt] [--objective latency|energy] [--json]
+    flexnet delta    program.fbpf patch.delta [--json]  # apply a patch, show changes
     flexnet simulate program.fbpf [--rate 1000] [--duration 1.0]
                                   [--patch patch.delta --at 0.5] [--json]
     flexnet bench    [program.fbpf] [--fastpath] [--packets 2000] [--json]
@@ -19,6 +19,8 @@ Usage (also ``python -m repro.cli``)::
     flexnet ha       status [--nodes 3] [--failover] [--json]
     flexnet scale    [--shards 2] [--backend process|inline] [--pods 4]
                      [--packets 2000] [--rate 20000] [--differential] [--json]
+    flexnet cloud    [--scenario flash-crowd] [--tenants 2000] [--seed 2026]
+                     [--racks 4] [--shards 1] [--drop 0.0] [--no-coalesce] [--json]
     flexnet trace    program.fbpf [--patch patch.delta --at 0.5]
                      [--sample-every 64] [--events] [--sink spans.jsonl] [--json]
     flexnet metrics  program.fbpf [--patch patch.delta --at 0.5] [--json]
@@ -37,7 +39,10 @@ same scenario as ``simulate`` with FlexScope enabled and render the
 span tree, the Prometheus-text metric export, or the per-phase profile
 table. ``scale`` partitions the E20 pod fabric across worker processes
 (FlexScale) and, with ``--differential``, byte-compares the sharded
-traffic report against the single-process engine.
+traffic report against the single-process engine. ``cloud`` runs a
+seeded FlexCloud tenant-churn scenario (flash crowd, diurnal cycle,
+DDoS defense, canary rollout) through the batched admission engine and
+exits nonzero on any isolation violation.
 """
 
 from __future__ import annotations
@@ -58,8 +63,29 @@ def _read(path: str) -> str:
 
 
 def cmd_certify(args: argparse.Namespace) -> int:
+    import json as json_module
+
     program = parse_program(_read(args.program))
     certificate = certify(program)
+    if args.json:
+        print(json_module.dumps({
+            "program": program.name,
+            "version": program.version,
+            "certified": True,
+            "max_packet_ops": certificate.max_packet_ops,
+            "total_map_entries": certificate.total_map_entries,
+            "is_stateful": certificate.is_stateful,
+            "recirculates": certificate.recirculates,
+            "elements": {
+                name: {
+                    "kind": profile.kind,
+                    "max_ops": profile.max_ops,
+                    "table_entries": profile.table_entries,
+                }
+                for name, profile in sorted(certificate.profiles.items())
+            },
+        }, indent=2))
+        return 0
     print(f"program {program.name!r} (version {program.version}): CERTIFIED")
     print(f"  worst-case packet cost : {certificate.max_packet_ops} ops")
     print(f"  declared map entries   : {certificate.total_map_entries}")
@@ -188,6 +214,11 @@ def cmd_compile(args: argparse.Namespace) -> int:
     elif args.objective == "latency":
         net.build_datapath("h1", "h2", slo=Slo(max_latency_ns=1e9))
     plan = net.install(program)
+    if args.json:
+        import json as json_module
+
+        print(json_module.dumps(plan.to_dict(), indent=2))
+        return 0
     print(f"compiled {program.name!r} onto h1-nic1-sw1({args.arch})-nic2-h2:")
     for element, device in sorted(plan.placement.items()):
         encoding = plan.encodings.get(element)
@@ -206,6 +237,21 @@ def cmd_delta(args: argparse.Namespace) -> int:
     program = parse_program(_read(args.program))
     delta = parse_delta(_read(args.patch))
     new_program, changes = apply_delta(program, delta)
+    if args.json:
+        import json as json_module
+
+        certificate = certify(new_program)
+        print(json_module.dumps({
+            "delta": delta.name,
+            "old_version": program.version,
+            "new_version": new_program.version,
+            "added": sorted(changes.added),
+            "removed": sorted(changes.removed),
+            "modified": sorted(changes.modified),
+            "apply_changed": changes.apply_changed,
+            "max_packet_ops": certificate.max_packet_ops,
+        }, indent=2))
+        return 0
     print(f"delta {delta.name!r} applied: version {program.version} -> {new_program.version}")
     for label, names in (
         ("added", changes.added),
@@ -229,6 +275,15 @@ def cmd_export(args: argparse.Namespace) -> int:
     if args.patch:
         delta = parse_delta(_read(args.patch))
         program, _ = apply_delta(program, delta)
+    if args.json:
+        import json as json_module
+
+        print(json_module.dumps({
+            "program": program.name,
+            "version": program.version,
+            "source": print_program(program),
+        }, indent=2))
+        return 0
     sys.stdout.write(print_program(program))
     return 0
 
@@ -598,7 +653,7 @@ def cmd_scale(args: argparse.Namespace) -> int:
 
     net, workload = fresh_arm()
     if args.batch:
-        net.enable_batching()
+        net.engine(batch=True)
     report = run_sharded(
         net,
         workload,
@@ -614,7 +669,7 @@ def cmd_scale(args: argparse.Namespace) -> int:
             # Batch the reference arm too: per-packet bit-exactness makes
             # the comparison check sharding, not batching — and E21's
             # differential gate already pins batched == interpreter.
-            ref_net.enable_batching()
+            ref_net.engine(batch=True)
         reference = reference_run(ref_net, ref_workload, drain_s=args.drain)
         identical = json_module.dumps(
             reference.to_dict(), sort_keys=True
@@ -632,6 +687,45 @@ def cmd_scale(args: argparse.Namespace) -> int:
             verdict = "byte-identical" if divergences == 0 else "DIVERGED"
             print(f"  differential vs single-process: {verdict}")
     return 1 if divergences else 0
+
+
+def cmd_cloud(args: argparse.Namespace) -> int:
+    """Run a FlexCloud tenant-churn scenario over the rack fabric and
+    report admission/coalescing/isolation. Exit 0 when the scenario
+    converged with zero isolation violations and zero terminal
+    failures, 1 otherwise."""
+    import json as json_module
+
+    from repro.cloud import SCENARIOS, run_scenario
+
+    generator = SCENARIOS[args.scenario]
+    kwargs = {"seed": args.seed}
+    if args.tenants is not None:
+        kwargs["tenants"] = args.tenants
+    events = generator(**kwargs)
+
+    chaos = None
+    if args.drop:
+        from repro.faults.plan import ChannelFault, FaultPlan
+
+        chaos = FaultPlan(
+            seed=args.seed, channel=ChannelFault(drop_probability=args.drop)
+        )
+    report = run_scenario(
+        events,
+        scenario=args.scenario,
+        seed=args.seed,
+        racks=args.racks,
+        coalesce=not args.no_coalesce,
+        shards=args.shards,
+        probes=args.probes,
+        chaos=chaos,
+    )
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+    return 1 if (report.violations or report.failed) else 0
 
 
 def _observed_run(args: argparse.Namespace, sink=None) -> FlexNet:
@@ -710,12 +804,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    certify_parser = subparsers.add_parser("certify", help="certify a FlexBPF program")
+    # Shared by every verb: one definition, one help string, uniform
+    # machine-readable output across the whole toolchain.
+    json_parent = argparse.ArgumentParser(add_help=False)
+    json_parent.add_argument("--json", action="store_true",
+                             help="emit machine-readable JSON")
+
+    certify_parser = subparsers.add_parser("certify", help="certify a FlexBPF program", parents=[json_parent])
     certify_parser.add_argument("program")
     certify_parser.set_defaults(func=cmd_certify)
 
     check_parser = subparsers.add_parser(
-        "check", help="run FlexCheck static analysis (lints, races, overcommit)"
+        "check", help="run FlexCheck static analysis (lints, races, overcommit)",
+        parents=[json_parent],
     )
     check_parser.add_argument("program", nargs="?", default=None)
     check_parser.add_argument("--patch", default=None,
@@ -723,8 +824,6 @@ def build_parser() -> argparse.ArgumentParser:
     check_parser.add_argument("--arch", default=None,
                               choices=["drmt", "rmt", "tiles"],
                               help="also run the overcommit pass against this target")
-    check_parser.add_argument("--json", action="store_true",
-                              help="emit machine-readable JSON findings")
     check_parser.add_argument("--builtin", action="store_true",
                               help="check every bundled app/example program")
     check_parser.set_defaults(func=cmd_check)
@@ -732,6 +831,7 @@ def build_parser() -> argparse.ArgumentParser:
     vet_parser = subparsers.add_parser(
         "vet",
         help="run FlexVet: parallelism classification, or --self determinism audit",
+        parents=[json_parent],
     )
     vet_parser.add_argument("program", nargs="?", default=None)
     vet_parser.add_argument("--builtin", action="store_true",
@@ -742,11 +842,9 @@ def build_parser() -> argparse.ArgumentParser:
                             help="baseline file for --self (default: the committed one)")
     vet_parser.add_argument("--update-baseline", action="store_true",
                             help="with --self: pin current findings as the new baseline")
-    vet_parser.add_argument("--json", action="store_true",
-                            help="emit machine-readable JSON")
     vet_parser.set_defaults(func=cmd_vet)
 
-    compile_parser = subparsers.add_parser("compile", help="compile onto the standard slice")
+    compile_parser = subparsers.add_parser("compile", help="compile onto the standard slice", parents=[json_parent])
     compile_parser.add_argument("program")
     compile_parser.add_argument("--arch", default="drmt",
                                 choices=["drmt", "rmt", "rmt_static", "tiles"])
@@ -754,19 +852,20 @@ def build_parser() -> argparse.ArgumentParser:
                                 choices=["balanced", "latency", "energy"])
     compile_parser.set_defaults(func=cmd_compile)
 
-    delta_parser = subparsers.add_parser("delta", help="apply a runtime patch")
+    delta_parser = subparsers.add_parser("delta", help="apply a runtime patch", parents=[json_parent])
     delta_parser.add_argument("program")
     delta_parser.add_argument("patch")
     delta_parser.set_defaults(func=cmd_delta)
 
     export_parser = subparsers.add_parser(
-        "export", help="emit normalized (optionally patched) FlexBPF source"
+        "export", help="emit normalized (optionally patched) FlexBPF source",
+        parents=[json_parent],
     )
     export_parser.add_argument("program")
     export_parser.add_argument("--patch", default=None)
     export_parser.set_defaults(func=cmd_export)
 
-    simulate_parser = subparsers.add_parser("simulate", help="run traffic through the program")
+    simulate_parser = subparsers.add_parser("simulate", help="run traffic through the program", parents=[json_parent])
     simulate_parser.add_argument("program")
     simulate_parser.add_argument("--arch", default="drmt",
                                  choices=["drmt", "rmt", "rmt_static", "tiles"])
@@ -776,12 +875,11 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="delta file to apply mid-run")
     simulate_parser.add_argument("--at", type=float, default=0.5,
                                  help="virtual time to apply the patch")
-    simulate_parser.add_argument("--json", action="store_true",
-                                 help="emit the machine-readable traffic report")
     simulate_parser.set_defaults(func=cmd_simulate)
 
     bench_parser = subparsers.add_parser(
-        "bench", help="benchmark the data-plane executor (FlexPath)"
+        "bench", help="benchmark the data-plane executor (FlexPath)",
+        parents=[json_parent],
     )
     bench_parser.add_argument("program", nargs="?", default=None,
                               help="FlexBPF program (default: base + firewall delta)")
@@ -793,11 +891,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--batch-size", type=int, default=64)
     bench_parser.add_argument("--packets", type=int, default=2000)
     bench_parser.add_argument("--seed", type=int, default=2024)
-    bench_parser.add_argument("--json", action="store_true")
     bench_parser.set_defaults(func=cmd_bench)
 
     chaos_parser = subparsers.add_parser(
-        "chaos", help="run a seeded fault-injection scenario (FlexFault)"
+        "chaos", help="run a seeded fault-injection scenario (FlexFault)",
+        parents=[json_parent],
     )
     chaos_parser.add_argument("program", nargs="?", default=None,
                               help="FlexBPF program (default: bundled base infrastructure)")
@@ -835,8 +933,6 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(windows, migrations, faults)")
     chaos_parser.add_argument("--sample-every", type=int, default=64,
                               help="with --trace, sample one packet in N")
-    chaos_parser.add_argument("--json", action="store_true",
-                              help="emit the full machine-readable chaos report")
     chaos_parser.add_argument("--controller", action="store_true",
                               help="fault the replicated control plane instead "
                                    "(FlexHA: leader crash, or --partition)")
@@ -857,7 +953,8 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.set_defaults(func=cmd_chaos)
 
     ha_parser = subparsers.add_parser(
-        "ha", help="controller high-availability status (FlexHA)"
+        "ha", help="controller high-availability status (FlexHA)",
+        parents=[json_parent],
     )
     ha_parser.add_argument("action", choices=["status"],
                            help="'status': run a replicated-controller scenario "
@@ -868,12 +965,11 @@ def build_parser() -> argparse.ArgumentParser:
     ha_parser.add_argument("--failover", action="store_true",
                            help="crash the leader mid-update to demonstrate "
                                 "fail-over")
-    ha_parser.add_argument("--json", action="store_true",
-                           help="emit the machine-readable FlexHA status")
     ha_parser.set_defaults(func=cmd_ha)
 
     scale_parser = subparsers.add_parser(
-        "scale", help="run the sharded multi-process simulation (FlexScale)"
+        "scale", help="run the sharded multi-process simulation (FlexScale)",
+        parents=[json_parent],
     )
     scale_parser.add_argument("--shards", type=int, default=2,
                               help="worker shard count")
@@ -898,9 +994,35 @@ def build_parser() -> argparse.ArgumentParser:
     scale_parser.add_argument("--batch", action="store_true",
                               help="enable FlexBatch on the devices (both arms "
                                    "under --differential)")
-    scale_parser.add_argument("--json", action="store_true",
-                              help="emit the machine-readable scale report")
     scale_parser.set_defaults(func=cmd_scale)
+
+    cloud_parser = subparsers.add_parser(
+        "cloud",
+        help="run a FlexCloud tenant-churn scenario (batched admission)",
+        parents=[json_parent],
+    )
+    cloud_parser.add_argument("--scenario", default="flash-crowd",
+                              choices=["flash-crowd", "diurnal",
+                                       "ddos-defense", "canary-rollout"],
+                              help="seeded churn shape to generate")
+    cloud_parser.add_argument("--tenants", type=int, default=2000,
+                              help="tenant population size")
+    cloud_parser.add_argument("--seed", type=int, default=2026,
+                              help="scenario seed (reports are byte-identical per seed)")
+    cloud_parser.add_argument("--racks", type=int, default=4,
+                              help="racks in the pod fabric")
+    cloud_parser.add_argument("--shards", type=int, default=1,
+                              help="cell-partition the per-round device sweep "
+                                   "(the report must not change)")
+    cloud_parser.add_argument("--probes", type=int, default=32,
+                              help="datapath gate probes per home device after "
+                                   "convergence")
+    cloud_parser.add_argument("--drop", type=float, default=0.0,
+                              help="chaos: control-channel drop probability")
+    cloud_parser.add_argument("--no-coalesce", action="store_true",
+                              help="naive baseline: one reconfiguration window "
+                                   "per delta")
+    cloud_parser.set_defaults(func=cmd_cloud)
 
     def scenario_args(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("program")
@@ -913,10 +1035,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="virtual time to apply the patch")
         sub.add_argument("--sample-every", type=int, default=64,
                          help="sample one packet in N into the tracer")
-        sub.add_argument("--json", action="store_true")
 
     trace_parser = subparsers.add_parser(
-        "trace", help="run with FlexScope tracing and render the span tree"
+        "trace", help="run with FlexScope tracing and render the span tree",
+        parents=[json_parent],
     )
     scenario_args(trace_parser)
     trace_parser.add_argument("--events", action="store_true",
@@ -926,13 +1048,15 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.set_defaults(func=cmd_trace)
 
     metrics_parser = subparsers.add_parser(
-        "metrics", help="run with FlexScope and export the metric registry"
+        "metrics", help="run with FlexScope and export the metric registry",
+        parents=[json_parent],
     )
     scenario_args(metrics_parser)
     metrics_parser.set_defaults(func=cmd_metrics)
 
     profile_parser = subparsers.add_parser(
-        "profile", help="run with FlexScope and print the per-phase profile"
+        "profile", help="run with FlexScope and print the per-phase profile",
+        parents=[json_parent],
     )
     scenario_args(profile_parser)
     profile_parser.set_defaults(func=cmd_profile)

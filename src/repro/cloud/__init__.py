@@ -1,0 +1,59 @@
+"""FlexCloud: batched, asynchronous tenant admission at cloud churn.
+
+ROADMAP item 3. Two halves:
+
+* :mod:`repro.cloud.admission` — the admission queue, coalescer, SLA
+  backpressure, and the :class:`CloudEngine` that drains them in
+  scheduling rounds (optionally behind FlexHA replication).
+* :mod:`repro.cloud.scenarios` — seeded production-shape churn
+  (flash crowds, diurnal cycles, DDoS defense, canary rollouts) over
+  a sharded admission directory spanning 10⁴–10⁶ tenants.
+"""
+
+from repro.cloud.admission import (
+    AdmissionOutcome,
+    AdmissionQueue,
+    CloudEngine,
+    Coalescer,
+    ExecutionResult,
+    ExtensionExecutor,
+    ShedReason,
+    TenantDelta,
+    Ticket,
+)
+from repro.cloud.scenarios import (
+    SCENARIOS,
+    CloudEvent,
+    CloudFleet,
+    CloudReport,
+    EntryExecutor,
+    canary_rollout,
+    cloud_base_program,
+    ddos_defense,
+    diurnal,
+    flash_crowd,
+    run_scenario,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "AdmissionOutcome",
+    "AdmissionQueue",
+    "CloudEngine",
+    "CloudEvent",
+    "CloudFleet",
+    "CloudReport",
+    "Coalescer",
+    "EntryExecutor",
+    "ExecutionResult",
+    "ExtensionExecutor",
+    "ShedReason",
+    "TenantDelta",
+    "Ticket",
+    "canary_rollout",
+    "cloud_base_program",
+    "ddos_defense",
+    "diurnal",
+    "flash_crowd",
+    "run_scenario",
+]

@@ -641,12 +641,20 @@ class FlexNetController:
         program, including every delta applied since install. This keeps
         composition correct when infrastructure changes interleave with
         tenant churn."""
+        import re
         from dataclasses import replace as dc_replace
 
         from repro.lang import ir
 
         program = self.program
+        # Strip the composer's "+Next" suffix so the composed name is a
+        # pure function of the install name and the *current* tenant
+        # count — a coalesced window sequence must land on a program
+        # byte-identical to serial per-delta admission, name included.
+        name = re.sub(r"(\+\d+ext)+$", "", program.name)
         if not self._tenants:
+            if name != program.name:
+                program = dc_replace(program, name=name)
             return program
         prefixes = tuple(f"{name}__" for name in self._tenants)
         vlans = {spec.vlan_id for spec, _ in self._tenants.values()}
@@ -663,6 +671,7 @@ class FlexNetController:
 
         return dc_replace(
             program,
+            name=name,
             maps=tuple(m for m in program.maps if not m.name.startswith(prefixes)),
             actions=tuple(a for a in program.actions if not a.name.startswith(prefixes)),
             tables=tuple(t for t in program.tables if not t.name.startswith(prefixes)),
@@ -689,23 +698,13 @@ class FlexNetController:
         extension: Program,
         consistency: ConsistencyLevel = ConsistencyLevel.PER_PACKET_PER_DEVICE,
     ) -> TransitionOutcome:
-        """Validate, compose, and inject a tenant extension (§3 scenario)."""
-        if self._composer is None:
-            raise ControlPlaneError("install infrastructure first")
-        if tenant.name in self._tenants:
-            raise ControlPlaneError(f"tenant {tenant.name!r} already admitted")
-        new_tenants = dict(self._tenants)
-        new_tenants[tenant.name] = (tenant, extension)
-        composed = self._compose_with_tenants(new_tenants)
-        outcome = self.transition_to(composed, consistency=consistency)
-        self._tenants = new_tenants
-        prefix = f"{tenant.name}__"
-        elements = {e for e in composed.element_names if e.startswith(prefix)}
-        uri = AppUri(owner=tenant.name, name="extension")
-        record = AppRecord(uri=uri, elements=elements, deployed_at=self.loop.now)
-        record.refresh_footprint(outcome.result.new_plan.placement)
-        self._apps[str(uri)] = record
-        return outcome
+        """Validate, compose, and inject a tenant extension (§3 scenario).
+
+        A one-element batch: FlexCloud coalesces queued tenant deltas
+        into :meth:`admit_tenants_batch` windows, and the synchronous
+        path goes through the same code so there is exactly one
+        admission path through the controller."""
+        return self.admit_tenants_batch([(tenant, extension)], (), consistency=consistency)
 
     def evict_tenant(
         self,
@@ -713,17 +712,85 @@ class FlexNetController:
         consistency: ConsistencyLevel = ConsistencyLevel.PER_PACKET_PER_DEVICE,
     ) -> TransitionOutcome:
         """Tenant departure: trim its extension and release resources."""
-        if self._composer is None or tenant_name not in self._tenants:
-            raise ControlPlaneError(f"tenant {tenant_name!r} not admitted")
+        return self.admit_tenants_batch((), [tenant_name], consistency=consistency)
+
+    def admit_tenants_batch(
+        self,
+        admits,
+        evicts=(),
+        *,
+        consistency: ConsistencyLevel = ConsistencyLevel.PER_PACKET_PER_DEVICE,
+        ops: int | None = None,
+        epoch: int | None = None,
+        dispatch_gate=None,
+        delta_id: int | None = None,
+    ) -> TransitionOutcome:
+        """Fold a round's tenant churn into ONE composition and ONE
+        hitless transition (FlexCloud's coalesced reconfiguration
+        window).
+
+        ``admits`` is a sequence of ``(TenantSpec, extension)`` pairs,
+        ``evicts`` a sequence of tenant names; the batch is atomic —
+        validation failures and composition conflicts raise before any
+        tenant state mutates, so the caller can fall back to serial
+        per-delta admission and attach the failure to the offending
+        ticket. ``ops`` is the number of folded deltas the batch stands
+        for (defaults to ``len(admits) + len(evicts)``): the composed
+        program's version advances by exactly that much, so a coalesced
+        window sequence lands on a program *byte-identical* to serial
+        per-delta admission of the same deltas.
+
+        ``epoch``/``dispatch_gate``/``delta_id`` thread FlexHA's fencing
+        hooks down to the transition, letting a replicated admission
+        queue drain through fenced windows.
+        """
+        admits = list(admits)
+        evicts = list(evicts)
+        if not admits and not evicts:
+            raise ControlPlaneError("empty tenant batch")
+        if admits and self._composer is None:
+            raise ControlPlaneError("install infrastructure first")
+        admit_names = [spec.name for spec, _ in admits]
+        for name in admit_names:
+            if name in self._tenants or admit_names.count(name) > 1:
+                raise ControlPlaneError(f"tenant {name!r} already admitted")
+        for name in evicts:
+            if self._composer is None or name not in self._tenants:
+                raise ControlPlaneError(f"tenant {name!r} not admitted")
+        overlap = set(admit_names) & set(evicts)
+        if overlap:
+            raise ControlPlaneError(
+                f"tenant {sorted(overlap)[0]!r} appears as both admit and "
+                "evict in one batch"
+            )
         new_tenants = {
-            name: value for name, value in self._tenants.items() if name != tenant_name
+            name: value for name, value in self._tenants.items() if name not in evicts
         }
-        # Compute the trimmed program *before* mutating tenant state so
-        # _infrastructure_view still strips the departing tenant.
+        for spec, extension in admits:
+            new_tenants[spec.name] = (spec, extension)
+        # Compose *before* mutating tenant state so _infrastructure_view
+        # still strips departing tenants, and so a CompositionError
+        # leaves the controller untouched.
         composed = self._compose_with_tenants(new_tenants)
-        outcome = self.transition_to(composed, consistency=consistency)
+        folded = ops if ops is not None else len(admits) + len(evicts)
+        composed = _with_version(composed, self.program.version + folded)
+        outcome = self.transition_to(
+            composed,
+            consistency=consistency,
+            epoch=epoch,
+            dispatch_gate=dispatch_gate,
+            delta_id=delta_id,
+        )
         self._tenants = new_tenants
-        self._apps.pop(str(AppUri(owner=tenant_name, name="extension")), None)
+        for name in evicts:
+            self._apps.pop(str(AppUri(owner=name, name="extension")), None)
+        for spec, _ in admits:
+            prefix = f"{spec.name}__"
+            elements = {e for e in composed.element_names if e.startswith(prefix)}
+            uri = AppUri(owner=spec.name, name="extension")
+            record = AppRecord(uri=uri, elements=elements, deployed_at=self.loop.now)
+            record.refresh_footprint(outcome.result.new_plan.placement)
+            self._apps[str(uri)] = record
         return outcome
 
     @property

@@ -57,14 +57,18 @@ class HACommand:
 
     ``kind="update"`` carries a delta to execute; ``kind="noop"`` is a
     new leader's barrier entry (its application triggers the resync
-    sweep). ``delta_id`` makes execution idempotent: a command re-driven
-    by a successor leader is recognized and skipped.
+    sweep); ``kind="cloud"`` carries a FlexCloud coalesced tenant batch
+    (``payload`` describes the folded deltas — the admission engine
+    registered via :attr:`FlexHA.cloud_apply` executes it). ``delta_id``
+    makes execution idempotent: a command re-driven by a successor
+    leader is recognized and skipped.
     """
 
     delta_id: int
     kind: str = "update"
     delta: Delta | None = None
     consistency: ConsistencyLevel = ConsistencyLevel.PER_PACKET_PATH
+    payload: object = None
 
 
 @dataclass
@@ -124,6 +128,12 @@ class FlexHA:
         self._had_leader = False
         self._leader_lost_at: float | None = None
 
+        #: FlexCloud hook (set by CloudEngine.attach_ha): executes a
+        #: committed ``kind="cloud"`` batch on the current leader.
+        self.cloud_apply = None
+        self.cloud_submitted = 0
+        self.cloud_executed = 0
+
         self.failovers: list[FailoverRecord] = []
         self.submitted = 0
         self.executed_updates = 0
@@ -178,6 +188,48 @@ class FlexHA:
         self.submitted += 1
         return delta_id
 
+    def submit_cloud(
+        self,
+        payload: object,
+        consistency: ConsistencyLevel = ConsistencyLevel.PER_PACKET_PER_DEVICE,
+    ) -> "HACommand | None":
+        """Propose one FlexCloud coalesced batch through the current
+        leader. Returns the proposed command (carrying its delta id), or
+        None when no leader is reachable — the admission engine keeps
+        the batch queued and retries next round, which is exactly the
+        leader-gated drain the queue's durability rests on."""
+        leader = self.cluster.leader()
+        if leader is None:
+            return None
+        command = HACommand(
+            delta_id=next(self._delta_ids),
+            kind="cloud",
+            consistency=consistency,
+            payload=payload,
+        )
+        try:
+            leader.propose(command)
+        except ConsensusError:
+            return None
+        self.cloud_submitted += 1
+        return command
+
+    def repropose(self, command: "HACommand") -> bool:
+        """Re-propose a command whose original proposal may have died
+        with its leader (same delta id — the executed guard makes a
+        double commit a no-op)."""
+        leader = self.cluster.leader()
+        if leader is None:
+            return False
+        try:
+            leader.propose(command)
+        except ConsensusError:
+            return False
+        return True
+
+    def was_executed(self, delta_id: int) -> bool:
+        return delta_id in self._executed
+
     def _on_apply(self, node_id: str, command: object) -> None:
         if not isinstance(command, HACommand):
             return
@@ -189,6 +241,21 @@ class FlexHA:
             return
         if command.kind == "noop":
             self._resync(node)
+            return
+        if command.kind == "cloud":
+            if command.delta_id in self._executed or self.cloud_apply is None:
+                return
+            self._executed.add(command.delta_id)
+            term = node.current_term
+            try:
+                self.cloud_apply(
+                    command,
+                    epoch=term if self.fencing else None,
+                    dispatch_gate=self._dispatch_gate(node_id, term),
+                )
+                self.cloud_executed += 1
+            except FlexNetError as exc:
+                self.update_errors.append(f"{type(exc).__name__}: {exc}")
             return
         if command.delta_id in self._executed or command.delta is None:
             return
@@ -492,6 +559,8 @@ class FlexHA:
             },
             "submitted": self.submitted,
             "executed_updates": self.executed_updates,
+            "cloud_submitted": self.cloud_submitted,
+            "cloud_executed": self.cloud_executed,
             "update_errors": list(self.update_errors),
             "failovers": [record.to_dict() for record in self.failovers],
             "resyncs": self.resyncs,

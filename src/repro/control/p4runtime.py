@@ -285,6 +285,34 @@ class P4RuntimeClient:
         self._write()
         instance.maps.state(map_name).put(key, value)
 
+    def write_map_entries(
+        self, map_name: str, entries: dict[tuple[int, ...], int]
+    ) -> int:
+        """One batched WriteRequest: all ``entries`` land in a single
+        write round trip (P4Runtime batches updates in one RPC). This is
+        FlexCloud's per-device reconfiguration window primitive — the
+        coalescer folds a round's admits/evicts for a device into one of
+        these, so the control-channel cost scales with *windows*, not
+        tenants. A value of 0 deletes the key (maps default to 0, so an
+        explicit zero and an absent key are indistinguishable to the
+        datapath; deleting keeps occupancy counts honest). Returns the
+        number of entries applied. Atomic against channel loss: a
+        dropped batch leaves the device untouched.
+        """
+        instance = self._instance()
+        if map_name not in instance.maps:
+            raise ControlPlaneError(f"no map {map_name!r}")
+        if not entries:
+            return 0
+        self._write()
+        state = instance.maps.state(map_name)
+        for key, value in entries.items():
+            if value == 0:
+                state.delete(key)
+            else:
+                state.put(key, value)
+        return len(entries)
+
     # -- ground truth (FlexHA resync) ----------------------------------------------
 
     def read_ground_truth(self) -> DeviceGroundTruth:

@@ -73,3 +73,53 @@ def plan_schedule(
         own = window_s.get(device, 0.0)
         stretched[device] = max(own, base + position * guard_s)
     return UpdateSchedule(stagger={d: 0.0 for d in path_order}, window_s=stretched)
+
+
+def plan_admission_round(
+    depths: dict[str, int],
+    budget: int,
+    weights: dict[str, int],
+) -> dict[str, int]:
+    """Split one FlexCloud admission round's ticket ``budget`` across
+    SLA classes (weighted fair shares over the classes with queued
+    tickets).
+
+    ``depths`` maps class name -> queued ticket count; ``weights`` maps
+    class name -> drain weight. Every non-empty class is guaranteed at
+    least one ticket when the budget allows (anti-starvation), classes
+    never receive more than their depth, and leftover budget is
+    redistributed to still-backlogged classes in weight order. The
+    result is fully determined by the inputs — class names are processed
+    in sorted order so two controllers (or two drain arms of a
+    differential test) always cut the same shares.
+    """
+    if budget < 0:
+        raise ValueError(f"admission budget must be >= 0, got {budget}")
+    active = sorted(name for name, depth in depths.items() if depth > 0)
+    shares: dict[str, int] = {name: 0 for name in active}
+    if not active or budget == 0:
+        return shares
+    # Anti-starvation floor first: one ticket per non-empty class, in
+    # descending weight order (ties broken by name) while budget lasts.
+    by_priority = sorted(active, key=lambda name: (-weights.get(name, 1), name))
+    remaining = budget
+    for name in by_priority:
+        if remaining == 0:
+            return shares
+        shares[name] = 1
+        remaining -= 1
+    # Weighted shares over what's left, capped at each class's depth;
+    # leftovers (rounding + caps) sweep to backlogged classes by weight.
+    total_weight = sum(weights.get(name, 1) for name in active)
+    for name in by_priority:
+        want = depths[name] - shares[name]
+        share = min(want, remaining * weights.get(name, 1) // total_weight)
+        shares[name] += share
+        remaining -= share
+    for name in by_priority:
+        if remaining == 0:
+            break
+        give = min(depths[name] - shares[name], remaining)
+        shares[name] += give
+        remaining -= give
+    return shares

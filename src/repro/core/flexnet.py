@@ -26,6 +26,10 @@ from __future__ import annotations
 import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.cloud.admission import Ticket
 
 from repro.compiler.plan import CompilationPlan
 from repro.control.controller import FlexNetController, TransitionOutcome
@@ -154,6 +158,56 @@ class TrafficReport:
 
 
 @dataclass
+class EngineStatus:
+    """The fleet-wide execution-engine configuration after
+    :meth:`FlexNet.engine` (FlexScope Reportable).
+
+    Per-feature counts rather than booleans: a fleet can be partially
+    configured (e.g. batching enabled before new devices were added),
+    and the counts make that visible instead of averaging it away.
+    """
+
+    devices: int = 0
+    fastpath_devices: int = 0
+    batch_devices: int = 0
+    flow_cache_devices: int = 0
+    cache_capacity: int = 0
+
+    @property
+    def fastpath(self) -> bool:
+        return self.devices > 0 and self.fastpath_devices == self.devices
+
+    @property
+    def batch(self) -> bool:
+        return self.devices > 0 and self.batch_devices == self.devices
+
+    def summary(self) -> str:
+        def state(count: int) -> str:
+            if count == self.devices and count > 0:
+                return "on"
+            return f"on ({count}/{self.devices} device(s))" if count else "off"
+
+        parts = [
+            f"fastpath {state(self.fastpath_devices)}",
+            f"batch {state(self.batch_devices)}",
+            f"flow-cache {state(self.flow_cache_devices)}"
+            + (f" cap={self.cache_capacity}" if self.flow_cache_devices else ""),
+        ]
+        return f"engine [{self.devices} device(s)]: " + ", ".join(parts)
+
+    def to_dict(self) -> dict:
+        return {
+            "devices": self.devices,
+            "fastpath": self.fastpath,
+            "batch": self.batch,
+            "fastpath_devices": self.fastpath_devices,
+            "batch_devices": self.batch_devices,
+            "flow_cache_devices": self.flow_cache_devices,
+            "cache_capacity": self.cache_capacity,
+        }
+
+
+@dataclass
 class FlexNet:
     """One runtime programmable network; see module docstring."""
 
@@ -165,6 +219,9 @@ class FlexNet:
     #: metrics, and profiling through every layer; until then the whole
     #: observation stack stays detached (zero-cost).
     observe: Observer = field(default_factory=Observer)
+    #: lazy FlexCloud admission engine (built on first ``net.cloud`` /
+    #: ``net.submit`` / tenant call).
+    _cloud: object = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         self.observe.bind(self.controller)
@@ -339,6 +396,61 @@ class FlexNet:
         self._refresh()
         return outcome
 
+    # -- FlexCloud: the unified tenant submission path -----------------------------
+
+    @property
+    def cloud(self):
+        """The FlexCloud admission engine over this network's controller.
+
+        Every tenant operation funnels through it — :meth:`submit` for
+        asynchronous churn, :meth:`admit_tenant` / :meth:`evict_tenant`
+        as synchronous wrappers — so there is exactly one admission
+        path: queue → SLA backpressure → coalesce → one reconfiguration
+        window per scheduling round.
+        """
+        if self._cloud is None:
+            from repro.cloud.admission import CloudEngine, ExtensionExecutor
+
+            executor = ExtensionExecutor(self.controller, on_applied=self._refresh)
+            self._cloud = CloudEngine(
+                executor,
+                clock=lambda: self.loop.now,
+                observer=self.observe if self.observe.enabled else None,
+            )
+        return self._cloud
+
+    def submit(self, delta) -> "Ticket":
+        """Enqueue one tenant churn operation (admit/evict/update)
+        asynchronously and return its :class:`~repro.cloud.admission.Ticket`.
+
+        The ticket resolves when a scheduling round drains it —
+        ``net.cloud.drain_round()`` (or ``drain_until_idle()``) steps
+        the rounds; ``net.cloud.start(net.loop)`` runs them on the event
+        loop. Compatible queued deltas coalesce into a single
+        reconfiguration window.
+        """
+        return self.cloud.submit(delta)
+
+    def _resolve(self, ticket) -> TransitionOutcome:
+        """Drain the queue until the ticket terminates, then translate
+        its terminal state back into the synchronous calling convention:
+        the outcome object on success, the original exception on
+        failure, backpressure as ControlPlaneError."""
+        self.cloud.drain_until_idle()
+        if ticket.error is not None:
+            raise ticket.error
+        if ticket.state == "shed":
+            reason = ticket.outcome.reason.value if ticket.outcome else "shed"
+            raise ControlPlaneError(
+                f"admission shed for tenant {ticket.delta.tenant!r}: {reason}"
+            )
+        if not ticket.done or ticket.result is None:
+            raise ControlPlaneError(
+                f"admission for tenant {ticket.delta.tenant!r} did not resolve "
+                f"(state {ticket.state!r})"
+            )
+        return ticket.result
+
     def admit_tenant(
         self,
         tenant: TenantSpec,
@@ -346,9 +458,24 @@ class FlexNet:
         *,
         consistency: ConsistencyLevel = ConsistencyLevel.PER_PACKET_PER_DEVICE,
     ) -> TransitionOutcome:
-        outcome = self.controller.admit_tenant(tenant, extension, consistency=consistency)
-        self._refresh()
-        return outcome
+        """Admit a tenant extension synchronously.
+
+        Thin wrapper over :meth:`submit` + an immediate drain — the same
+        queue, coalescer, and backpressure the asynchronous path uses.
+        """
+        from repro.cloud.admission import TenantDelta
+
+        ticket = self.submit(
+            TenantDelta(
+                kind="admit",
+                tenant=tenant.name,
+                sla_class="gold",
+                spec=tenant,
+                extension=extension,
+                consistency=consistency,
+            )
+        )
+        return self._resolve(ticket)
 
     def evict_tenant(
         self,
@@ -356,9 +483,15 @@ class FlexNet:
         *,
         consistency: ConsistencyLevel = ConsistencyLevel.PER_PACKET_PER_DEVICE,
     ) -> TransitionOutcome:
-        outcome = self.controller.evict_tenant(name, consistency=consistency)
-        self._refresh()
-        return outcome
+        """Evict a tenant synchronously (wrapper over :meth:`submit`)."""
+        from repro.cloud.admission import TenantDelta
+
+        ticket = self.submit(
+            TenantDelta(
+                kind="evict", tenant=name, sla_class="gold", consistency=consistency
+            )
+        )
+        return self._resolve(ticket)
 
     def _refresh(self) -> None:
         self.datapath.program = self.controller.program
@@ -434,7 +567,8 @@ class FlexNet:
         is byte-identical to what :meth:`run_traffic` reports for the
         same workload. Like ``run_traffic`` this mutates device state.
 
-        ``batch=True`` turns on FlexBatch before sharding: every worker
+        ``batch=True`` (deprecated — call ``net.engine(batch=True)``
+        before ``scale()``) turns on FlexBatch before sharding: every worker
         inherits batching-enabled devices, and each
         :class:`~repro.scale.shard.ShardEngine` flushes batch state at
         its window boundaries (batching amortizes within a window, never
@@ -443,7 +577,13 @@ class FlexNet:
         from repro.scale.runner import run_sharded
 
         if batch:
-            self.enable_batching()
+            warnings.warn(
+                "scale(batch=True) is deprecated; call net.engine(batch=True) "
+                "before net.scale()",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self.engine(batch=True)
         workload = packets if packets is not None else list(
             constant_rate(rate_pps, duration_s, start_s=self.controller.loop.now)
         )
@@ -477,18 +617,68 @@ class FlexNet:
     def device(self, name: str):
         return self.controller.devices[name]
 
-    def enable_fastpath(self, flow_cache: bool = True, cache_capacity: int = 4096) -> None:
-        """Turn on FlexPath compiled execution (and optionally the flow
-        micro-cache) on every device in the network."""
+    # -- execution engine ----------------------------------------------------------
+
+    def engine(
+        self,
+        *,
+        fastpath: bool | None = None,
+        batch: bool | None = None,
+        flow_cache: bool | None = None,
+        cache_capacity: int | None = None,
+    ) -> EngineStatus:
+        """Configure the fleet's execution engine in one call.
+
+        All arguments are keyword-only; ``None`` leaves that dimension
+        untouched, so ``net.engine()`` is a pure status read. This is
+        the successor to ``enable_fastpath()`` / ``enable_batching()`` /
+        ``scale(batch=...)`` — one verb, one
+        :class:`EngineStatus` answer.
+
+        ``fastpath=True`` turns on FlexPath compiled execution (plus the
+        flow micro-cache unless ``flow_cache=False``; ``cache_capacity``
+        sizes it); ``fastpath=False`` reverts to interpreted execution.
+        ``batch=True`` turns on FlexBatch (implying FlexPath) — programs
+        the FlexVet gate refuses simply fall back per packet, so this is
+        always safe. ``batch=False`` disables batching but leaves
+        FlexPath as-is.
+        """
+        want_cache = True if flow_cache is None else flow_cache
+        capacity = 4096 if cache_capacity is None else cache_capacity
         for device in self.controller.devices.values():
-            device.enable_fastpath(flow_cache=flow_cache, cache_capacity=cache_capacity)
+            if fastpath is not None:
+                device.enable_fastpath(
+                    flow_cache=want_cache, cache_capacity=capacity, enabled=fastpath
+                )
+            if batch is not None:
+                device.enable_batching(batch)
+        status = EngineStatus(devices=len(self.controller.devices))
+        for device in self.controller.devices.values():
+            state = device.engine_status()
+            status.fastpath_devices += 1 if state["fastpath"] else 0
+            status.batch_devices += 1 if state["batch"] else 0
+            status.flow_cache_devices += 1 if state["flow_cache"] else 0
+            status.cache_capacity = max(status.cache_capacity, state["cache_capacity"])
+        return status
+
+    def enable_fastpath(self, flow_cache: bool = True, cache_capacity: int = 4096) -> None:
+        """Deprecated: use :meth:`engine` (``net.engine(fastpath=True)``)."""
+        warnings.warn(
+            "FlexNet.enable_fastpath() is deprecated; use "
+            "net.engine(fastpath=True, flow_cache=..., cache_capacity=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.engine(fastpath=True, flow_cache=flow_cache, cache_capacity=cache_capacity)
 
     def enable_batching(self, enabled: bool = True) -> None:
-        """Turn on FlexBatch batched execution (implies FlexPath) on
-        every device in the network. Programs the FlexVet gate refuses
-        simply fall back per packet, so this is always safe to enable."""
-        for device in self.controller.devices.values():
-            device.enable_batching(enabled)
+        """Deprecated: use :meth:`engine` (``net.engine(batch=True)``)."""
+        warnings.warn(
+            "FlexNet.enable_batching() is deprecated; use net.engine(batch=True)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.engine(batch=enabled)
 
     def schedule(self, at_s: float, callback) -> None:
         self.controller.loop.schedule_at(at_s, callback)

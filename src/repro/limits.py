@@ -46,6 +46,29 @@ READ_RTT_S = 1e-3
 ELECTION_TIMEOUT_RANGE_S = (0.15, 0.30)
 HEARTBEAT_INTERVAL_S = 0.05
 
+#: FlexCloud admission scheduling (§1.1 tenant-churn story): queued
+#: tenant deltas are drained in rounds of this virtual period, with at
+#: most ``ADMISSION_ROUND_BUDGET`` tickets folded per round. One round
+#: produces at most one coalesced reconfiguration window per device, so
+#: the period is the knob trading admission latency against coalescing
+#: factor. Shared by :mod:`repro.cloud.admission` (the queue drain) and
+#: :mod:`repro.control.scheduler` (per-class round budgeting) so the
+#: two layers can never disagree about what "one scheduling round" is.
+ADMISSION_ROUND_S = 0.25
+ADMISSION_ROUND_BUDGET = 4096
+
+#: Per-SLA-class admission control: (queue depth bound, drain weight).
+#: A class's queue never holds more than its depth — submissions beyond
+#: it are shed with a typed reason — and each round's budget is split
+#: across non-empty classes proportionally to the weights (every
+#: non-empty class is guaranteed at least one ticket, so bronze churn
+#: cannot be starved by a gold flash crowd, and vice versa).
+ADMISSION_CLASS_POLICIES: dict[str, tuple[int, int]] = {
+    "gold": (200_000, 4),
+    "silver": (100_000, 2),
+    "bronze": (50_000, 1),
+}
+
 #: FlexScale placement: two devices joined by a link faster than this
 #: are fused onto one shard. The conservative lookahead protocol
 #: advances shards in windows of the *minimum cross-shard* link

@@ -126,13 +126,28 @@ class DeviceRuntime:
 
     # -- FlexPath ----------------------------------------------------------------
 
-    def enable_fastpath(self, flow_cache: bool = True, cache_capacity: int = 4096) -> None:
+    def enable_fastpath(
+        self, flow_cache: bool = True, cache_capacity: int = 4096, enabled: bool = True
+    ) -> None:
         """Turn on FlexPath compiled execution for every current and
         future program version on this device; with ``flow_cache``, also
         attach a flow micro-cache (used only for program versions the
-        cacheability analysis admits, and bypassed mid-transition)."""
+        cacheability analysis admits, and bypassed mid-transition).
+        ``enabled=False`` reverts to interpreted execution, dropping the
+        compiled bodies and the cache (and FlexBatch, which rides on the
+        compiled path)."""
+        if not enabled:
+            self._fastpath = False
+            self._flow_cache = None
+            if self._batching:
+                self.enable_batching(False)
+            for instance in self._instances():
+                instance.enable_fastpath(False)
+            return
         self._fastpath = True
-        if flow_cache and self._flow_cache is None:
+        if not flow_cache:
+            self._flow_cache = None
+        elif self._flow_cache is None or self._flow_cache.capacity != cache_capacity:
             from repro.simulator.fastpath import FlowCache
 
             self._flow_cache = FlowCache(cache_capacity)
@@ -147,10 +162,21 @@ class DeviceRuntime:
         callers holding several packets can amortize further via
         :meth:`ProgramInstance.process_batch`."""
         self._batching = enabled
-        if enabled:
+        if enabled and not self._fastpath:
             self.enable_fastpath()
         for instance in self._instances():
             instance.enable_batching(enabled)
+
+    def engine_status(self) -> dict:
+        """This device's execution-engine configuration, as reported by
+        :meth:`FlexNet.engine` into the fleet-wide ``EngineStatus``."""
+        cache = self._flow_cache
+        return {
+            "fastpath": self._fastpath,
+            "batch": self._batching,
+            "flow_cache": cache is not None,
+            "cache_capacity": cache.capacity if cache is not None else 0,
+        }
 
     def reset_batch_window(self) -> None:
         """FlexScale window boundary: flush every executor's batch state

@@ -1,0 +1,316 @@
+"""FlexCloud admission units: queue backpressure (typed shed reasons,
+submission-order re-drain), weighted round planning, coalescer fold
+rules, and the drain loop against a scripted executor."""
+
+import pytest
+
+from repro.cloud.admission import (
+    AdmissionQueue,
+    CloudEngine,
+    Coalescer,
+    ExecutionResult,
+    ShedReason,
+    TenantDelta,
+    Ticket,
+)
+from repro.control.scheduler import plan_admission_round
+from repro.errors import ControlPlaneError
+from repro.runtime.consistency import ConsistencyLevel
+
+#: Small depths so backpressure is reachable in a unit test:
+#: class -> (queue depth bound, drain weight).
+POLICIES = {"gold": (8, 4), "silver": (8, 2), "bronze": (2, 1)}
+
+
+def delta(tenant, kind="admit", sla="gold", **kwargs):
+    return TenantDelta(kind=kind, tenant=tenant, sla_class=sla, **kwargs)
+
+
+def ticket(ticket_id, d):
+    return Ticket(ticket_id=ticket_id, delta=d, submitted_at=0.0)
+
+
+class ScriptedExecutor:
+    """Applies every ticket, except tenants scripted to defer once
+    (transient channel loss) or fail terminally."""
+
+    def __init__(self, defer_once=(), fail=()):
+        self.batches = []
+        self._defer = set(defer_once)
+        self._fail = set(fail)
+
+    def execute(self, batch, *, epoch=None, dispatch_gate=None):
+        self.batches.append([t.delta.tenant for t in batch])
+        result = ExecutionResult(windows=1)
+        for t in batch:
+            name = t.delta.tenant
+            if name in self._defer:
+                self._defer.discard(name)
+                result.deferred.append(t)
+            elif name in self._fail:
+                result.failed.append((t, ControlPlaneError("scripted failure")))
+            else:
+                result.applied.append(t)
+        return result
+
+
+# ---------------------------------------------------------------------------
+# AdmissionQueue: bounded per-class queues, typed shed, submission order
+# ---------------------------------------------------------------------------
+
+
+class TestAdmissionQueue:
+    def test_shed_at_depth_bound_carries_typed_reason(self):
+        queue = AdmissionQueue(POLICIES)
+        kept = [queue.submit(delta(f"t{i}", sla="bronze"), now=0.0) for i in range(2)]
+        overflow = queue.submit(delta("t2", sla="bronze"), now=0.5)
+        assert all(t.state == "pending" for t in kept)
+        assert overflow.done and overflow.state == "shed"
+        assert overflow.outcome.reason is ShedReason.QUEUE_FULL
+        assert overflow.outcome.to_dict()["reason"] == "queue_full"
+        assert queue.shed == 1 and queue.submitted == 3
+        assert len(queue) == 2  # the shed ticket never entered a queue
+
+    def test_unknown_class_is_shed_not_crashed(self):
+        queue = AdmissionQueue(POLICIES)
+        t = queue.submit(delta("t0", sla="platinum"), now=0.0)
+        assert t.state == "shed"
+        assert t.outcome.reason is ShedReason.UNKNOWN_CLASS
+        assert "unknown_class" in t.summary()
+
+    def test_take_merges_classes_back_into_submission_order(self):
+        queue = AdmissionQueue(POLICIES)
+        order = [("a", "bronze"), ("b", "gold"), ("c", "bronze"), ("d", "gold")]
+        for name, sla in order:
+            queue.submit(delta(name, sla=sla), now=0.0)
+        taken = queue.take({"gold": 2, "bronze": 2})
+        assert [t.delta.tenant for t in taken] == ["a", "b", "c", "d"]
+        assert [t.ticket_id for t in taken] == sorted(t.ticket_id for t in taken)
+
+    def test_requeue_puts_deferred_tickets_at_the_head(self):
+        queue = AdmissionQueue(POLICIES)
+        for i in range(4):
+            queue.submit(delta(f"g{i}"), now=0.0)
+        first = queue.take({"gold": 2})
+        queue.requeue(first)
+        assert all(t.rounds_deferred == 1 for t in first)
+        again = queue.take({"gold": 4})
+        assert [t.delta.tenant for t in again] == ["g0", "g1", "g2", "g3"]
+
+    def test_depths_and_weights_reflect_policies(self):
+        queue = AdmissionQueue(POLICIES)
+        queue.submit(delta("t0", sla="silver"), now=0.0)
+        assert queue.depths() == {"gold": 0, "silver": 1, "bronze": 0}
+        assert queue.weights() == {"gold": 4, "silver": 2, "bronze": 1}
+
+
+# ---------------------------------------------------------------------------
+# plan_admission_round: weighted fair shares
+# ---------------------------------------------------------------------------
+
+
+class TestPlanAdmissionRound:
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            plan_admission_round({"gold": 1}, -1, {"gold": 1})
+
+    def test_empty_and_zero_budget(self):
+        assert plan_admission_round({}, 100, {}) == {}
+        assert plan_admission_round({"gold": 5}, 0, {"gold": 4}) == {"gold": 0}
+
+    def test_anti_starvation_floor(self):
+        shares = plan_admission_round(
+            {"gold": 100, "bronze": 100}, 2, {"gold": 4, "bronze": 1}
+        )
+        assert shares == {"gold": 1, "bronze": 1}
+
+    def test_weighted_shares_spend_the_whole_budget(self):
+        shares = plan_admission_round(
+            {"gold": 100, "bronze": 100}, 50, {"gold": 4, "bronze": 1}
+        )
+        assert sum(shares.values()) == 50
+        assert shares["gold"] > shares["bronze"]
+
+    def test_shares_capped_at_depth_and_leftover_redistributed(self):
+        shares = plan_admission_round(
+            {"gold": 3, "bronze": 100}, 50, {"gold": 4, "bronze": 1}
+        )
+        assert shares["gold"] == 3
+        assert shares["bronze"] == 47
+
+    def test_deterministic(self):
+        depths = {"gold": 17, "silver": 5, "bronze": 40}
+        weights = {"gold": 4, "silver": 2, "bronze": 1}
+        assert plan_admission_round(depths, 23, weights) == plan_admission_round(
+            depths, 23, weights
+        )
+
+
+# ---------------------------------------------------------------------------
+# Coalescer fold rules
+# ---------------------------------------------------------------------------
+
+
+class _Ext:
+    """Stand-in extension; the profile is monkeypatched per test."""
+
+    def __init__(self, name):
+        self.name = name
+
+
+class TestCoalescer:
+    def test_one_op_per_tenant_per_round(self):
+        co = Coalescer()
+        tickets = [
+            ticket(1, delta("t1", kind="admit")),
+            ticket(2, delta("t1", kind="evict")),
+        ]
+        batches, deferred = co.fold(tickets)
+        assert batches == [[tickets[0]]]
+        assert deferred == [tickets[1]]
+
+    def test_updates_ride_alone(self):
+        co = Coalescer()
+        tickets = [
+            ticket(1, delta("t1")),
+            ticket(2, delta("t2", kind="update")),
+            ticket(3, delta("t3")),
+        ]
+        batches, deferred = co.fold(tickets)
+        assert [[t.ticket_id for t in batch] for batch in batches] == [[1], [2], [3]]
+        assert deferred == []
+
+    def test_consistency_runs_split_batches(self):
+        co = Coalescer()
+        tickets = [
+            ticket(1, delta("t1")),
+            ticket(2, delta("t2", consistency=ConsistencyLevel.PER_PACKET_PATH)),
+            ticket(3, delta("t3", consistency=ConsistencyLevel.PER_PACKET_PATH)),
+        ]
+        batches, _ = co.fold(tickets)
+        assert [[t.ticket_id for t in batch] for batch in batches] == [[1], [2, 3]]
+
+    def test_shared_field_writes_split_batches(self):
+        co = Coalescer()
+        profiles = {
+            "a": (False, frozenset({"ipv4.ttl"})),
+            "b": (False, frozenset({"ipv4.ttl"})),
+            "c": (False, frozenset()),
+        }
+        co._profile = lambda ext: profiles[ext.name]
+        tickets = [
+            ticket(1, delta("t1", extension=_Ext("a"))),
+            ticket(2, delta("t2", extension=_Ext("c"))),
+            ticket(3, delta("t3", extension=_Ext("b"))),
+        ]
+        batches, _ = co.fold(tickets)
+        assert [[t.ticket_id for t in batch] for batch in batches] == [[1, 2], [3]]
+
+    def test_at_most_one_pinned_extension_per_batch(self):
+        co = Coalescer()
+        profiles = {
+            "p1": (True, frozenset()),
+            "p2": (True, frozenset()),
+            "u": (False, frozenset()),
+        }
+        co._profile = lambda ext: profiles[ext.name]
+        tickets = [
+            ticket(1, delta("t1", extension=_Ext("p1"))),
+            ticket(2, delta("t2", extension=_Ext("u"))),
+            ticket(3, delta("t3", extension=_Ext("p2"))),
+        ]
+        batches, _ = co.fold(tickets)
+        assert [[t.ticket_id for t in batch] for batch in batches] == [[1, 2], [3]]
+
+
+# ---------------------------------------------------------------------------
+# CloudEngine: the drain loop
+# ---------------------------------------------------------------------------
+
+
+class TestCloudEngine:
+    def make(self, executor, **kwargs):
+        kwargs.setdefault("policies", POLICIES)
+        return CloudEngine(executor, **kwargs)
+
+    def test_round_coalesces_compatible_deltas_into_one_window(self):
+        executor = ScriptedExecutor()
+        engine = self.make(executor)
+        tickets = [engine.submit(delta(f"t{i}"), now=0.0) for i in range(4)]
+        assert engine.drain_round(0.25) == 4
+        assert engine.windows == 1 and engine.applied == 4
+        assert engine.coalesce_ratio == 4.0
+        assert executor.batches == [["t0", "t1", "t2", "t3"]]
+        assert all(t.state == "applied" for t in tickets)
+
+    def test_naive_mode_runs_one_window_per_delta(self):
+        executor = ScriptedExecutor()
+        engine = self.make(executor, coalesce=False)
+        for i in range(3):
+            engine.submit(delta(f"t{i}"), now=0.0)
+        engine.drain_round(0.25)
+        assert executor.batches == [["t0"], ["t1"], ["t2"]]
+        assert engine.windows == 3
+
+    def test_transient_deferrals_redrain_first_in_submission_order(self):
+        executor = ScriptedExecutor(defer_once={"t1", "t3"})
+        engine = self.make(executor)
+        tickets = [engine.submit(delta(f"t{i}"), now=0.0) for i in range(4)]
+        engine.drain_round(0.25)
+        assert engine.transient_deferrals == 2
+        assert tickets[1].state == "pending" and tickets[3].state == "pending"
+        engine.drain_round(0.5)
+        # The deferred tickets re-drain before anything newer, still in
+        # submission order.
+        assert executor.batches[1] == ["t1", "t3"]
+        assert all(t.state == "applied" for t in tickets)
+        assert tickets[1].rounds_deferred == 1
+
+    def test_deferred_tickets_precede_later_submissions(self):
+        executor = ScriptedExecutor(defer_once={"t0"})
+        engine = self.make(executor)
+        engine.submit(delta("t0"), now=0.0)
+        engine.drain_round(0.25)
+        engine.submit(delta("t9"), now=0.3)
+        engine.drain_round(0.5)
+        assert executor.batches[1] == ["t0", "t9"]
+
+    def test_failed_ticket_preserves_the_exception(self):
+        executor = ScriptedExecutor(fail={"bad"})
+        engine = self.make(executor)
+        good = engine.submit(delta("good"), now=0.0)
+        bad = engine.submit(delta("bad"), now=0.0)
+        engine.drain_round(0.25)
+        assert good.state == "applied" and bad.state == "failed"
+        assert isinstance(bad.error, ControlPlaneError)
+        assert bad.outcome.error.startswith("ControlPlaneError")
+        assert engine.failed == 1 and engine.applied == 1
+
+    def test_budget_caps_each_round(self):
+        executor = ScriptedExecutor()
+        engine = self.make(executor, budget=2)
+        for i in range(5):
+            engine.submit(delta(f"t{i}"), now=0.0)
+        engine.drain_round(0.25)
+        assert engine.applied == 2 and len(engine.queue) == 3
+        assert engine.drain_until_idle(1.0) == 3
+        assert engine.applied == 5
+
+    def test_latency_measured_from_submission(self):
+        engine = self.make(ScriptedExecutor())
+        engine.submit(delta("t0", sla="gold"), now=0.0)
+        engine.drain_round(0.25)
+        assert engine.latency_by_class() == {"gold": 0.25}
+
+    def test_stats_shape(self):
+        engine = self.make(ScriptedExecutor())
+        engine.submit(delta("t0"), now=0.0)
+        engine.submit(delta("x", sla="platinum"), now=0.0)  # shed
+        engine.drain_round(0.25)
+        stats = engine.stats()
+        assert stats["submitted"] == 2
+        assert stats["applied"] == 1
+        assert stats["shed"] == 1
+        assert stats["windows"] == 1
+        assert stats["queue_depth"] == 0
+        assert stats["inflight"] == 0

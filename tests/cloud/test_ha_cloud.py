@@ -1,0 +1,142 @@
+"""FlexCloud × FlexHA: the admission queue survives leader fail-over.
+
+With HA attached every coalesced batch is committed to the Raft log
+before it applies (``HACommand(kind="cloud")``), rounds only drain
+while a live leader exists, and the delta-id guard makes re-driven
+batches idempotent — so every submitted delta applies exactly once no
+matter when the leader dies."""
+
+import pytest
+
+from repro.apps import base_infrastructure
+from repro.apps.base import STANDARD_HEADERS
+from repro.cloud.admission import TenantDelta
+from repro.control.ha import FlexHA
+from repro.core.flexnet import FlexNet
+from repro.lang import builder as b
+from repro.lang.builder import ProgramBuilder
+from repro.lang.composition import Permission, TenantSpec
+from repro.simulator.packet import reset_packet_ids
+
+
+def tenant_extension():
+    program = ProgramBuilder("ext", owner="tenant")
+    for header, fields in STANDARD_HEADERS.items():
+        program.header(header, **fields)
+    program.map("hits", keys=["ipv4.src"], value_type="u32", max_entries=64)
+    program.function(
+        "watch",
+        [
+            b.let("n", "u32", b.map_get("hits", "ipv4.src")),
+            b.map_put("hits", "ipv4.src", b.binop("+", "n", 1)),
+        ],
+    )
+    program.apply("watch")
+    return program.build()
+
+
+def admit_delta(name, vlan):
+    return TenantDelta(
+        kind="admit",
+        tenant=name,
+        sla_class="gold",
+        spec=TenantSpec(name=name, vlan_id=vlan, permission=Permission()),
+        extension=tenant_extension(),
+    )
+
+
+def make_cloud_ha_net(seed=42, node_count=3):
+    reset_packet_ids()
+    net = FlexNet.standard("drmt")
+    net.install(base_infrastructure())
+    ha = FlexHA(net.controller, node_count=node_count, seed=seed, fencing=True)
+    engine = net.cloud
+    engine.attach_ha(ha)
+    engine.start(net.controller.loop)
+    return net, net.controller, ha, engine
+
+
+def settle(controller):
+    for device in controller.devices.values():
+        device.settle(controller.loop.now)
+
+
+class TestReplicatedAdmission:
+    def test_cloud_batch_commits_to_the_log_then_applies(self):
+        net, controller, ha, engine = make_cloud_ha_net()
+        controller.loop.run_until(1.0)
+        assert ha.cluster.leader() is not None
+        tickets = [
+            engine.submit(admit_delta("t1", 100)),
+            engine.submit(admit_delta("t2", 200)),
+        ]
+        controller.loop.run_until(4.0)
+        settle(controller)
+        assert all(t.state == "applied" for t in tickets)
+        assert sorted(controller.tenant_names) == ["t1", "t2"]
+        # One coalesced batch: two deltas, version +2, one cloud command
+        # replicated on every node's log.
+        assert controller.program.version == 3
+        assert ha.cloud_submitted == 1 and ha.cloud_executed == 1
+        for node in ha.cluster.nodes.values():
+            assert any(
+                getattr(command, "kind", None) == "cloud"
+                for command in node.applied_commands
+            )
+
+    def test_leaderless_rounds_keep_the_queue_intact(self):
+        net, controller, ha, engine = make_cloud_ha_net()
+        controller.loop.run_until(1.0)
+        for node_id in ha.cluster.nodes:
+            ha.cluster.bus.crash(node_id)
+        ticket = engine.submit(admit_delta("t1", 100))
+        before = engine.rounds_skipped
+        assert engine.drain_round(controller.loop.now) == 0
+        assert engine.rounds_skipped == before + 1
+        assert len(engine.queue) == 1 and ticket.state == "pending"
+
+    @pytest.mark.parametrize("crash_at", [5.1, 5.27])
+    def test_queue_survives_leader_failover(self, crash_at):
+        """Crash the leader before the next round (5.1: the batch is
+        still queued) and just after it (5.27: the proposal is in
+        flight) — both converge to exactly-once application on the
+        successor."""
+        net, controller, ha, engine = make_cloud_ha_net()
+        controller.loop.run_until(1.0)
+        first_leader = ha.leader_id
+
+        def submit():
+            engine.submit(admit_delta("t1", 100))
+            engine.submit(admit_delta("t2", 200))
+
+        controller.loop.schedule_at(5.0, submit)
+        controller.loop.schedule_at(
+            crash_at, lambda: ha.cluster.bus.crash(ha.leader_id or first_leader)
+        )
+        controller.loop.run_until(16.0)
+        settle(controller)
+        assert len(ha.failovers) == 1
+        assert sorted(controller.tenant_names) == ["t1", "t2"]
+        # Exactly once: two admits, version exactly +2, no errors.
+        assert controller.program.version == 3
+        assert engine.applied == 2 and engine.failed == 0
+        assert not ha.update_errors
+        assert engine.stats()["inflight"] == 0
+        assert len(engine.queue) == 0
+
+    def test_failover_outcome_is_deterministic(self):
+        def once():
+            net, controller, ha, engine = make_cloud_ha_net()
+            controller.loop.run_until(1.0)
+            first_leader = ha.leader_id
+            controller.loop.schedule_at(
+                5.0, lambda: engine.submit(admit_delta("t1", 100))
+            )
+            controller.loop.schedule_at(
+                5.27, lambda: ha.cluster.bus.crash(ha.leader_id or first_leader)
+            )
+            controller.loop.run_until(16.0)
+            settle(controller)
+            return engine.stats(), controller.program.version
+
+        assert once() == once()

@@ -1,0 +1,156 @@
+"""FlexCloud scenarios at test scale: seeded determinism (including
+across shard counts), coalesced-vs-naive window ratio at equal end
+state, churn-under-chaos convergence, and the fleet's ground-truth
+verification machinery."""
+
+import json
+
+from repro.cloud.scenarios import (
+    SCENARIOS,
+    CloudFleet,
+    diurnal,
+    flash_crowd,
+    run_scenario,
+)
+from repro.faults.plan import ChannelFault, FaultPlan
+
+
+def run(events, **kwargs):
+    kwargs.setdefault("scenario", "test")
+    kwargs.setdefault("seed", 7)
+    kwargs.setdefault("probes", 8)
+    return run_scenario(events, **kwargs)
+
+
+def as_json(report):
+    return json.dumps(report.to_dict(), sort_keys=True)
+
+
+class TestGenerators:
+    def test_same_seed_same_script(self):
+        for name, generator in SCENARIOS.items():
+            assert generator(tenants=40, seed=3) == generator(tenants=40, seed=3), name
+
+    def test_different_seed_different_script(self):
+        assert flash_crowd(tenants=40, seed=3) != flash_crowd(tenants=40, seed=4)
+
+    def test_scripts_are_time_sorted(self):
+        for name, generator in SCENARIOS.items():
+            events = generator(tenants=40, seed=3)
+            times = [event.time for event in events]
+            assert times == sorted(times), name
+
+    def test_diurnal_includes_departures(self):
+        events = diurnal(tenants=40, duration_s=20.0, seed=3)
+        kinds = {event.kind for event in events}
+        assert kinds == {"admit", "evict"}
+
+
+class TestDeterminism:
+    def test_same_seed_reports_byte_identical(self):
+        events = flash_crowd(tenants=250, seed=11)
+        first = run(events)
+        second = run(events)
+        assert as_json(first) == as_json(second)
+        assert first.violations == 0
+        assert first.applied == len(events)
+        assert first.shed == 0
+
+    def test_shard_count_does_not_change_the_report(self):
+        events = flash_crowd(tenants=200, seed=5)
+        baseline = run(events)
+        for shards in (2, 3):
+            sharded = run(events, shards=shards)
+            assert as_json(sharded) == as_json(baseline), shards
+            assert sharded.shards == shards  # kept on the object only
+
+
+class TestCoalescing:
+    def test_coalescing_beats_naive_at_equal_end_state(self):
+        events = flash_crowd(tenants=400, ramp_s=4.0, seed=9)
+        coalesced = run(events)
+        naive = run(events, coalesce=False)
+        assert naive.windows >= 5 * coalesced.windows
+        assert naive.end_state_digest == coalesced.end_state_digest
+        assert (naive.applied, naive.shed) == (coalesced.applied, coalesced.shed)
+        assert coalesced.coalesce_ratio >= 5.0
+        # Control-channel cost scales with windows, not tenants.
+        assert coalesced.control_writes < naive.control_writes
+
+
+class TestChaos:
+    def test_churn_under_channel_loss_converges_clean(self):
+        events = flash_crowd(tenants=150, seed=13)
+        chaos = FaultPlan(
+            seed=13, channel=ChannelFault(drop_probability=0.25, device_pattern="*")
+        )
+        report = run(events, chaos=chaos)
+        assert report.violations == 0
+        assert report.applied == len(events)
+        # Dropped windows surface as transient deferrals, then retry.
+        assert report.transient_deferrals > 0
+        assert report.deferrals >= report.transient_deferrals
+
+
+class TestFleetGroundTruth:
+    def admit(self, fleet, tenants, value=1):
+        by_device = {}
+        for tenant in tenants:
+            by_device.setdefault(fleet.home_of(tenant), {})[tenant] = value
+        for device, entries in by_device.items():
+            fleet.apply_entries(device, entries)
+
+    def test_verify_clean_after_admission(self):
+        fleet = CloudFleet(racks=2)
+        self.admit(fleet, [str(i) for i in range(8)])
+        violations, checked = fleet.verify()
+        assert violations == 0 and checked == 8
+
+    def test_verify_flags_phantom_and_missing_entries(self):
+        fleet = CloudFleet(racks=2)
+        tenants = [str(i) for i in range(6)]
+        self.admit(fleet, tenants)
+        client = fleet.net.controller.hub.client(fleet.homes[0])
+        # A phantom entry no admitted tenant owns, and one admitted
+        # tenant silently dropped from its home slice.
+        victim = next(t for t in tenants if fleet.home_of(t) == fleet.homes[0])
+        client.write_map_entries(
+            "tenant_acl", {(0x0BADBEEF,): 1, (fleet.tenant_ip(victim),): 0}
+        )
+        violations, _ = fleet.verify()
+        assert violations == 2
+
+    def test_reconcile_repairs_divergence(self):
+        fleet = CloudFleet(racks=2)
+        tenants = [str(i) for i in range(6)]
+        self.admit(fleet, tenants)
+        client = fleet.net.controller.hub.client(fleet.homes[0])
+        victim = next(t for t in tenants if fleet.home_of(t) == fleet.homes[0])
+        client.write_map_entries(
+            "tenant_acl", {(0x0BADBEEF,): 1, (fleet.tenant_ip(victim),): 0}
+        )
+        assert fleet.reconcile() == 2
+        assert fleet.verify() == (0, 6)
+        assert fleet.reconcile() == 0  # idempotent once converged
+
+    def test_probe_checks_real_datapath_verdicts(self):
+        fleet = CloudFleet(racks=2)
+        gated = [t for t in (str(i) for i in range(12)) if fleet.home_of(t) == fleet.gate_device]
+        admitted, evicted = gated[: len(gated) // 2], gated[len(gated) // 2 :]
+        self.admit(fleet, admitted)
+        violations, probes = fleet.probe(admitted + evicted)
+        assert probes == len(gated)
+        assert violations == 0
+
+    def test_probe_catches_gate_desync(self):
+        fleet = CloudFleet(racks=2)
+        gated = [t for t in (str(i) for i in range(12)) if fleet.home_of(t) == fleet.gate_device]
+        self.admit(fleet, gated)
+        # Drop one admitted tenant's gate entry behind the registry's
+        # back: its probe packet now drops while intent says forward.
+        victim = gated[0]
+        fleet.net.controller.hub.client(fleet.gate_device).write_map_entries(
+            "tenant_acl", {(fleet.tenant_ip(victim),): 0}
+        )
+        violations, _ = fleet.probe(gated)
+        assert violations == 1

@@ -85,10 +85,10 @@ class TestBatchedSharding:
 
     def test_batched_two_shards_byte_identical(self):
         net, workload = _arm()
-        net.enable_batching()
+        net.engine(batch=True)
         expected = _canon(reference_run(net, workload, drain_s=DRAIN_S).to_dict())
         net, workload = _arm()
-        net.enable_batching()
+        net.engine(batch=True)
         report = run_sharded(
             net, workload, 2, backend="inline", seed=11, drain_s=DRAIN_S
         )
@@ -98,7 +98,7 @@ class TestBatchedSharding:
     def test_batched_matches_unbatched_traffic(self):
         expected = _reference_json()
         net, workload = _arm()
-        net.enable_batching()
+        net.engine(batch=True)
         report = run_sharded(
             net, workload, 2, backend="inline", seed=11, drain_s=DRAIN_S
         )
@@ -106,7 +106,7 @@ class TestBatchedSharding:
 
     def test_batch_metrics_exported_when_batching(self):
         net, workload = _arm()
-        net.enable_batching()
+        net.engine(batch=True)
         report = run_sharded(
             net, workload, 2, backend="inline", seed=11, drain_s=DRAIN_S
         )

@@ -356,7 +356,7 @@ class TestFlowCache:
 
 class TestFlexNetFacade:
     def test_enable_fastpath_all_devices(self, flexnet):
-        flexnet.enable_fastpath()
+        flexnet.engine(fastpath=True)
         for device in flexnet.controller.devices.values():
             assert device._fastpath
         report = flexnet.run_traffic(rate_pps=500, duration_s=0.2)
