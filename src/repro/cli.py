@@ -16,6 +16,7 @@ Usage (also ``python -m repro.cli``)::
     flexnet chaos    [program.fbpf] [--patch patch.delta] [--trace]
                      [--crash sw1@5.2] [--drop 0.01] [--no-recovery] [--json]
     flexnet chaos    --controller [--partition] [--nodes 3] [--no-fencing]
+    flexnet chaos    --scale [--shards 4] [--worker-crash 0@4] [--handoff-drop 0.2]
     flexnet ha       status [--nodes 3] [--failover] [--json]
     flexnet scale    [--shards 2] [--backend process|inline] [--pods 4]
                      [--packets 2000] [--rate 20000] [--differential] [--json]
@@ -32,7 +33,10 @@ Everything runs against the standard host-NIC-switch-NIC-host slice.
 infrastructure + firewall delta) and reports consistency, convergence,
 and the write-ahead journal; with ``--controller`` the faults hit the
 replicated control plane instead (FlexHA: Raft leader crash, or a
-leader partition with ``--partition``). ``ha status`` stands up the
+leader partition with ``--partition``); with ``--scale`` they hit the
+sharded process backend instead (FlexMend: seeded worker crashes and
+handoff drops/dups absorbed by checkpointed restart, differentially
+byte-compared against a fault-free run). ``ha status`` stands up the
 replicated controller, drives one committed update (optionally through
 a ``--failover``), and prints the FlexHA status. ``trace``/``metrics``/``profile`` run the
 same scenario as ``simulate`` with FlexScope enabled and render the
@@ -425,12 +429,86 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 1 if divergences else 0
 
 
+def _cmd_chaos_scale(args: argparse.Namespace) -> int:
+    """FlexMend: chaos-armed sharded run differentially compared against
+    a fault-free sharded run and the single-process reference; exit 0
+    iff all three ``traffic`` sections are byte-identical."""
+    import json as json_module
+
+    from repro.apps import base_infrastructure
+    from repro.faults.plan import FaultPlan, HandoffDrop, HandoffDup, WorkerCrash
+    from repro.scale import pod_fabric, e20_workload, run_scale_chaos
+
+    crash_specs = (
+        args.worker_crash if args.worker_crash is not None else ["0@4", "1@6"]
+    )
+    worker_crashes = []
+    for spec in crash_specs:
+        if spec == "none":
+            continue
+        shard, _, window = spec.partition("@")
+        try:
+            worker_crashes.append(
+                WorkerCrash(shard=int(shard), window=int(window))
+            )
+        except ValueError:
+            print(
+                f"error: --worker-crash expects SHARD@WINDOW, got {spec!r}",
+                file=sys.stderr,
+            )
+            return 2
+    handoff_drops = tuple(
+        HandoffDrop(shard=shard, probability=args.handoff_drop)
+        for shard in range(args.shards)
+    ) if args.handoff_drop else ()
+    handoff_dups = tuple(
+        HandoffDup(shard=shard, probability=args.handoff_dup)
+        for shard in range(args.shards)
+    ) if args.handoff_dup else ()
+    plan = FaultPlan(
+        seed=args.seed,
+        worker_crashes=tuple(worker_crashes),
+        handoff_drops=handoff_drops,
+        handoff_dups=handoff_dups,
+    )
+
+    def make_net():
+        net = pod_fabric(args.pods)
+        net.install(base_infrastructure())
+        return net
+
+    rate = args.rate if args.rate is not None else 20_000.0
+
+    def make_workload():
+        return e20_workload(args.packets, rate_pps=rate, seed=args.seed)
+
+    report = run_scale_chaos(
+        make_net,
+        make_workload,
+        args.shards,
+        plan,
+        seed=args.plan_seed,
+        drain_s=args.drain,
+        checkpoint_every=args.checkpoint_every,
+    )
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+    return 1 if report.divergences else 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Run a seeded FlexFault chaos scenario; exit 0 iff the network
     converged with zero consistency violations."""
     import json as json_module
 
     from repro.faults import ChannelFault, DeviceCrash, FaultPlan, run_chaos
+
+    if getattr(args, "scale", False):
+        return _cmd_chaos_scale(args)
+    if args.rate is None:
+        args.rate = 1000.0
 
     if args.program:
         program = parse_program(_read(args.program))
@@ -915,7 +993,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="control-channel delay probability")
     chaos_parser.add_argument("--delay", type=float, default=0.005,
                               help="control-channel delay seconds (with --delay-probability)")
-    chaos_parser.add_argument("--rate", type=float, default=1000.0)
+    chaos_parser.add_argument("--rate", type=float, default=None,
+                              help="traffic rate in pps (default 1000; "
+                                   "20000 with --scale)")
     chaos_parser.add_argument("--duration", type=float, default=10.0)
     chaos_parser.add_argument("--at", type=float, default=5.0,
                               help="virtual time to apply the patch")
@@ -950,6 +1030,35 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument("--heal-after", type=float, default=3.0,
                               help="with --controller --partition: partition "
                                    "duration in seconds")
+    chaos_parser.add_argument("--scale", action="store_true",
+                              help="fault the sharded process backend instead "
+                                   "(FlexMend: worker crashes + handoff "
+                                   "drops/dups, differential vs fault-free)")
+    chaos_parser.add_argument("--shards", type=int, default=4,
+                              help="with --scale: worker shard count")
+    chaos_parser.add_argument("--pods", type=int, default=4,
+                              help="with --scale: pods in the E20 fabric")
+    chaos_parser.add_argument("--packets", type=int, default=600,
+                              help="with --scale: workload packet count")
+    chaos_parser.add_argument("--worker-crash", action="append", default=None,
+                              metavar="SHARD@WINDOW",
+                              help="with --scale: kill SHARD's worker at "
+                                   "protocol WINDOW (repeatable; default "
+                                   "0@4 and 1@6, 'none' to disable)")
+    chaos_parser.add_argument("--handoff-drop", type=float, default=0.0,
+                              help="with --scale: per-batch handoff drop "
+                                   "probability on every shard")
+    chaos_parser.add_argument("--handoff-dup", type=float, default=0.0,
+                              help="with --scale: per-batch handoff "
+                                   "duplication probability on every shard")
+    chaos_parser.add_argument("--plan-seed", type=int, default=11,
+                              help="with --scale: shard-plan seed")
+    chaos_parser.add_argument("--drain", type=float, default=0.05,
+                              help="with --scale: quiet horizon after the "
+                                   "last injection (s)")
+    chaos_parser.add_argument("--checkpoint-every", type=int, default=None,
+                              help="with --scale: checkpoint cadence in "
+                                   "protocol rounds (default: limits policy)")
     chaos_parser.set_defaults(func=cmd_chaos)
 
     ha_parser = subparsers.add_parser(

@@ -556,6 +556,8 @@ class FlexNet:
         seed: int = 2024,
         drain_s: float = 1.0,
         colocate_below_s: float | None = None,
+        chaos=None,
+        checkpoint_every: int | None = None,
         batch: bool = False,
     ):
         """Run traffic sharded across worker processes (FlexScale).
@@ -566,6 +568,15 @@ class FlexNet:
         :class:`~repro.scale.runner.ScaleReport`'s ``traffic`` section
         is byte-identical to what :meth:`run_traffic` reports for the
         same workload. Like ``run_traffic`` this mutates device state.
+
+        ``chaos`` (a :class:`~repro.faults.plan.FaultPlan` with
+        FlexMend worker-fault specs) injects worker-process crashes,
+        stalls, and handoff drops/dups into the process backend; the
+        supervisor absorbs them via windowed checkpoints and the
+        traffic section stays byte-identical regardless.
+        ``checkpoint_every`` overrides the checkpoint cadence in
+        protocol rounds (default: on when chaos is armed, off
+        otherwise; ``0`` forces off).
 
         ``batch=True`` (deprecated — call ``net.engine(batch=True)``
         before ``scale()``) turns on FlexBatch before sharding: every worker
@@ -595,6 +606,8 @@ class FlexNet:
             seed=seed,
             drain_s=drain_s,
             colocate_below_s=colocate_below_s,
+            chaos=chaos,
+            checkpoint_every=checkpoint_every,
         )
 
     # -- convenience passthroughs ----------------------------------------------------

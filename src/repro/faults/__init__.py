@@ -33,8 +33,12 @@ from repro.faults.plan import (
     DrpcFault,
     FaultInjector,
     FaultPlan,
+    HandoffDrop,
+    HandoffDup,
     LeaderPartition,
     MigrationFault,
+    WorkerCrash,
+    WorkerStall,
 )
 from repro.faults.recovery import (
     CrashSchedule,
@@ -55,6 +59,8 @@ __all__ = [
     "DrpcFault",
     "FaultInjector",
     "FaultPlan",
+    "HandoffDrop",
+    "HandoffDup",
     "HealthMonitor",
     "JournalEntry",
     "LeaderPartition",
@@ -63,6 +69,8 @@ __all__ = [
     "ReconfigJournal",
     "RetryPolicy",
     "TxnState",
+    "WorkerCrash",
+    "WorkerStall",
     "run_chaos",
     "run_controller_chaos",
 ]

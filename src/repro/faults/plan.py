@@ -101,6 +101,49 @@ class MigrationFault:
 
 
 @dataclass(frozen=True)
+class WorkerCrash:
+    """FlexMend: kill shard ``shard``'s worker process when its engine
+    reaches protocol window ``window`` (after that window's outbound
+    flush). The supervisor respawns it from the last checkpoint; the
+    run's traffic report must stay byte-identical regardless."""
+
+    shard: int
+    window: int
+
+
+@dataclass(frozen=True)
+class WorkerStall:
+    """FlexMend: wedge shard ``shard``'s worker for ``stall_s`` wall
+    seconds at protocol window ``window`` — the scenario the
+    supervisor's heartbeat-staleness detector must absorb."""
+
+    shard: int
+    window: int
+    stall_s: float = 1.0
+
+
+@dataclass(frozen=True)
+class HandoffDrop:
+    """FlexMend: shard ``shard`` loses each outbound handoff batch with
+    probability ``probability`` (per-shard RNG stream). The receiver's
+    sequence gap triggers a NACK and the sender retransmits from its
+    retention buffer."""
+
+    shard: int
+    probability: float = 0.0
+
+
+@dataclass(frozen=True)
+class HandoffDup:
+    """FlexMend: shard ``shard`` sends each outbound handoff batch
+    twice with probability ``probability``; the receiver's sequence
+    dedup must drop the duplicate."""
+
+    shard: int
+    probability: float = 0.0
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """One seeded, declarative fault scenario."""
 
@@ -112,6 +155,11 @@ class FaultPlan:
     #: FlexHA controller-side faults (replica crashes, leader partitions).
     controller_crashes: tuple[ControllerCrash, ...] = ()
     partitions: tuple[LeaderPartition, ...] = ()
+    #: FlexMend worker-process faults (sharded execution only).
+    worker_crashes: tuple[WorkerCrash, ...] = ()
+    worker_stalls: tuple[WorkerStall, ...] = ()
+    handoff_drops: tuple[HandoffDrop, ...] = ()
+    handoff_dups: tuple[HandoffDup, ...] = ()
 
     def describe(self) -> list[str]:
         lines = [f"seed {self.seed}"]
@@ -142,6 +190,23 @@ class FaultPlan:
             lines.append(
                 f"migration [{spec.map_pattern}]: stall p={spec.stall_probability:g} "
                 f"(+{spec.stall_s:g}s), fail p={spec.fail_probability:g}"
+            )
+        for crash in self.worker_crashes:
+            lines.append(
+                f"worker crash shard {crash.shard} at window {crash.window}"
+            )
+        for stall in self.worker_stalls:
+            lines.append(
+                f"worker stall shard {stall.shard} at window {stall.window} "
+                f"(+{stall.stall_s:g}s wall)"
+            )
+        for drop in self.handoff_drops:
+            lines.append(
+                f"handoff drop shard {drop.shard}: p={drop.probability:g}"
+            )
+        for dup in self.handoff_dups:
+            lines.append(
+                f"handoff dup shard {dup.shard}: p={dup.probability:g}"
             )
         return lines
 

@@ -69,6 +69,57 @@ ADMISSION_CLASS_POLICIES: dict[str, tuple[int, int]] = {
     "bronze": (50_000, 1),
 }
 
+#: FlexScale process backend: wall-clock seconds the coordinator waits
+#: for worker progress before declaring the fleet wedged (a
+#: conservative-protocol bug, not a slow machine, is the only way to
+#: hit this). Shared by the supervisor's result wait and each worker's
+#: blocking inbox read so both sides give up on the same horizon.
+SCALE_RESULT_TIMEOUT_S = 300.0
+
+#: FlexScale process backend: how long the coordinator waits for a
+#: worker to exit after shutdown/poison before terminating it.
+SCALE_JOIN_TIMEOUT_S = 30.0
+
+#: FlexMend supervision (sharded fault tolerance): how many times one
+#: shard may be respawned from its last checkpoint before the
+#: supervisor gives up and fails the run fast (poison pill broadcast).
+MEND_MAX_RESTARTS = 3
+
+#: FlexMend restart backoff: the supervisor sleeps
+#: ``MEND_BACKOFF_BASE_S * MEND_BACKOFF_FACTOR**restarts`` before each
+#: respawn, bounding crash-loop churn without stretching E23 wall time.
+MEND_BACKOFF_BASE_S = 0.05
+MEND_BACKOFF_FACTOR = 2.0
+
+#: FlexMend stall detection: a worker that has not heartbeaten for this
+#: many wall seconds while its process is still alive is presumed hung
+#: (``WorkerStall`` or a real wedge) and is killed + respawned like a
+#: crash. Generous so CI scheduling jitter can never misfire it.
+MEND_HEARTBEAT_TIMEOUT_S = 60.0
+
+#: FlexMend checkpoint cadence: when checkpointing is armed, every
+#: worker snapshots its shard at window 0 (so restart is always
+#: possible) and then every this-many protocol windows. Checkpoints
+#: deepcopy live shard state, so the default run (no chaos) keeps them
+#: off entirely and pays nothing.
+MEND_CHECKPOINT_EVERY_WINDOWS = 8
+
+#: FlexMend supervisor poll period: how often the coordinator wakes to
+#: check process sentinels and heartbeat staleness while waiting for
+#: events (wall-clock pacing only; never touches simulation state).
+MEND_POLL_INTERVAL_S = 0.05
+
+#: FlexMend transport impatience: a worker blocked waiting for a
+#: round's inbound batches re-NACKs every missing sequence after this
+#: many wall seconds. Gap NACKs (triggered by a later frame from the
+#: same sender) catch mid-stream drops immediately; the impatience
+#: timer is the backstop for a dropped *final* frame, where no later
+#: frame exists to reveal the gap, and for first NACKs lost to a dying
+#: worker's drained inbox. Recovery-path pacing only — the delivered
+#: stream is release-ordered, so retransmit timing never affects a
+#: deterministic export.
+MEND_NACK_IMPATIENCE_S = 0.25
+
 #: FlexScale placement: two devices joined by a link faster than this
 #: are fused onto one shard. The conservative lookahead protocol
 #: advances shards in windows of the *minimum cross-shard* link

@@ -6,8 +6,25 @@ cross-shard packet handoff under a conservative virtual-clock lookahead
 protocol, so same-seed sharded runs are bit-identical to the
 single-process engine. Placement is admission-gated by FlexVet's
 parallelism classification. See DESIGN.md §4i.
+
+FlexMend (:mod:`repro.scale.mend`, DESIGN.md §4l) makes the process
+backend fault-tolerant: windowed shard checkpoints, a sequenced
+replayable transport, and a supervisor that restarts dead workers from
+their last checkpoint — deterministically, so the traffic report stays
+byte-identical even under injected worker crashes (experiment E23).
 """
 
+from repro.scale.mend import (
+    MendCheckpoint,
+    MendReport,
+    MendTransport,
+    ScaleChaosReport,
+    Supervisor,
+    WorkerFaultInjector,
+    checkpoint_engine,
+    restore_engine,
+    run_scale_chaos,
+)
 from repro.scale.plan import ShardPlan, plan_shards
 from repro.scale.runner import ScaleReport, reference_run, run_sharded
 from repro.scale.shard import Guarantee, Handoff, ShardEngine, ShardResult
@@ -16,14 +33,23 @@ from repro.scale.workload import e20_net, e20_workload, pod_fabric
 __all__ = [
     "Guarantee",
     "Handoff",
+    "MendCheckpoint",
+    "MendReport",
+    "MendTransport",
+    "ScaleChaosReport",
     "ScaleReport",
     "ShardEngine",
     "ShardPlan",
     "ShardResult",
+    "Supervisor",
+    "WorkerFaultInjector",
+    "checkpoint_engine",
     "e20_net",
     "e20_workload",
     "plan_shards",
     "pod_fabric",
     "reference_run",
+    "restore_engine",
+    "run_scale_chaos",
     "run_sharded",
 ]

@@ -9,38 +9,37 @@ protocol:
 * ``process`` — one OS worker per populated shard, forked so device
   objects and FlexPath closures are inherited without pickling;
   handoffs and guarantees flow over per-shard ``multiprocessing``
-  queues, results come back on a shared result queue as picklable
-  :class:`~repro.scale.shard.ShardResult` snapshots.
+  queues (sequenced by the FlexMend transport), results come back on a
+  shared result queue as picklable
+  :class:`~repro.scale.shard.ShardResult` snapshots. The coordinator
+  side is the FlexMend :class:`~repro.scale.mend.Supervisor`: it
+  watches process sentinels and heartbeats and — when chaos is armed
+  or checkpointing enabled — respawns dead workers from their last
+  windowed checkpoint (see :mod:`repro.scale.mend`).
 
 Either way the coordinator merges per-shard :class:`RunMetrics`,
 telemetry digest counts, and frozen FlexScope registries into one
 :class:`ScaleReport` whose ``traffic`` section is byte-identical to the
 ``TrafficReport`` of a same-seed single-process run (E20's differential
-acceptance check). The variable parts — windows, handoff counts,
-per-shard breakdowns — live in separate report sections so the identity
-check can compare the invariant part exactly.
+acceptance check — and E23's, which holds it *through* injected worker
+crashes). The variable parts — windows, handoff counts, per-shard
+breakdowns, supervision outcomes — live in separate report sections so
+the identity check can compare the invariant part exactly.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-import queue as queue_mod
-import time
-import traceback
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
+from repro.faults.plan import FaultPlan
 from repro.observe.metrics import MetricsRegistry
+from repro.scale.mend import MendReport, Supervisor
 from repro.scale.plan import ShardPlan, plan_shards
 from repro.scale.shard import ShardEngine, ShardResult, run_inline
 from repro.simulator.flowgen import TimedPacket
 from repro.simulator.metrics import RunMetrics
-from repro.simulator.packet import reset_packet_ids
-
-#: Wall-clock seconds the coordinator waits for any worker result before
-#: declaring the fleet wedged (a conservative-protocol bug, not a slow
-#: machine, is the only way to hit this).
-RESULT_TIMEOUT_S = 300.0
 
 
 @dataclass
@@ -59,6 +58,8 @@ class ScaleReport:
     total_digests: int
     registry: MetricsRegistry
     shard_results: list[ShardResult] = field(default_factory=list)
+    #: FlexMend supervision outcome (process backend only).
+    mend: MendReport | None = None
 
     @property
     def windows(self) -> int:
@@ -90,7 +91,7 @@ class ScaleReport:
         }
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "traffic": self.traffic_dict(),
             "sharding": {
                 "backend": self.backend,
@@ -112,6 +113,9 @@ class ScaleReport:
                 ],
             },
         }
+        if self.mend is not None:
+            out["mend"] = self.mend.to_dict()
+        return out
 
     def summary(self) -> str:
         lines = [
@@ -127,6 +131,8 @@ class ScaleReport:
                 f"windows {result.windows}, "
                 f"handoffs {result.handoffs_in} in / {result.handoffs_out} out"
             )
+        if self.mend is not None:
+            lines.append(self.mend.summary())
         return "\n".join(lines)
 
 
@@ -163,6 +169,8 @@ def _merge_results(
     backend: str,
     end_time: float,
     results: list[ShardResult],
+    mend: MendReport | None = None,
+    extra_registry: MetricsRegistry | None = None,
 ) -> ScaleReport:
     results = sorted(results, key=lambda result: result.shard_id)
     metrics_parts = [result.metrics for result in results]
@@ -175,6 +183,8 @@ def _merge_results(
     for result in results:
         if result.registry is not None:
             registry.merge(result.registry)
+    if extra_registry is not None:
+        registry.merge(extra_registry)
     return ScaleReport(
         plan=plan,
         backend=backend,
@@ -183,6 +193,7 @@ def _merge_results(
         total_digests=sum(result.digest_count for result in results),
         registry=registry,
         shard_results=results,
+        mend=mend,
     )
 
 
@@ -221,126 +232,30 @@ def _run_inline_backend(
 # -- process backend --------------------------------------------------------
 
 
-def _worker_main(
-    shard_id: int,
-    plan: ShardPlan,
-    net,
-    injections: list[tuple],
-    end_time: float,
-    inboxes: dict,
-    result_queue,
-) -> None:
-    """One forked worker: owns its shard's (copy-on-write) devices, runs
-    the window protocol against neighbor queues, ships a ShardResult."""
-    try:
-        # CPU-seconds measurement only — it feeds the E20 capacity
-        # metric (aggregate pps = packets / max shard CPU) and never
-        # touches simulation state or any deterministic export, so the
-        # wall-clock read is baselined in vet_baseline.json.
-        cpu_start = time.process_time()
-        # Packets created inside this worker (if any) get a per-shard id
-        # namespace so ids can never collide across shards.
-        reset_packet_ids(shard_id + 1)
-        engine = ShardEngine(
-            shard_id,
-            plan,
-            net.controller.devices,
-            end_time,
-            topology=net.controller.network,
-        )
-        for packet, hops, at_time in injections:
-            engine.inject(packet, hops, at_time)
-        inbox = inboxes[shard_id]
-        while True:
-            engine.advance()
-            outbox = engine.take_outbox()
-            guarantees = engine.guarantees_out()
-            # One queue item per destination per window: the handoffs
-            # followed by the guarantee covering them — batching
-            # preserves exactly the per-producer FIFO order the
-            # window-completeness proof relies on, while costing one
-            # pickle round trip instead of one per message.
-            for dst in sorted(set(outbox) | set(guarantees)):
-                batch = list(outbox.get(dst, ()))
-                if dst in guarantees:
-                    batch.append(guarantees[dst])
-                inboxes[dst].put(batch)
-            if engine.finished():
-                break
-            while not engine.can_advance():
-                for message in inbox.get(timeout=RESULT_TIMEOUT_S):
-                    engine.deliver(message)
-                while True:
-                    try:
-                        batch = inbox.get_nowait()
-                    except queue_mod.Empty:
-                        break
-                    for message in batch:
-                        engine.deliver(message)
-        shard_result = engine.result()
-        shard_result.cpu_s = time.process_time() - cpu_start
-        result_queue.put(("ok", shard_result))
-        # Drain stragglers (a neighbor's final null messages) so its
-        # feeder thread can flush and exit cleanly.
-        while True:
-            try:
-                inbox.get_nowait()
-            except queue_mod.Empty:
-                break
-    except BaseException:  # noqa: BLE001 - shipped to the coordinator
-        result_queue.put(("error", shard_id, traceback.format_exc()))
-
-
 def _run_process_backend(
-    net, plan: ShardPlan, injections: list[TimedPacket], drain_s: float
+    net,
+    plan: ShardPlan,
+    injections: list[TimedPacket],
+    drain_s: float,
+    chaos: FaultPlan | None,
+    checkpoint_every: int | None,
 ) -> ScaleReport:
-    context = multiprocessing.get_context("fork")
+    """Spawn one worker per populated shard under the FlexMend
+    supervisor (:mod:`repro.scale.mend`), which owns fault injection,
+    windowed checkpoints, and deterministic restart."""
     end_time = _end_time(injections, drain_s)
-    shards = plan.populated_shards
-    inboxes = {shard: context.Queue() for shard in shards}
-    result_queue = context.Queue()
-    per_shard = _assign_injections(net, plan, injections)
-    workers = [
-        context.Process(
-            target=_worker_main,
-            args=(
-                shard,
-                plan,
-                net,
-                per_shard.get(shard, []),
-                end_time,
-                inboxes,
-                result_queue,
-            ),
-            name=f"flexscale-shard-{shard}",
-        )
-        for shard in shards
-    ]
-    for worker in workers:
-        worker.start()
-    results: list[ShardResult] = []
-    error: str | None = None
-    try:
-        for _ in shards:
-            try:
-                item = result_queue.get(timeout=RESULT_TIMEOUT_S)
-            except queue_mod.Empty:
-                error = "worker result timed out (protocol wedge?)"
-                break
-            if item[0] == "ok":
-                results.append(item[1])
-            else:
-                error = f"shard {item[1]} failed:\n{item[2]}"
-                break
-    finally:
-        for worker in workers:
-            worker.join(timeout=30.0)
-            if worker.is_alive():
-                worker.terminate()
-                worker.join()
-    if error is not None:
-        raise SimulationError(f"flexscale process backend: {error}")
-    return _merge_results(plan, "process", end_time, results)
+    supervisor = Supervisor(
+        net,
+        plan,
+        _assign_injections(net, plan, injections),
+        end_time,
+        chaos=chaos,
+        checkpoint_every=checkpoint_every,
+    )
+    results, mend, registry = supervisor.run()
+    return _merge_results(
+        plan, "process", end_time, results, mend=mend, extra_registry=registry
+    )
 
 
 # -- entry point ------------------------------------------------------------
@@ -356,6 +271,8 @@ def run_sharded(
     drain_s: float = 1.0,
     colocate_below_s: float | None = None,
     plan: ShardPlan | None = None,
+    chaos: FaultPlan | None = None,
+    checkpoint_every: int | None = None,
 ) -> ScaleReport:
     """Partition ``net`` and run ``injections`` across shards.
 
@@ -365,6 +282,15 @@ def run_sharded(
     Consistency checking is not supported under sharding (the checker
     is an observer of the single loop); use ``run_traffic`` for
     consistency experiments.
+
+    ``chaos`` arms FlexMend worker-fault injection (``WorkerCrash`` /
+    ``WorkerStall`` / ``HandoffDrop`` / ``HandoffDup`` specs from a
+    :class:`~repro.faults.plan.FaultPlan`); process backend only.
+    ``checkpoint_every`` sets the checkpoint cadence in protocol
+    windows — ``None`` means "``limits.MEND_CHECKPOINT_EVERY_WINDOWS``
+    when chaos is armed, off otherwise" (checkpoints cost a deep copy
+    per shard per cadence, so fault-free capacity runs skip them), and
+    ``0`` forces checkpointing off (worker death is then fatal).
     """
     if plan is None:
         kwargs: dict = {"seed": seed}
@@ -372,6 +298,11 @@ def run_sharded(
             kwargs["colocate_below_s"] = colocate_below_s
         plan = plan_shards(net.controller, shards, **kwargs)
     if backend == "inline":
+        if chaos is not None:
+            raise SimulationError(
+                "flexmend chaos requires the process backend (worker "
+                "crashes have no analogue inside one process)"
+            )
         return _run_inline_backend(net, plan, injections, drain_s)
     if backend == "process":
         if multiprocessing.get_start_method(allow_none=False) != "fork" and (
@@ -382,5 +313,7 @@ def run_sharded(
                 "(device closures are inherited, not pickled); "
                 "use backend='inline' on this platform"
             )
-        return _run_process_backend(net, plan, injections, drain_s)
+        return _run_process_backend(
+            net, plan, injections, drain_s, chaos, checkpoint_every
+        )
     raise SimulationError(f"unknown flexscale backend {backend!r}")

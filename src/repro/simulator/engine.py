@@ -53,6 +53,14 @@ class EventHandle:
     def time(self) -> float:
         return self._event.time
 
+    @property
+    def sequence(self) -> int:
+        """The loop's insertion counter for this event — the tie-break
+        half of the ``(time, seq)`` ordering contract. FlexMend
+        checkpoints record it so re-scheduled events preserve their
+        original same-time ordering after a restore."""
+        return self._event.sequence
+
 
 class EventLoop:
     """A deterministic discrete-event loop with seconds as virtual time.
@@ -133,3 +141,18 @@ class EventLoop:
 
     def pending(self) -> int:
         return sum(1 for _, _, event in self._heap if not event.cancelled)
+
+    def restore_clock(self, now: float) -> None:
+        """Reset the clock to an absolute time on an *empty* loop.
+
+        FlexMend restores a checkpointed shard by setting the clock to
+        the checkpoint's window bound and then re-scheduling the saved
+        events in their canonical ``(time, seq)`` order; restoring into
+        a loop that already holds events would interleave two seq
+        spaces, so it is refused.
+        """
+        if self.pending():
+            raise SimulationError(
+                f"restore_clock requires an empty loop ({self.pending()} pending)"
+            )
+        self._now = now

@@ -59,6 +59,7 @@ class Network:
         loop: EventLoop | None = None,
         owned: set[str] | None = None,
         on_handoff: Callable[[Packet, list[str], int, float], None] | None = None,
+        track_inflight: bool = False,
     ):
         self.loop = loop or EventLoop()
         self._nodes: dict[str, PacketProcessor] = {}
@@ -66,6 +67,13 @@ class Network:
         self._paths: dict[str, list[str]] = {}
         self._owned = set(owned) if owned is not None else None
         self._on_handoff = on_handoff
+        #: FlexMend: every event this network schedules is a packet
+        #: arrival, fully described by plain data. With tracking on,
+        #: in-flight arrivals are registered until they execute, so a
+        #: shard checkpoint can serialize the event loop's contents as
+        #: ``(time, seq, packet, hops, index)`` tuples.
+        self._inflight: dict[int, tuple] | None = {} if track_inflight else None
+        self._inflight_token = 0
 
     def adopt_topology(self, other: "Network") -> None:
         """Copy link latencies and named paths from another network
@@ -137,9 +145,7 @@ class Network:
         if not self.owns(hops[0]):
             self._on_handoff(packet, hops, 0, at_time)
             return
-        self.loop.schedule_at(
-            at_time, lambda: self._arrive(packet, hops, 0, metrics, on_done)
-        )
+        self._schedule_arrival(at_time, packet, hops, 0, metrics, on_done)
 
     def receive(
         self,
@@ -153,9 +159,41 @@ class Network:
         """Accept a handed-off packet at its exact precomputed arrival
         time (the FlexScale shard runtime calls this after draining its
         handoff queue in canonical order)."""
-        self.loop.schedule_at(
-            at_time, lambda: self._arrive(packet, hops, index, metrics, on_done)
-        )
+        self._schedule_arrival(at_time, packet, hops, index, metrics, on_done)
+
+    def _schedule_arrival(
+        self,
+        at_time: float,
+        packet: Packet,
+        hops: list[str],
+        index: int,
+        metrics: RunMetrics | None,
+        on_done: Callable[[Packet], None] | None,
+    ) -> None:
+        if self._inflight is None:
+            self.loop.schedule_at(
+                at_time, lambda: self._arrive(packet, hops, index, metrics, on_done)
+            )
+            return
+        self._inflight_token += 1
+        token = self._inflight_token
+
+        def run() -> None:
+            del self._inflight[token]
+            self._arrive(packet, hops, index, metrics, on_done)
+
+        handle = self.loop.schedule_at(at_time, run)
+        self._inflight[token] = (at_time, handle.sequence, packet, hops, index)
+
+    def inflight_arrivals(self) -> list[tuple]:
+        """Pending arrivals as plain ``(time, seq, packet, hops, index)``
+        data, in the loop's canonical execution order. Only meaningful
+        with ``track_inflight=True`` (FlexMend checkpointing)."""
+        if self._inflight is None:
+            raise SimulationError(
+                "inflight_arrivals requires track_inflight=True"
+            )
+        return sorted(self._inflight.values(), key=lambda item: (item[0], item[1]))
 
     def _arrive(
         self,
@@ -187,8 +225,8 @@ class Network:
             # local schedule() call would have produced.
             self._on_handoff(packet, hops, index + 1, now + hop_latency)
             return
-        self.loop.schedule(
-            hop_latency, lambda: self._arrive(packet, hops, index + 1, metrics, on_done)
+        self._schedule_arrival(
+            now + hop_latency, packet, hops, index + 1, metrics, on_done
         )
 
     def _finish(

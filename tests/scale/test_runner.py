@@ -143,13 +143,14 @@ class TestDeterminism:
         assert _canon(inline.traffic_dict()) == _canon(process.traffic_dict())
 
         # Window/handoff cadence is a protocol diagnostic and may differ
-        # between backends (process workers free-run); every *traffic*
-        # metric family must still agree exactly.
+        # between backends, and the FlexMend supervision families exist
+        # only under the process backend; every *traffic* metric family
+        # must still agree exactly.
         def invariant(registry) -> str:
             return "\n".join(
                 line
                 for line in registry.to_prometheus().splitlines()
-                if "flexnet_scale_" not in line
+                if "flexnet_scale_" not in line and "flexnet_mend_" not in line
             )
 
         assert invariant(inline.registry) == invariant(process.registry)
